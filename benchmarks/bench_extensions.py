@@ -1,0 +1,78 @@
+"""Benchmarks for the extension modules (beyond the reproduced paper).
+
+Covers the streaming sieve's throughput, dynamic update cost, and the
+fair k-HMS variant's solve time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import anticorrelated_dataset
+from repro.extensions.dynamic import DynamicFairHMS
+from repro.extensions.khms import bigreedy_khms
+from repro.extensions.streaming import StreamingFairHMS
+from repro.fairness.constraints import FairnessConstraint
+
+from conftest import constraint_for
+
+
+def test_bench_streaming_observe_throughput(benchmark):
+    ds = anticorrelated_dataset(2_000, 4, 3, seed=1).normalized()
+
+    def run():
+        sieve = StreamingFairHMS(4, 3, buffer_per_group=64, seed=2)
+        for idx in range(ds.n):
+            sieve.observe(idx, ds.points[idx], int(ds.labels[idx]))
+        return sieve
+
+    sieve = benchmark(run)
+    benchmark.extra_info["buffered"] = sieve.buffered()
+    benchmark.extra_info["seen"] = sieve.seen
+
+
+def test_bench_streaming_finalize(benchmark):
+    ds = anticorrelated_dataset(2_000, 4, 3, seed=3).normalized()
+    sieve = StreamingFairHMS(4, 3, buffer_per_group=64, seed=4)
+    for idx in range(ds.n):
+        sieve.observe(idx, ds.points[idx], int(ds.labels[idx]))
+    constraint = FairnessConstraint.proportional(8, ds.group_sizes, alpha=0.1)
+    solution = benchmark(sieve.finalize, constraint, seed=5)
+    benchmark.extra_info["mhr_net"] = round(solution.mhr_estimate, 4)
+
+
+def test_bench_dynamic_insert_throughput(benchmark):
+    ds = anticorrelated_dataset(1_500, 3, 2, seed=6).normalized()
+
+    def run():
+        dyn = DynamicFairHMS(3, 2)
+        for idx in range(ds.n):
+            dyn.insert(idx, ds.points[idx], int(ds.labels[idx]))
+        return dyn
+
+    dyn = benchmark(run)
+    benchmark.extra_info["skyline"] = len(dyn.skyline_keys())
+
+
+def test_bench_dynamic_resolve_after_update(benchmark):
+    ds = anticorrelated_dataset(800, 2, 2, seed=7).normalized()
+    dyn = DynamicFairHMS(2, 2)
+    for idx in range(ds.n):
+        dyn.insert(idx, ds.points[idx], int(ds.labels[idx]))
+    constraint = FairnessConstraint(lower=[1, 1], upper=[3, 3], k=4)
+    counter = iter(range(10_000_000))
+
+    def update_and_solve():
+        key = 1_000_000 + next(counter)
+        dyn.insert(key, np.array([0.98, 0.97]), 0)
+        return dyn.solution(constraint)
+
+    solution = benchmark(update_and_solve)
+    benchmark.extra_info["mhr"] = round(solution.mhr_estimate or 0.0, 4)
+
+
+@pytest.mark.parametrize("ell", [1, 3, 5])
+def test_bench_khms_solve(benchmark, anticor6d, ell):
+    constraint = constraint_for(anticor6d, 10)
+    solution = benchmark(bigreedy_khms, anticor6d, constraint, ell, seed=8)
+    benchmark.extra_info["ell"] = ell
+    benchmark.extra_info["mhr_net"] = round(solution.mhr_estimate, 4)

@@ -1,0 +1,30 @@
+"""Benchmark: Figure 10 — BiGreedy+ quality vs (epsilon, lambda).
+
+A diagonal slice of the paper's heat map: quality (extra info) improves
+then plateaus as the parameters shrink.
+"""
+
+import pytest
+
+from repro.core.adaptive import bigreedy_plus
+from repro.hms.evaluation import MhrEvaluator
+
+from conftest import constraint_for
+
+_K = 10
+_EVALUATOR = {}
+
+
+@pytest.mark.parametrize(("eps", "lam"), [(0.64, 0.64), (0.16, 0.16), (0.02, 0.04)])
+def test_bench_fig10_eps_lambda_quality(benchmark, adult_race, eps, lam):
+    constraint = constraint_for(adult_race, _K)
+    solution = benchmark(
+        bigreedy_plus, adult_race, constraint, epsilon=eps, lam=lam, seed=7
+    )
+    if id(adult_race) not in _EVALUATOR:
+        _EVALUATOR[id(adult_race)] = MhrEvaluator(adult_race.points)
+    value = _EVALUATOR[id(adult_race)].evaluate(solution.points).value
+    benchmark.extra_info["eps"] = eps
+    benchmark.extra_info["lambda"] = lam
+    benchmark.extra_info["mhr"] = round(value, 4)
+    benchmark.extra_info["paper_shape"] = "MHR rises then plateaus as eps/lam shrink"

@@ -1,0 +1,35 @@
+"""Benchmark: Figure 11 — BiGreedy+ running time vs (epsilon, lambda).
+
+Time rises as either parameter shrinks (more cap steps / larger nets);
+the paper's operating point (eps=0.02, lam=0.04) balances both.
+"""
+
+import pytest
+
+from repro.core.adaptive import bigreedy_plus
+
+from conftest import constraint_for
+
+_K = 10
+
+
+@pytest.mark.parametrize("eps", [0.64, 0.08, 0.02])
+def test_bench_fig11_time_vs_eps(benchmark, anticor6d, eps):
+    constraint = constraint_for(anticor6d, _K)
+    solution = benchmark(
+        bigreedy_plus, anticor6d, constraint, epsilon=eps, lam=0.04, seed=7
+    )
+    assert solution.size == _K
+    benchmark.extra_info["eps"] = eps
+    benchmark.extra_info["paper_shape"] = "time grows as eps shrinks"
+
+
+@pytest.mark.parametrize("lam", [0.64, 0.08, 0.01])
+def test_bench_fig11_time_vs_lambda(benchmark, anticor6d, lam):
+    constraint = constraint_for(anticor6d, _K)
+    solution = benchmark(
+        bigreedy_plus, anticor6d, constraint, epsilon=0.02, lam=lam, seed=7
+    )
+    assert solution.size == _K
+    benchmark.extra_info["lambda"] = lam
+    benchmark.extra_info["paper_shape"] = "time grows as lambda shrinks"

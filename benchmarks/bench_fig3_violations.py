@@ -1,0 +1,41 @@
+"""Benchmark: Figure 3 — fairness violations of unconstrained algorithms.
+
+One benchmark per algorithm on the Adult (Gender) panel at k = 14; the
+recorded ``err`` shows the paper's qualitative result (baselines violate,
+the proposed algorithms never do).
+"""
+
+import pytest
+
+from repro.core.bigreedy import bigreedy
+from repro.core.adaptive import bigreedy_plus
+from repro.baselines.dmm import dmm
+from repro.baselines.greedy import rdp_greedy
+from repro.baselines.hs import hitting_set
+from repro.baselines.sphere import sphere
+from repro.fairness.metrics import fairness_violations
+
+from conftest import constraint_for
+
+_K = 14
+
+
+@pytest.mark.parametrize(
+    "name", ["Greedy", "DMM", "HS", "Sphere", "BiGreedy", "BiGreedy+"]
+)
+def test_bench_fig3_adult_gender(benchmark, adult_gender, name):
+    constraint = constraint_for(adult_gender, _K)
+    if name == "BiGreedy":
+        solution = benchmark(bigreedy, adult_gender, constraint, seed=7)
+    elif name == "BiGreedy+":
+        solution = benchmark(bigreedy_plus, adult_gender, constraint, seed=7)
+    else:
+        algo = {"Greedy": rdp_greedy, "DMM": dmm, "HS": hitting_set, "Sphere": sphere}[name]
+        solution = benchmark(algo, adult_gender, _K)
+    err = fairness_violations(constraint, adult_gender.labels, solution.indices)
+    if name in ("BiGreedy", "BiGreedy+"):
+        assert err == 0  # the paper's algorithms are always fair
+    else:
+        assert err > 0  # the baselines violate on this panel (Figure 3a)
+    benchmark.extra_info["err"] = int(err)
+    benchmark.extra_info["paper_shape"] = "err>0 for baselines, 0 for ours"

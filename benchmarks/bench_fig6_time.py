@@ -1,0 +1,31 @@
+"""Benchmark: Figure 6 — multi-dimensional running time vs k.
+
+Times BiGreedy and BiGreedy+ across the paper's k range on AntiCor_6D.
+Expected shape: time grows mildly with k; BiGreedy+ is several times
+faster than BiGreedy at equal k.
+"""
+
+import pytest
+
+from repro.core.adaptive import bigreedy_plus
+from repro.core.bigreedy import bigreedy
+
+from conftest import constraint_for
+
+
+@pytest.mark.parametrize("k", [10, 14, 20])
+def test_bench_fig6_bigreedy_vs_k(benchmark, anticor6d, k):
+    constraint = constraint_for(anticor6d, k)
+    solution = benchmark(bigreedy, anticor6d, constraint, seed=7)
+    assert solution.size == k
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["net_size"] = solution.stats["net_size"]
+
+
+@pytest.mark.parametrize("k", [10, 14, 20])
+def test_bench_fig6_bigreedy_plus_vs_k(benchmark, anticor6d, k):
+    constraint = constraint_for(anticor6d, k)
+    solution = benchmark(bigreedy_plus, anticor6d, constraint, seed=7)
+    assert solution.size == k
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["paper_shape"] = "BiGreedy+ several times faster"

@@ -1,0 +1,42 @@
+"""Benchmark: Figure 7 — scalability in d, C and n on anti-correlated data.
+
+Expected shapes: time grows with every axis; MHR (extra info) decreases
+with d and C.
+"""
+
+import pytest
+
+from repro.core.adaptive import bigreedy_plus
+from repro.experiments.workloads import anticor, paper_constraint
+
+_K = 12
+
+
+@pytest.mark.parametrize("d", [2, 4, 6])
+def test_bench_fig7_vary_d(benchmark, d):
+    data = anticor(800, d, 3)
+    constraint = paper_constraint(data, _K)
+    solution = benchmark(bigreedy_plus, data, constraint, seed=7)
+    benchmark.extra_info["d"] = d
+    benchmark.extra_info["mhr_net"] = round(solution.mhr_estimate, 4)
+    benchmark.extra_info["paper_shape"] = "MHR falls, time grows with d"
+
+
+@pytest.mark.parametrize("C", [2, 5, 8])
+def test_bench_fig7_vary_C(benchmark, C):
+    data = anticor(800, 6, C)
+    constraint = paper_constraint(data, _K)
+    solution = benchmark(bigreedy_plus, data, constraint, seed=7)
+    assert solution.violations(constraint) == 0
+    benchmark.extra_info["C"] = C
+    benchmark.extra_info["mhr_net"] = round(solution.mhr_estimate, 4)
+
+
+@pytest.mark.parametrize("n", [200, 800, 3_200])
+def test_bench_fig7_vary_n(benchmark, n):
+    data = anticor(n, 6, 3)
+    constraint = paper_constraint(data, _K)
+    solution = benchmark(bigreedy_plus, data, constraint, seed=7)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["skyline"] = data.n
+    benchmark.extra_info["paper_shape"] = "time near-linear in n"

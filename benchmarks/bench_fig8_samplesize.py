@@ -1,0 +1,29 @@
+"""Benchmark: Figure 8 — solution quality vs net sample size m.
+
+BiGreedy across m = {1.25, 5, 10, 40} * k * d on AntiCor_6D.  Expected
+shape: the MHR (extra info) mostly saturates at the paper's default
+m = 10 k d.
+"""
+
+import pytest
+
+from repro.core.bigreedy import bigreedy
+from repro.hms.evaluation import MhrEvaluator
+
+from conftest import constraint_for
+
+_K = 10
+_EVALUATOR = {}
+
+
+@pytest.mark.parametrize("factor", [1.25, 5.0, 10.0, 40.0])
+def test_bench_fig8_bigreedy_sample_size(benchmark, anticor6d, factor):
+    constraint = constraint_for(anticor6d, _K)
+    m = max(4, int(round(factor * _K * anticor6d.dim)))
+    solution = benchmark(bigreedy, anticor6d, constraint, net_size=m, seed=7)
+    if id(anticor6d) not in _EVALUATOR:
+        _EVALUATOR[id(anticor6d)] = MhrEvaluator(anticor6d.points)
+    value = _EVALUATOR[id(anticor6d)].evaluate(solution.points).value
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["mhr"] = round(value, 4)
+    benchmark.extra_info["paper_shape"] = "MHR saturates near m = 10kd"

@@ -1,0 +1,32 @@
+"""Benchmark: Figure 9 — running time vs net sample size m.
+
+BiGreedy+ with max size M swept like Figure 8; time should grow roughly
+linearly with M (the paper's observation), and stay below BiGreedy's at
+the same M thanks to adaptive stopping.
+"""
+
+import pytest
+
+from repro.core.adaptive import bigreedy_plus
+
+from conftest import constraint_for
+
+_K = 10
+
+
+@pytest.mark.parametrize("factor", [1.25, 5.0, 10.0, 40.0])
+def test_bench_fig9_bigreedy_plus_max_size(benchmark, anticor6d, factor):
+    constraint = constraint_for(anticor6d, _K)
+    M = max(8, int(round(factor * _K * anticor6d.dim)))
+    solution = benchmark(
+        bigreedy_plus,
+        anticor6d,
+        constraint,
+        initial_size=max(4, M // 20),
+        max_size=M,
+        lam=1e-9,  # force the doubling to reach M, as in the paper's sweep
+        seed=7,
+    )
+    benchmark.extra_info["M"] = M
+    benchmark.extra_info["iterations"] = solution.stats["iterations"]
+    benchmark.extra_info["paper_shape"] = "time ~linear in M"

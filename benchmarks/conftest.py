@@ -1,0 +1,59 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Workloads are scaled down from the paper's sizes so the whole suite runs
+in minutes; every fixture is session-scoped so dataset construction and
+skyline extraction are not measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.lsac import lsac_example
+from repro.experiments.workloads import anticor, paper_constraint, real_dataset
+
+
+@pytest.fixture(scope="session")
+def lsac():
+    return lsac_example("Gender")
+
+
+@pytest.fixture(scope="session")
+def anticor2d():
+    """AntiCor_2D benchmark input (paper: n = 10,000)."""
+    return anticor(1_000, 2, 3)
+
+
+@pytest.fixture(scope="session")
+def anticor6d():
+    """AntiCor_6D benchmark input (paper: n = 10,000)."""
+    return anticor(1_000, 6, 3)
+
+
+@pytest.fixture(scope="session")
+def adult_gender():
+    return real_dataset("Adult", "Gender", n=4_000)
+
+
+@pytest.fixture(scope="session")
+def adult_race():
+    return real_dataset("Adult", "Race", n=4_000)
+
+
+@pytest.fixture(scope="session")
+def compas_gender():
+    return real_dataset("Compas", "Gender")
+
+
+@pytest.fixture(scope="session")
+def credit_job():
+    return real_dataset("Credit", "Job")
+
+
+@pytest.fixture(scope="session")
+def lawschs_gender():
+    return real_dataset("Lawschs", "Gender", n=10_000)
+
+
+def constraint_for(dataset, k):
+    return paper_constraint(dataset, k, alpha=0.1)

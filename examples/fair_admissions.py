@@ -1,0 +1,71 @@
+"""Fair admissions shortlist on the (simulated) LSAC law-school database.
+
+The intro scenario of the paper at realistic scale: from ~65k applicants
+scored by LSAT and GPA, build a shortlist of k candidates that (a) keeps
+every possible LSAT/GPA weighting nearly as happy as the full pool would
+and (b) represents each racial group proportionally.
+
+Shows the full pipeline a downstream user would run: load -> normalize ->
+per-group skyline -> constraint -> exact solve -> audit.
+
+Run:  python examples/fair_admissions.py [k]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.baselines import rdp_greedy
+from repro.fairness import violation_breakdown
+
+
+def main(k: int = 8) -> None:
+    # 1. Load and normalize (division by column maxima, the paper's rule).
+    data = repro.load_dataset("Lawschs", "Race").normalized()
+    print(f"Applicant pool: {data}")
+
+    # 2. Per-group skyline: the only tuples any algorithm can ever need.
+    sky = data.skyline(per_group=True)
+    print(f"Per-group skyline: {sky.n} candidates out of {data.n}")
+    for c in range(sky.num_groups):
+        print(f"  {sky.group_names[c]:>9}: {int(sky.group_sizes[c])} skyline tuples")
+
+    # 3. Proportional fairness bounds (alpha = 0.1, the paper's setting),
+    #    referencing the *population* shares, capped by skyline availability.
+    constraint = repro.FairnessConstraint.proportional(
+        k, sky.population_group_sizes, alpha=0.1
+    )
+    constraint = repro.FairnessConstraint(
+        lower=np.minimum(constraint.lower, sky.group_sizes),
+        upper=constraint.upper,
+        k=k,
+    )
+    print(f"\nConstraint (k={k}): {constraint.describe(sky.group_names)}")
+
+    # 4. Exact solve (2-D data -> IntCov).
+    shortlist = repro.solve_fairhms(sky, constraint)
+    print(f"\nFair shortlist MHR = {shortlist.mhr_estimate:.4f}")
+    print("Per-group audit:")
+    for row in violation_breakdown(constraint, sky.labels, shortlist.indices):
+        name = sky.group_names[row["group"]]
+        print(
+            f"  {name:>9}: {row['count']} admitted "
+            f"(bounds {row['lower']}..{row['upper']}, violation {row['violation']})"
+        )
+
+    # 5. What an unconstrained algorithm would have done instead.
+    unfair = rdp_greedy(sky, k)
+    err = repro.fairness_violations(constraint, sky.labels, unfair.indices)
+    print(
+        f"\nUnconstrained greedy: MHR = {unfair.mhr():.4f}, err(S) = {err} "
+        f"(counts {unfair.group_counts().tolist()})"
+    )
+    print(
+        f"Price of fairness: {unfair.mhr() - shortlist.mhr_estimate:+.4f} "
+        "MHR given up for zero violations"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

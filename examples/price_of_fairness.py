@@ -1,0 +1,83 @@
+"""Price-of-fairness study across datasets and constraint strictness.
+
+How much minimum happiness ratio does group fairness cost?  The paper's
+headline empirical claim is "low in most cases" (differences mostly within
+0.02 on real data).  This example measures the price on every simulated
+real dataset and shows how it moves with the slack parameter alpha — from
+near-quota (alpha -> 0) to loose bounds (alpha large).
+
+Run:  python examples/price_of_fairness.py
+"""
+
+import repro
+from repro.baselines import FAIR_BASELINES, rdp_greedy
+from repro.experiments import format_table
+
+
+def fair_mhr(sky, constraint, *, seed=7) -> float:
+    """Best fair MHR we can compute for this instance."""
+    if sky.dim == 2:
+        return repro.intcov(sky, constraint).mhr_estimate
+    return repro.bigreedy(sky, constraint, seed=seed).mhr()
+
+
+def unconstrained_mhr(sky, k) -> float:
+    if sky.dim == 2:
+        return repro.hms_exact_2d(sky, k).mhr_estimate
+    return rdp_greedy(sky, k).mhr()
+
+
+def main() -> None:
+    cases = [
+        ("Lawschs", "Gender", 20_000),
+        ("Lawschs", "Race", 20_000),
+        ("Adult", "Gender", 4_000),
+        ("Adult", "Race", 4_000),
+        ("Compas", "Gender", None),
+        ("Credit", "Job", None),
+    ]
+    alphas = (0.05, 0.1, 0.3)
+
+    rows = []
+    for name, attribute, n in cases:
+        sky = repro.load_dataset(name, attribute, n=n).normalized().skyline()
+        # Tiny 2-D skylines (Lawschs) cannot host k=10 fair sets.
+        k = min(10, max(sky.num_groups, sky.n // 2))
+        base = unconstrained_mhr(sky, k)
+        cells = [str(k), f"{base:.4f}"]
+        for alpha in alphas:
+            constraint = repro.FairnessConstraint.proportional(
+                k, sky.group_sizes, alpha=alpha
+            )
+            if not constraint.is_feasible_for(sky.group_sizes):
+                cells.append("-")
+                continue
+            value = fair_mhr(sky, constraint)
+            cells.append(f"{base - value:+.4f}")
+        rows.append([f"{name} ({attribute})"] + cells)
+
+    header = ["dataset", "k", "unconstrained MHR"] + [
+        f"price @ alpha={a}" for a in alphas
+    ]
+    print("Price of fairness (unconstrained MHR minus best fair MHR)\n")
+    print(format_table(header, rows))
+    print(
+        "\nReading: positive price = happiness given up for fairness; the\n"
+        "paper's observation is that it stays small, and shrinks as the\n"
+        "constraint loosens (larger alpha)."
+    )
+
+    # Bonus: fairness is *not* free for the adapted baselines — show the
+    # gap between our solver and the per-group union adaptation once.
+    sky = repro.load_dataset("Adult", "Race", n=4_000).normalized().skyline()
+    constraint = repro.FairnessConstraint.proportional(10, sky.group_sizes, alpha=0.1)
+    ours = repro.bigreedy(sky, constraint, seed=7).mhr()
+    union = FAIR_BASELINES["G-Greedy"](sky, constraint).mhr()
+    print(
+        f"\nAdult (Race): BiGreedy {ours:.4f} vs G-Greedy {union:.4f} "
+        f"(+{ours - union:.4f} from optimizing jointly instead of per group)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: solve the paper's running example end to end.
+
+Reproduces Table 1 / Example 2.2 of "Happiness Maximizing Sets under Group
+Fairness Constraints" (VLDB 2022): eight LSAC applicants scored by LSAT and
+GPA, where the vanilla happiness-maximizing set admits only men and the fair
+variant fixes that at a price of 0.0012 in the minimum happiness ratio.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+def main() -> None:
+    # Table 1: eight applicants, LSAT + GPA, partitioned by gender.
+    data = repro.lsac_example("Gender")
+    print(f"Dataset: {data}")
+    print(f"Group sizes: {dict(zip(data.group_names, data.group_sizes.tolist()))}")
+
+    # The vanilla HMS solution for k = 3 (exact, 2-D).
+    hms = repro.hms_exact_2d(data, 3)
+    names = sorted(f"a{int(i) + 1}" for i in hms.ids)
+    print(f"\nHMS (k=3): {names}  MHR = {hms.mhr_estimate:.4f}")
+    genders = {repro.data.LSAC_APPLICANTS[int(i)][1] for i in hms.ids}
+    print(f"  ... every admit is {genders} — the motivating unfairness.")
+
+    # FairHMS: one admit per gender (l_c = h_c = 1), k = 2.
+    constraint = repro.FairnessConstraint.exact([1, 1])
+    print(f"\nFairness constraint: {constraint.describe(data.group_names)}")
+    fair = repro.solve_fairhms(data, constraint)  # auto -> IntCov (exact, 2-D)
+    names = sorted(f"a{int(i) + 1}" for i in fair.ids)
+    print(f"FairHMS (k=2): {names}  MHR = {fair.mhr_estimate:.4f}")
+    print(f"  violations err(S) = {fair.violations()}")
+
+    # Compare with the unconstrained optimum for the same k.
+    unconstrained = repro.hms_exact_2d(data, 2)
+    price = unconstrained.mhr_estimate - fair.mhr_estimate
+    print(f"\nUnconstrained optimum (k=2): MHR = {unconstrained.mhr_estimate:.4f}")
+    print(f"Price of fairness: {price:.4f}  (the paper reports 0.9846 - 0.9834)")
+
+    # The same instance through the multi-dimensional solver.
+    bg = repro.bigreedy(data, constraint, seed=0)
+    names = sorted(f"a{int(i) + 1}" for i in bg.ids)
+    print(f"\nBiGreedy finds the same fair set: {names}  exact MHR = {bg.mhr():.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Scalability study on anti-correlated workloads (Figure 7 in miniature).
+
+Sweeps dataset size, dimensionality and group count for the three solvers a
+user would actually choose between — exact IntCov (2-D), BiGreedy and
+BiGreedy+ — and prints time/quality trade-off tables.
+
+Run:  python examples/scalability_study.py
+"""
+
+import time
+
+import repro
+from repro.experiments import format_table
+
+
+def run(solver_name, sky, constraint, **kwargs):
+    start = time.perf_counter()
+    if solver_name == "IntCov":
+        solution = repro.intcov(sky, constraint)
+    elif solver_name == "BiGreedy":
+        solution = repro.bigreedy(sky, constraint, seed=1, **kwargs)
+    else:
+        solution = repro.bigreedy_plus(sky, constraint, seed=1, **kwargs)
+    elapsed = (time.perf_counter() - start) * 1e3
+    return solution, elapsed
+
+
+def sweep_n() -> None:
+    print("== Vary n (d=2, C=3, k=5): exact IntCov vs approximations ==")
+    rows = []
+    for n in (200, 1_000, 5_000):
+        data = repro.anticorrelated_dataset(n, 2, 3, seed=3).normalized()
+        sky = data.skyline(per_group=True)
+        constraint = repro.FairnessConstraint.proportional(5, sky.group_sizes)
+        cells = [str(n), str(sky.n)]
+        for name in ("IntCov", "BiGreedy", "BiGreedy+"):
+            solution, ms = run(name, sky, constraint)
+            cells.append(f"{solution.mhr():.4f}/{ms:.0f}ms")
+        rows.append(cells)
+    print(format_table(["n", "skyline", "IntCov", "BiGreedy", "BiGreedy+"], rows))
+
+
+def sweep_d() -> None:
+    print("\n== Vary d (n=1000, C=3, k=10): the curse of dimensionality ==")
+    rows = []
+    for d in (2, 4, 6, 8):
+        data = repro.anticorrelated_dataset(1_000, d, 3, seed=4).normalized()
+        sky = data.skyline(per_group=True)
+        constraint = repro.FairnessConstraint.proportional(10, sky.group_sizes)
+        cells = [str(d)]
+        for name in ("BiGreedy", "BiGreedy+"):
+            solution, ms = run(name, sky, constraint)
+            cells.append(f"{solution.mhr():.4f}/{ms:.0f}ms")
+        rows.append(cells)
+    print(format_table(["d", "BiGreedy", "BiGreedy+"], rows))
+
+
+def sweep_C() -> None:
+    print("\n== Vary C (n=1000, d=6, k=12): tighter fairness, lower MHR ==")
+    rows = []
+    for C in (2, 4, 6):
+        data = repro.anticorrelated_dataset(1_000, 6, C, seed=5).normalized()
+        sky = data.skyline(per_group=True)
+        constraint = repro.FairnessConstraint.proportional(12, sky.group_sizes)
+        solution, ms = run("BiGreedy+", sky, constraint)
+        rows.append(
+            [
+                str(C),
+                constraint.describe(sky.group_names),
+                f"{solution.mhr():.4f}",
+                f"{ms:.0f}ms",
+            ]
+        )
+    print(format_table(["C", "bounds", "MHR", "time"], rows))
+
+
+def main() -> None:
+    sweep_n()
+    sweep_d()
+    sweep_C()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""FairHMS: Happiness Maximizing Sets under Group Fairness Constraints.
+
+A full reproduction of Zheng, Ma, Ma, Wang & Wang (VLDB 2022): the exact
+two-dimensional algorithm IntCov, the bicriteria multi-dimensional
+algorithms BiGreedy and BiGreedy+, the RMS/HMS baselines they are evaluated
+against, the fairness substrate (constraints, matroid, violation metric),
+and an experiment harness regenerating every table and figure of the
+paper's evaluation.
+
+Quickstart::
+
+    import repro
+
+    data = repro.lsac_example()                      # Table 1, normalized
+    sky = data.skyline()
+    constraint = repro.FairnessConstraint.exact([1, 1])   # one per gender
+    solution = repro.solve_fairhms(sky, constraint)
+    print(solution.ids, solution.mhr())              # {a5, a8}, 0.9834
+"""
+
+from .core import (
+    Solution,
+    bigreedy,
+    bigreedy_plus,
+    hms_exact_2d,
+    hms_greedy,
+    intcov,
+    solve_fairhms,
+)
+from .data import (
+    Dataset,
+    anticorrelated_dataset,
+    load_dataset,
+    lsac_example,
+    synthetic_dataset,
+)
+from .extensions import DynamicFairHMS, StreamingFairHMS, bigreedy_khms
+from .fairness import FairnessConstraint, FairnessMatroid, fairness_violations
+from .hms import mhr_exact, mhr_on_net
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "DynamicFairHMS",
+    "FairnessConstraint",
+    "FairnessMatroid",
+    "Solution",
+    "StreamingFairHMS",
+    "__version__",
+    "anticorrelated_dataset",
+    "bigreedy",
+    "bigreedy_khms",
+    "bigreedy_plus",
+    "fairness_violations",
+    "hms_exact_2d",
+    "hms_greedy",
+    "intcov",
+    "load_dataset",
+    "lsac_example",
+    "mhr_exact",
+    "mhr_on_net",
+    "solve_fairhms",
+    "synthetic_dataset",
+]

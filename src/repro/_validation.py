@@ -1,0 +1,90 @@
+"""Common argument validation helpers shared across the library.
+
+All public entry points validate their inputs eagerly so that failures
+surface at the API boundary with actionable messages instead of deep inside
+numerical code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_points",
+    "check_dim",
+    "check_positive_int",
+    "check_unit_interval",
+    "check_group_labels",
+]
+
+
+def as_points(points, *, name: str = "points") -> np.ndarray:
+    """Coerce ``points`` to a 2-D float64 array of shape ``(n, d)``.
+
+    Raises:
+        ValueError: if the input is not 2-D, is empty, contains NaN/inf,
+            or contains negative coordinates (the paper's data model is
+            ``R^d_+``).
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D array, got ndim={arr.ndim}")
+    if arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one point")
+    if arr.shape[1] == 0:
+        raise ValueError(f"{name} must have at least one attribute")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} must not contain NaN or infinite values")
+    if (arr < 0).any():
+        raise ValueError(f"{name} must be nonnegative (data model is R^d_+)")
+    return arr
+
+
+def check_dim(points: np.ndarray, expected: int, *, name: str = "points") -> None:
+    """Raise ``ValueError`` unless ``points`` has exactly ``expected`` columns."""
+    if points.shape[1] != expected:
+        raise ValueError(
+            f"{name} must be {expected}-dimensional, got d={points.shape[1]}"
+        )
+
+
+def check_positive_int(value, *, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_unit_interval(value, *, name: str, open_left: bool = True) -> float:
+    """Validate a parameter in ``(0, 1)`` (or ``[0, 1)`` if not open_left)."""
+    value = float(value)
+    low_ok = value > 0.0 if open_left else value >= 0.0
+    if not (low_ok and value < 1.0):
+        bracket = "(0, 1)" if open_left else "[0, 1)"
+        raise ValueError(f"{name} must lie in {bracket}, got {value}")
+    return value
+
+
+def check_group_labels(labels, n: int) -> np.ndarray:
+    """Validate group labels: 1-D int array of length ``n`` labeling 0..C-1.
+
+    Every group id in ``0..max`` must be present (no empty groups), matching
+    the paper's model of ``C`` disjoint non-empty groups.
+    """
+    arr = np.asarray(labels)
+    if arr.ndim != 1 or arr.shape[0] != n:
+        raise ValueError(f"group labels must be a 1-D array of length {n}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError("group labels must be integers")
+    arr = arr.astype(np.int64)
+    if arr.min() < 0:
+        raise ValueError("group labels must be nonnegative")
+    num_groups = int(arr.max()) + 1
+    present = np.bincount(arr, minlength=num_groups)
+    missing = np.nonzero(present == 0)[0]
+    if missing.size:
+        raise ValueError(f"group ids must be contiguous; missing groups {missing.tolist()}")
+    return arr

@@ -1,0 +1,30 @@
+"""RMS/HMS baseline algorithms and their fair adaptations."""
+
+from .adapted import (
+    BASELINES,
+    FAIR_BASELINES,
+    adapt_per_group,
+    f_greedy,
+    split_quota,
+)
+from .base import greedy_set_cover, make_solution, pad_unconstrained
+from .dmm import DMM_MAX_DIM, dmm
+from .greedy import rdp_greedy
+from .hs import hitting_set
+from .sphere import sphere
+
+__all__ = [
+    "BASELINES",
+    "DMM_MAX_DIM",
+    "FAIR_BASELINES",
+    "adapt_per_group",
+    "dmm",
+    "f_greedy",
+    "greedy_set_cover",
+    "hitting_set",
+    "make_solution",
+    "pad_unconstrained",
+    "rdp_greedy",
+    "sphere",
+    "split_quota",
+]

@@ -1,0 +1,90 @@
+"""Shared infrastructure for the RMS/HMS baseline algorithms.
+
+The baselines (Greedy, DMM, Sphere, HS) are *unconstrained*: they receive a
+dataset and a size ``k`` and know nothing about fairness.  Their fair
+adaptations live in :mod:`repro.baselines.adapted`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..core.solution import Solution
+from ..data.dataset import Dataset
+
+__all__ = ["pad_unconstrained", "greedy_set_cover", "make_solution"]
+
+
+def pad_unconstrained(selected, dataset: Dataset, k: int) -> list[int]:
+    """Top a selection up to ``k`` tuples with the best coordinate sums.
+
+    Baselines occasionally return fewer than ``k`` distinct tuples (e.g.
+    Sphere when several directions share a maximizer); the convention in
+    the RMS literature is to fill the remaining slots with high-scoring
+    leftovers, which can only improve the MHR.
+    """
+    k = check_positive_int(k, name="k")
+    if k > dataset.n:
+        raise ValueError(f"k={k} exceeds dataset size {dataset.n}")
+    chosen = list(dict.fromkeys(int(i) for i in selected))  # stable dedupe
+    if len(chosen) > k:
+        raise ValueError(f"selection already larger than k={k}")
+    if len(chosen) < k:
+        seen = set(chosen)
+        order = np.argsort(-dataset.points.sum(axis=1), kind="stable")
+        for idx in order:
+            if int(idx) not in seen:
+                chosen.append(int(idx))
+                seen.add(int(idx))
+                if len(chosen) == k:
+                    break
+    return chosen
+
+
+def greedy_set_cover(covers: np.ndarray, *, max_sets: int | None = None) -> list[int] | None:
+    """Classic greedy set cover over a boolean matrix.
+
+    Args:
+        covers: boolean ``(universe, sets)`` matrix; ``covers[j, i]`` means
+            set ``i`` covers element ``j``.
+        max_sets: stop and report failure once more than this many sets
+            would be needed.
+
+    Returns:
+        Column indices covering every row, or ``None`` if impossible (some
+        row uncoverable) or the ``max_sets`` budget is exceeded.
+    """
+    if covers.ndim != 2:
+        raise ValueError("covers must be a 2-D boolean matrix")
+    universe, num_sets = covers.shape
+    if universe == 0:
+        return []
+    if not covers.any(axis=1).all():
+        return None
+    uncovered = np.ones(universe, dtype=bool)
+    chosen: list[int] = []
+    budget = max_sets if max_sets is not None else num_sets
+    while uncovered.any():
+        if len(chosen) >= budget:
+            return None
+        gains = covers[uncovered].sum(axis=0)
+        pick = int(np.argmax(gains))
+        if gains[pick] == 0:  # pragma: no cover - guarded by any() check
+            return None
+        chosen.append(pick)
+        uncovered &= ~covers[:, pick]
+    return chosen
+
+
+def make_solution(
+    indices, dataset: Dataset, algorithm: str, stats: dict | None = None
+) -> Solution:
+    """Uniform Solution construction for unconstrained baselines."""
+    return Solution(
+        indices=np.asarray(sorted(int(i) for i in indices), dtype=np.int64),
+        dataset=dataset,
+        algorithm=algorithm,
+        constraint=None,
+        stats=stats or {},
+    )

@@ -1,0 +1,108 @@
+"""HS: the hitting-set RMS algorithm (Agarwal et al. 2017; Kumar & Sintos 2018).
+
+For a fixed happiness target ``1 - eps`` the algorithm alternates between
+
+1. solving a (greedy) hitting set over the *witness directions* collected
+   so far — pick points so every witness sees a happiness ratio of at
+   least ``1 - eps`` — and
+2. asking an oracle for a direction the current pick still fails; that
+   direction joins the witnesses.
+
+The loop ends when no violated direction exists (the oracle certifies
+this with an LP scan over the maxima candidates; see
+:mod:`repro.baselines.oracles`).  An outer binary search finds the
+smallest ``eps`` whose hitting set fits in ``k`` points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..core.solution import Solution
+from ..data.dataset import Dataset
+from .base import greedy_set_cover, make_solution, pad_unconstrained
+from .oracles import DirectionOracle
+
+__all__ = ["hitting_set"]
+
+
+def _hitting_set_for_eps(
+    points: np.ndarray,
+    k: int,
+    eps: float,
+    oracle: DirectionOracle,
+    witnesses: list,
+    max_iterations: int,
+    certify: bool,
+) -> list[int] | None:
+    """Points (<= k) achieving ``mhr >= 1 - eps``, or None if not found.
+
+    ``witnesses`` is shared across calls (warm start): directions that were
+    hard for one ``eps`` are usually hard for the next one too.
+    """
+    for _ in range(max_iterations):
+        W = np.asarray(witnesses)
+        utility = W @ points.T
+        top = utility.max(axis=1, keepdims=True)
+        covers = utility >= (1.0 - eps) * top - 1e-12
+        pick = greedy_set_cover(covers, max_sets=k)
+        if pick is None:
+            return None
+        S = points[np.asarray(pick, dtype=np.int64)]
+        violated = oracle.violated_direction(S, eps, certify=certify)
+        if violated is None:
+            return pick
+        witnesses.append(violated)
+    return None  # did not converge within budget: treat as infeasible
+
+
+def hitting_set(
+    dataset: Dataset,
+    k: int,
+    *,
+    tolerance: float = 2e-3,
+    max_iterations: int = 40,
+    direction_oracle: DirectionOracle | None = None,
+    certify: bool = False,
+) -> Solution:
+    """Run HS for size ``k`` (unconstrained).
+
+    Args:
+        dataset: input dataset (skyline recommended).
+        k: solution size.
+        tolerance: binary-search width on ``eps``.
+        max_iterations: witness-generation rounds per ``eps``.
+        direction_oracle: optional prebuilt oracle (reused by the harness).
+        certify: confirm "no violated direction" with the exact LP scan
+            (exact but much slower; the dense oracle net is the default).
+    """
+    k = check_positive_int(k, name="k")
+    if k > dataset.n:
+        raise ValueError(f"k={k} exceeds dataset size {dataset.n}")
+    points = dataset.points
+    oracle = direction_oracle or DirectionOracle(points)
+
+    d = dataset.dim
+    witnesses: list = list(np.eye(d)) + [np.ones(d) / np.sqrt(d)]
+    lo, hi = 0.0, 1.0
+    best_pick: list[int] | None = None
+    best_eps = 1.0
+    while hi - lo > tolerance:
+        eps = (lo + hi) / 2.0
+        pick = _hitting_set_for_eps(
+            points, k, eps, oracle, witnesses, max_iterations, certify
+        )
+        if pick is None:
+            lo = eps
+        else:
+            best_pick, best_eps = pick, eps
+            hi = eps
+    if best_pick is None:
+        # Even eps ~ 1 failed within the iteration budget: fall back to the
+        # best single point and padding.
+        best_pick = [int(np.argmax(points.sum(axis=1)))]
+    full = pad_unconstrained(best_pick, dataset, k)
+    return make_solution(
+        full, dataset, "HS", stats={"eps": best_eps, "core_size": len(best_pick)}
+    )

@@ -1,0 +1,122 @@
+"""Witness-direction oracles shared by the Greedy and HS baselines.
+
+Both baselines repeatedly ask questions about the current selection:
+
+* Greedy: *which direction is worst for S?*
+* HS: *is there any direction where S falls below the happiness target?*
+
+Answering either exactly costs one LP per maxima candidate.  The oracle
+answers from a cached dense direction net first — if a net direction
+already witnesses the violation, no LP is needed — and falls back to the
+LP scan (with early exit for the existential question) only to certify
+"no violation" or to refine the worst direction.  The LP refinement runs
+on the best-response points of the worst net directions, so the returned
+"worst" direction is exact whenever the true worst direction's best
+response is among them (empirically almost always).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.deltanet import sample_directions
+from ..geometry.envelope import upper_envelope
+from ..geometry.hull import maxima_candidates
+from ..geometry.lp import solve_regret_lp
+from ..hms.exact import critical_lambdas_2d
+
+__all__ = ["DirectionOracle"]
+
+
+class DirectionOracle:
+    """Cached direction queries against a fixed database.
+
+    Args:
+        points: the database ``(n, d)``.
+        net_size: size of the cached direction net (``d > 2`` only).
+        refine: how many worst net directions get LP refinement.
+        seed: net sampling seed.
+    """
+
+    def __init__(self, points, *, net_size: int = 1024, refine: int = 16, seed: int = 0):
+        self.points = np.asarray(points, dtype=np.float64)
+        self.d = self.points.shape[1]
+        self.refine = refine
+        self._candidates: np.ndarray | None = None
+        if self.d == 2:
+            self._env = upper_envelope(self.points)
+            self.net = None
+            self.top = None
+            self.argmax = None
+        else:
+            self._env = None
+            self.net = sample_directions(net_size, self.d, seed)
+            utility = self.net @ self.points.T
+            self.top = utility.max(axis=1)
+            self.argmax = np.asarray(utility.argmax(axis=1))
+
+    @property
+    def candidates(self) -> np.ndarray:
+        if self._candidates is None:
+            self._candidates = maxima_candidates(self.points)
+        return self._candidates
+
+    # ------------------------------------------------------------------ #
+
+    def _net_ratios(self, S: np.ndarray) -> np.ndarray:
+        return (self.net @ S.T).max(axis=1) / self.top
+
+    def _worst_2d(self, S: np.ndarray) -> tuple[np.ndarray, float]:
+        lams = critical_lambdas_2d(S, self.points)
+        env_s = upper_envelope(S)
+        ratios = np.asarray(env_s.value(lams)) / np.asarray(self._env.value(lams))
+        at = int(np.argmin(ratios))
+        lam = float(lams[at])
+        return np.array([lam, 1.0 - lam]), float(ratios[at])
+
+    def worst_direction(self, S) -> tuple[np.ndarray, float]:
+        """The (refined) worst direction for ``S`` and its happiness ratio.
+
+        Exact in 2-D (critical-lambda sweep); for higher dimensions the
+        net's worst direction is refined with LPs on the best responses of
+        the ``refine`` worst net directions.
+        """
+        S = np.asarray(S, dtype=np.float64)
+        if self.d == 2:
+            return self._worst_2d(S)
+        ratios = self._net_ratios(S)
+        order = np.argsort(ratios)
+        best_dir = self.net[order[0]]
+        best_hr = float(ratios[order[0]])
+        witnesses = np.unique(self.argmax[order[: self.refine]])
+        for q_idx in witnesses:
+            value, direction = solve_regret_lp(self.points[q_idx], S)
+            if direction is not None and 1.0 - value < best_hr:
+                best_hr = 1.0 - value
+                best_dir = direction / max(np.linalg.norm(direction), 1e-12)
+        return best_dir, best_hr
+
+    def violated_direction(self, S, eps: float, *, certify: bool = False) -> np.ndarray | None:
+        """A direction where ``hr(u, S) < 1 - eps``, or None.
+
+        Net-first: the worst net direction is returned immediately when it
+        violates.  With ``certify=True`` a "None" answer is confirmed by an
+        LP scan over every maxima candidate (early exit on the first
+        violation) — exact but one LP per candidate; without it the dense
+        net is trusted, which is how the fast benchmark configuration runs.
+        """
+        S = np.asarray(S, dtype=np.float64)
+        if self.d == 2:
+            direction, hr = self._worst_2d(S)
+            return direction if hr < 1.0 - eps - 1e-9 else None
+        ratios = self._net_ratios(S)
+        worst = int(np.argmin(ratios))
+        if ratios[worst] < 1.0 - eps - 1e-9:
+            return self.net[worst]
+        if not certify:
+            return None
+        for q_idx in self.candidates:
+            value, direction = solve_regret_lp(self.points[q_idx], S)
+            if direction is not None and value > eps + 1e-9:
+                return direction / max(np.linalg.norm(direction), 1e-12)
+        return None

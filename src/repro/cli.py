@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``        — reproduce the paper's Example 2.2 and print the result.
+* ``solve``       — run FairHMS on a named dataset with chosen parameters.
+* ``table2``      — print the dataset-statistics table.
+* ``experiments`` — forward to ``repro.experiments.run_all``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_demo(_args) -> int:
+    from .experiments.example22 import run_example22
+
+    print("Example 2.2 (Table 1): paper vs this reproduction\n")
+    for r in run_example22():
+        status = "MATCH" if r.matches else "MISMATCH"
+        print(
+            f"  {r.name:8s} -> {sorted(r.selected)} mhr={r.mhr:.4f} "
+            f"(paper: {sorted(r.expected_selected)} {r.expected_mhr:.4f}) [{status}]"
+        )
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from .core.solve import solve_fairhms
+    from .data.realworld import DATASET_GROUPS, load_dataset
+    from .data.synthetic import anticorrelated_dataset
+    from .fairness.constraints import FairnessConstraint
+
+    if args.dataset == "anticor":
+        data = anticorrelated_dataset(args.n or 2_000, args.d, args.groups, seed=args.seed)
+    else:
+        attribute = args.attribute or DATASET_GROUPS[args.dataset][0]
+        data = load_dataset(args.dataset, attribute, n=args.n)
+    data = data.normalized()
+    sky = data.skyline(per_group=True)
+    print(f"{data} -> per-group skyline of {sky.n} tuples")
+
+    constraint = FairnessConstraint.proportional(
+        args.k, sky.population_group_sizes, alpha=args.alpha
+    )
+    constraint = FairnessConstraint(
+        lower=np.minimum(constraint.lower, sky.group_sizes),
+        upper=constraint.upper,
+        k=args.k,
+    )
+    print(f"constraint: {constraint.describe(sky.group_names)}")
+    solution = solve_fairhms(
+        sky,
+        constraint,
+        algorithm=args.algorithm,
+        **({} if args.algorithm == "IntCov" else {"seed": args.seed}),
+    )
+    print(f"\nalgorithm: {solution.algorithm}")
+    print(f"selected ids: {solution.ids.tolist()}")
+    print(f"group counts: {solution.group_counts().tolist()}")
+    print(f"exact MHR: {solution.mhr():.4f}   violations: {solution.violations()}")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .experiments.table2 import render_table2, run_table2
+
+    print(render_table2(run_table2(scale=args.scale)))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments.run_all import run_all
+
+    report = run_all(fast=args.fast, out=args.out)
+    if not args.out:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="reproduce Example 2.2")
+
+    solve = sub.add_parser("solve", help="solve FairHMS on a dataset")
+    solve.add_argument(
+        "dataset",
+        choices=["Lawschs", "Adult", "Compas", "Credit", "anticor"],
+    )
+    solve.add_argument("--attribute", default=None, help="group attribute")
+    solve.add_argument("-k", type=int, default=10, help="solution size")
+    solve.add_argument("--alpha", type=float, default=0.1)
+    solve.add_argument("--n", type=int, default=None, help="row-count override")
+    solve.add_argument("--d", type=int, default=6, help="dimension (anticor)")
+    solve.add_argument("--groups", type=int, default=3, help="groups (anticor)")
+    solve.add_argument(
+        "--algorithm",
+        default="auto",
+        choices=["auto", "IntCov", "BiGreedy", "BiGreedy+"],
+    )
+    solve.add_argument("--seed", type=int, default=7)
+
+    table2 = sub.add_parser("table2", help="print dataset statistics")
+    table2.add_argument("--scale", type=float, default=0.25)
+
+    experiments = sub.add_parser("experiments", help="run the full harness")
+    experiments.add_argument("--fast", action="store_true")
+    experiments.add_argument("--out", default=None)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "solve": _cmd_solve,
+        "table2": _cmd_table2,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

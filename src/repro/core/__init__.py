@@ -1,0 +1,26 @@
+"""Core FairHMS algorithms: IntCov (exact 2-D), BiGreedy, BiGreedy+."""
+
+from .adaptive import bigreedy_plus
+from .bigreedy import BiGreedyReport, MRGreedyOutcome, bigreedy, default_net_size
+from .intcov import candidate_mhr_values, intcov
+from .intervalcover import GroupIntervals, fair_interval_cover
+from .solution import Solution
+from .solve import CORE_ALGORITHMS, solve_fairhms
+from .unconstrained import hms_exact_2d, hms_greedy
+
+__all__ = [
+    "BiGreedyReport",
+    "CORE_ALGORITHMS",
+    "GroupIntervals",
+    "MRGreedyOutcome",
+    "Solution",
+    "bigreedy",
+    "bigreedy_plus",
+    "candidate_mhr_values",
+    "default_net_size",
+    "fair_interval_cover",
+    "hms_exact_2d",
+    "hms_greedy",
+    "intcov",
+    "solve_fairhms",
+]

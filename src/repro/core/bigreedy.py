@@ -1,0 +1,328 @@
+"""BiGreedy: bicriteria approximation for FairHMS in any dimension
+(paper Section 4.2, Algorithm 3).
+
+Sketch: estimate the MHR on a delta-net ``N`` (Lemma 4.1), truncate it at a
+cap ``tau`` to restore submodularity (Lemmas 4.3/4.4), and for
+geometrically decreasing caps run a multi-round greedy (``MRGreedy``) for
+submodular maximization under the fairness matroid.  A cap succeeds when
+the union of rounds reaches ``(1 - eps/2m) * tau``; Lemma 4.5 shows every
+``tau <= tau*`` succeeds, so the first success during the descent is within
+one grid step of optimal — which is also why stopping early (the default,
+``extra_steps`` controls how much further to scan) preserves the guarantee.
+
+Output modes:
+
+* ``"feasible"`` (default, what the paper's experiments report): the best
+  single greedy round — a fair set of exactly ``k`` tuples.
+* ``"bicriteria"`` (the theory of Theorem 4.6): the union of all rounds,
+  up to ``gamma * k`` tuples satisfying the ``gamma``-scaled bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._rng import ensure_rng
+from ..data.dataset import Dataset
+from ..fairness.constraints import FairnessConstraint
+from ..fairness.matroid import FairnessMatroid
+from ..geometry.deltanet import (
+    delta_net_size,
+    net_parameter_for_mhr_error,
+    sample_directions,
+)
+from ..hms.truncated import TruncatedEngine
+from .solution import Solution
+
+__all__ = ["bigreedy", "BiGreedyReport", "default_net_size", "MRGreedyOutcome"]
+
+_STALL_TOL = 1e-12
+_LAZY_BATCH = 64  # top-candidate refresh batch in the lazy greedy
+
+
+def default_net_size(k: int, d: int) -> int:
+    """The paper's practical net size ``m = 10 k d`` (Appendix B)."""
+    return 10 * int(k) * int(d)
+
+
+@dataclass
+class MRGreedyOutcome:
+    """Result of one multi-round greedy run at a fixed cap ``tau``."""
+
+    success: bool
+    union: list[int]
+    rounds: list[list[int]]
+    value: float  # mhr_tau of the union on the net
+    tau: float
+
+
+@dataclass
+class BiGreedyReport:
+    """Diagnostics attached to BiGreedy solutions (``Solution.stats``)."""
+
+    net_size: int
+    gamma: int
+    tau_steps: int = 0
+    tau_success: float | None = None
+    rounds_used: int = 0
+    mode: str = "feasible"
+    extras: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        data = {
+            "net_size": self.net_size,
+            "gamma": self.gamma,
+            "tau_steps": self.tau_steps,
+            "tau_success": self.tau_success,
+            "rounds_used": self.rounds_used,
+            "mode": self.mode,
+        }
+        data.update(self.extras)
+        return data
+
+
+def _greedy_round(
+    engine: TruncatedEngine,
+    matroid: FairnessMatroid,
+    labels: np.ndarray,
+    available: np.ndarray,
+    tau: float,
+) -> list[int]:
+    """One greedy pass: grow a fair-independent set maximizing mhr_tau.
+
+    Follows Fisher-Nemhauser-Wolsey matroid greedy with *batch-lazy*
+    evaluation: the full gain vector is computed once; afterwards it is a
+    vector of upper bounds (submodularity: gains only shrink as the
+    selection grows), and each pick refreshes only the current top batch
+    until the refreshed maximum provably dominates every stale bound.
+    Zero-gain additions are kept (they are how lower bounds get met).
+    """
+    state = engine.new_state(tau)
+    counts = np.zeros(matroid.num_groups, dtype=np.int64)
+    selected: list[int] = []
+    available = available.copy()
+
+    def valid_mask() -> np.ndarray:
+        group_ok = np.zeros(matroid.num_groups, dtype=bool)
+        group_ok[matroid.addable_groups(counts)] = True
+        return available & group_ok[labels]
+
+    mask = valid_mask()
+    if not mask.any():
+        return selected
+    stale = engine.gains_masked(state, mask)  # exact at this point
+
+    batch = _LAZY_BATCH
+    while True:
+        stale[~mask] = -1.0
+        if stale.max() < 0.0:
+            break  # no valid candidate left
+        # One lazy refresh of the top batch; when near-ties keep it from
+        # certifying a winner (common on anti-correlated data), fall back
+        # to a single full exact refresh instead of cycling batches.
+        if stale.shape[0] > batch:
+            top = np.argpartition(stale, -batch)[-batch:]
+            top = top[mask[top]]
+        else:
+            top = np.nonzero(mask)[0]
+        if top.size:
+            stale[top] = engine.gains_batch(state, top)
+            best = int(top[int(np.argmax(stale[top]))])
+        else:  # defensive: valid candidates exist but missed the batch
+            best = -1
+        if best < 0 or stale[best] < stale.max() - 1e-15:
+            stale = engine.gains_masked(state, mask)
+            best = int(np.argmax(stale))
+        engine.add(state, best)
+        counts[labels[best]] += 1
+        available[best] = False
+        selected.append(best)
+        stale[best] = -1.0
+        mask = valid_mask()
+        if not mask.any():
+            break
+    return selected
+
+
+def _mrgreedy(
+    engine: TruncatedEngine,
+    matroid: FairnessMatroid,
+    labels: np.ndarray,
+    tau: float,
+    gamma: int,
+    epsilon: float,
+) -> MRGreedyOutcome:
+    """MRGreedy (Algorithm 3, lines 10-22) with theory-sound fail-fast.
+
+    Lemma 4.5 (via Anari et al., Theorem 3) guarantees that when
+    ``tau <= tau*`` the union after round ``i`` reaches at least
+    ``(1 - 2^{-i}) tau``; the moment a prefix falls short of that bound the
+    cap is certainly above ``tau*`` and the run can reject immediately
+    instead of burning the remaining rounds.  We also stop when a round
+    adds no points or no value (availability only shrinks).
+    """
+    m = engine.m
+    target = (1.0 - epsilon / (2.0 * m)) * tau
+    available = np.ones(engine.n, dtype=bool)
+    union: list[int] = []
+    rounds: list[list[int]] = []
+    value = 0.0
+    for i in range(1, gamma + 1):
+        chosen = _greedy_round(engine, matroid, labels, available, tau)
+        if not chosen:
+            break
+        rounds.append(chosen)
+        union.extend(chosen)
+        available[np.asarray(chosen, dtype=np.int64)] = False
+        new_value = engine.value_of_selection(union, tau)
+        if new_value >= target:
+            return MRGreedyOutcome(True, union, rounds, new_value, tau)
+        # For any feasible cap (tau <= tau*) matroid greedy closes at least
+        # half the remaining gap to tau every round (the inequality behind
+        # Lemma 4.5).  Falling short certifies tau > tau*: reject now.
+        if new_value < value + (tau - value) / 2.0 - 1e-9:
+            break
+        if new_value <= value + _STALL_TOL:
+            break
+        value = new_value
+    return MRGreedyOutcome(False, union, rounds, value, tau)
+
+
+def bigreedy(
+    dataset: Dataset,
+    constraint: FairnessConstraint,
+    *,
+    epsilon: float = 0.02,
+    net=None,
+    net_size: int | None = None,
+    delta: float | None = None,
+    mode: str = "feasible",
+    extra_steps: int = 2,
+    seed=None,
+    engine: TruncatedEngine | None = None,
+    algorithm_name: str = "BiGreedy",
+) -> Solution:
+    """Run BiGreedy on a dataset (paper Algorithm 3).
+
+    Args:
+        dataset: the input :class:`Dataset` (per-group skyline recommended).
+        constraint: fairness bounds; ``constraint.k`` is the solution size.
+        epsilon: cap-search granularity (paper default 0.02).
+        net: explicit ``(m, d)`` direction matrix (overrides sizing args).
+        net_size: sample size ``m``; defaults to ``10 k d``.
+        delta: alternatively, a target MHR error — the net gets the
+            theoretical size for a ``delta/(d(2-delta))``-net (large!).
+        mode: ``"feasible"`` (size-k fair set) or ``"bicriteria"`` (union
+            of rounds, Theorem 4.6).
+        extra_steps: how many further cap values to scan after the first
+            success (0 reproduces pure first-success descent).
+        seed: RNG seed for net sampling.
+        engine: prebuilt :class:`TruncatedEngine` to reuse across calls
+            (e.g. by BiGreedy+); must match ``dataset``.
+        algorithm_name: label recorded on the solution.
+
+    Returns:
+        A :class:`Solution`; ``mhr_estimate`` is the *net* estimate (an
+        upper bound on the true MHR — use ``Solution.mhr()`` for exact).
+    """
+    if mode not in ("feasible", "bicriteria"):
+        raise ValueError(f"mode must be 'feasible' or 'bicriteria', got {mode!r}")
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if constraint.num_groups != dataset.num_groups:
+        raise ValueError("constraint and dataset disagree on the number of groups")
+    if not constraint.is_feasible_for(dataset.group_sizes):
+        raise ValueError(
+            "fairness constraint is infeasible for this dataset: "
+            + constraint.describe(dataset.group_names)
+        )
+    rng = ensure_rng(seed)
+    if engine is None:
+        if net is None:
+            if delta is not None:
+                resolution = net_parameter_for_mhr_error(delta, dataset.dim)
+                m = delta_net_size(resolution, dataset.dim)
+            else:
+                m = net_size or default_net_size(constraint.k, dataset.dim)
+            net = sample_directions(m, dataset.dim, rng)
+        engine = TruncatedEngine(dataset.points, net)
+    m = engine.m
+    gamma = max(1, math.ceil(math.log2(2.0 * m / epsilon)))
+    matroid = FairnessMatroid(constraint, dataset.labels)
+    report = BiGreedyReport(net_size=m, gamma=gamma, mode=mode)
+
+    tau = 1.0
+    floor = 1.0 / m
+    successes: list[MRGreedyOutcome] = []
+    outcomes: list[MRGreedyOutcome] = []
+    remaining_extra = extra_steps
+    while tau >= floor:
+        outcome = _mrgreedy(engine, matroid, dataset.labels, tau, gamma, epsilon)
+        outcomes.append(outcome)
+        report.tau_steps += 1
+        if outcome.success:
+            successes.append(outcome)
+            if report.tau_success is None:
+                report.tau_success = tau
+            if remaining_extra <= 0:
+                break
+            remaining_extra -= 1
+        tau *= 1.0 - epsilon / 2.0
+    if not successes:
+        # Degenerate data (e.g. k >= #useful points). Fall back to one
+        # unconstrained-cap greedy round, which is always a fair base.
+        fallback = _greedy_round(
+            engine, matroid, dataset.labels, np.ones(engine.n, dtype=bool), 1.0
+        )
+        successes.append(
+            MRGreedyOutcome(
+                False,
+                fallback,
+                [fallback],
+                engine.value_of_selection(fallback, 1.0),
+                tau=0.0,
+            )
+        )
+
+    if mode == "bicriteria":
+        best = max(
+            successes, key=lambda o: engine.min_ratio_of_selection(o.union)
+        )
+        indices = sorted(best.union)
+        report.rounds_used = len(best.rounds)
+        estimate = engine.min_ratio_of_selection(best.union)
+    else:
+        # Feasible mode: among all rounds of all caps tried (every round is
+        # a fair size-k set, whether or not its cap succeeded), the single
+        # round with the best net MHR.
+        best_round: list[int] | None = None
+        best_value = -1.0
+        best_outcome = successes[0]
+        for outcome in outcomes or successes:
+            for round_sel in outcome.rounds:
+                if len(round_sel) != constraint.k:
+                    continue  # exhausted-availability partial round
+                value = engine.min_ratio_of_selection(round_sel)
+                if value > best_value:
+                    best_value, best_round, best_outcome = (
+                        value,
+                        round_sel,
+                        outcome,
+                    )
+        if best_round is None:  # pragma: no cover - defensive
+            best_round = successes[0].rounds[0]
+        indices = sorted(best_round)
+        report.rounds_used = len(best_outcome.rounds)
+        estimate = engine.min_ratio_of_selection(best_round)
+
+    return Solution(
+        indices=np.asarray(indices, dtype=np.int64),
+        dataset=dataset,
+        algorithm=algorithm_name,
+        constraint=constraint,
+        mhr_estimate=float(estimate),
+        stats=report.as_dict(),
+    )

@@ -1,0 +1,185 @@
+"""Fair interval cover via dynamic programming (paper Algorithm 2).
+
+Given per-point sub-intervals of ``[0, 1]`` and a group-fairness constraint,
+decide whether a *fair* set of points exists whose intervals cover
+``[0, 1]``.  Plain interval cover is solved by the textbook greedy (extend
+coverage with the interval reaching furthest right); fairness breaks the
+greedy, so the paper runs it inside a DP over group-count vectors:
+
+    IC[k_1, ..., k_C] = furthest coverage end achievable using exactly
+                        k_c points of group c (greedy within each count
+                        vector), k_c <= h_c,
+
+with the transition of Equation 1 and states pruned as *infeasible* when
+``sum_c max(l_c, k_c) > k`` (they can never be completed to a fair size-k
+set).  We iterate states in increasing total-count order — every
+predecessor of a state precedes it — which is equivalent to the paper's
+explicit stack recursion but simpler and allocation-friendly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from ..fairness.constraints import FairnessConstraint
+
+__all__ = ["GroupIntervals", "fair_interval_cover"]
+
+_EPS = 1e-9
+_UNREACHED = -np.inf
+
+
+@dataclass(frozen=True)
+class GroupIntervals:
+    """Sorted interval index for one group.
+
+    ``query(v)`` returns the interval with left end ``<= v + eps`` whose
+    right end is maximal — exactly the greedy step — in ``O(log n)`` using
+    a prefix argmax over the left-end ordering.
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+    point: np.ndarray
+    prefix_best_right: np.ndarray
+    prefix_best_at: np.ndarray
+
+    @classmethod
+    def from_intervals(cls, intervals) -> "GroupIntervals":
+        """Build from a list of ``(lo, hi, point_index)`` triples."""
+        if intervals:
+            arr = np.array([(lo, hi) for lo, hi, _ in intervals], dtype=np.float64)
+            pts = np.array([p for _, _, p in intervals], dtype=np.int64)
+            order = np.argsort(arr[:, 0], kind="stable")
+            left, right, pts = arr[order, 0], arr[order, 1], pts[order]
+        else:
+            left = right = np.empty(0)
+            pts = np.empty(0, dtype=np.int64)
+        best_right = np.empty_like(right)
+        best_at = np.empty_like(pts)
+        best = -np.inf
+        at = -1
+        for i in range(right.shape[0]):
+            if right[i] > best:
+                best, at = right[i], i
+            best_right[i] = best
+            best_at[i] = at
+        return cls(
+            left=left,
+            right=right,
+            point=pts,
+            prefix_best_right=best_right,
+            prefix_best_at=best_at,
+        )
+
+    @property
+    def size(self) -> int:
+        return int(self.left.shape[0])
+
+    def query(self, v: float) -> tuple[float, int] | None:
+        """Best (furthest-right) interval starting at or before ``v``.
+
+        Returns ``(right_end, point_index)`` or ``None`` when no interval
+        starts early enough.
+        """
+        if self.size == 0:
+            return None
+        pos = int(np.searchsorted(self.left, v + _EPS, side="right")) - 1
+        if pos < 0:
+            return None
+        return (
+            float(self.prefix_best_right[pos]),
+            int(self.point[self.prefix_best_at[pos]]),
+        )
+
+
+def fair_interval_cover(
+    intervals_by_group: list[list[tuple[float, float, int]]],
+    constraint: FairnessConstraint,
+) -> list[int] | None:
+    """Find a fair set of points whose intervals cover ``[0, 1]``.
+
+    Args:
+        intervals_by_group: for each group ``c``, the nonempty intervals
+            ``(lo, hi, point_index)`` of its points.
+        constraint: the fairness bounds; a returned cover uses at most
+            ``h_c`` points of group ``c`` and can be padded to a feasible
+            size-``k`` set (its reservation ``sum_c max(l_c, k_c) <= k``).
+
+    Returns:
+        The covering points' indices (content, not padded to size k), or
+        ``None`` when no fair cover exists.  The cover is *partial* with
+        respect to the fairness constraint: groups below their lower bound
+        must be topped up by the caller (their extra members do not need to
+        cover anything).
+    """
+    num_groups = constraint.num_groups
+    if len(intervals_by_group) != num_groups:
+        raise ValueError(
+            f"expected intervals for {num_groups} groups, got {len(intervals_by_group)}"
+        )
+    groups = [GroupIntervals.from_intervals(iv) for iv in intervals_by_group]
+    upper = [int(u) for u in constraint.upper]
+    lower = np.asarray(constraint.lower, dtype=np.int64)
+    k = constraint.k
+
+    shape = tuple(u + 1 for u in upper)
+    value = np.full(shape, _UNREACHED)
+    value[(0,) * num_groups] = 0.0
+    # Backpointers: which group was extended and by which point.
+    back_group = np.full(shape, -1, dtype=np.int64)
+    back_point = np.full(shape, -1, dtype=np.int64)
+
+    # Enumerate states in increasing total count so predecessors come first.
+    states = sorted(product(*(range(u + 1) for u in upper)), key=sum)
+    goal: tuple[int, ...] | None = None
+    for state in states:
+        if sum(state) == 0:
+            continue
+        counts = np.asarray(state, dtype=np.int64)
+        if int(np.maximum(counts, lower).sum()) > k:
+            continue  # infeasible: can never be padded to a fair size-k set
+        best_val = _UNREACHED
+        best_c = -1
+        best_p = -1
+        for c in range(num_groups):
+            if state[c] == 0:
+                continue
+            pred = state[:c] + (state[c] - 1,) + state[c + 1 :]
+            pred_val = value[pred]
+            if pred_val == _UNREACHED:
+                continue
+            hit = groups[c].query(float(pred_val))
+            if hit is None:
+                continue
+            right, point = hit
+            # Coverage is a union: it never regresses below the
+            # predecessor's end even when the greedy pick is nested.
+            reach = max(right, float(pred_val))
+            if reach > best_val:
+                best_val, best_c, best_p = reach, c, point
+        if best_val == _UNREACHED:
+            continue
+        value[state] = best_val
+        back_group[state] = best_c
+        back_point[state] = best_p
+        if best_val >= 1.0 - _EPS:
+            goal = state
+            break
+    if goal is None:
+        return None
+
+    # Reconstruct the covering points, de-duplicating useless repeats.
+    chosen: list[int] = []
+    state = goal
+    while sum(state) > 0:
+        c = int(back_group[state])
+        p = int(back_point[state])
+        if p >= 0 and p not in chosen:
+            chosen.append(p)
+        state = state[:c] + (state[c] - 1,) + state[c + 1 :]
+    chosen.reverse()
+    return chosen

@@ -1,0 +1,86 @@
+"""Common result type returned by every FairHMS / RMS algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..fairness.constraints import FairnessConstraint
+from ..fairness.metrics import fairness_violations
+from ..hms.exact import mhr_exact
+
+__all__ = ["Solution"]
+
+
+@dataclass
+class Solution:
+    """A selected subset plus provenance.
+
+    Attributes:
+        indices: indices into ``dataset`` of the selected tuples.
+        dataset: the dataset the algorithm ran on (usually the per-group
+            skyline; MHR values against it equal those against the full
+            database because skylines preserve all utility maximizers).
+        algorithm: algorithm name for reports.
+        constraint: the fairness constraint the algorithm targeted, or
+            ``None`` for unconstrained baselines.
+        mhr_estimate: the algorithm's own objective estimate, if any.
+        stats: free-form diagnostics (timings, net size, rounds, ...).
+    """
+
+    indices: np.ndarray
+    dataset: Dataset
+    algorithm: str
+    constraint: FairnessConstraint | None = None
+    mhr_estimate: float | None = None
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if self.indices.ndim != 1:
+            raise ValueError("indices must be a 1-D array")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.dataset.n
+        ):
+            raise ValueError("indices out of range for the dataset")
+        if np.unique(self.indices).size != self.indices.size:
+            raise ValueError("solution contains duplicate tuples")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def points(self) -> np.ndarray:
+        """Coordinates of the selected tuples."""
+        return self.dataset.points[self.indices]
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Row ids in the original (pre-skyline) database."""
+        return self.dataset.ids[self.indices]
+
+    def group_counts(self) -> np.ndarray:
+        """Per-group member counts of the selection."""
+        return np.bincount(
+            self.dataset.labels[self.indices], minlength=self.dataset.num_groups
+        )
+
+    def violations(self, constraint: FairnessConstraint | None = None) -> int:
+        """``err(S)`` against ``constraint`` (default: the targeted one)."""
+        constraint = constraint or self.constraint
+        if constraint is None:
+            raise ValueError("no fairness constraint to evaluate against")
+        return fairness_violations(constraint, self.dataset.labels, self.indices)
+
+    def mhr(self, *, candidates=None) -> float:
+        """Exact minimum happiness ratio of the selection over the dataset."""
+        return mhr_exact(self.points, self.dataset.points, candidates=candidates)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        est = f", mhr~{self.mhr_estimate:.4f}" if self.mhr_estimate is not None else ""
+        return f"Solution({self.algorithm}, size={self.size}{est})"

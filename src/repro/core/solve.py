@@ -1,0 +1,73 @@
+"""Top-level FairHMS front door.
+
+``solve_fairhms`` picks the right algorithm for the input: the exact
+IntCov when the data is two-dimensional and the interval-cover DP state
+space is affordable, BiGreedy+ otherwise.  The explicit registry maps the
+paper's algorithm names to callables for the experiment harness.
+"""
+
+from __future__ import annotations
+
+from ..data.dataset import Dataset
+from ..fairness.constraints import FairnessConstraint
+from .adaptive import bigreedy_plus
+from .bigreedy import bigreedy
+from .intcov import intcov
+from .solution import Solution
+
+__all__ = ["solve_fairhms", "CORE_ALGORITHMS"]
+
+# Beyond ~2e6 DP states IntCov stops being interactive; BiGreedy+ takes over.
+_DP_STATE_LIMIT = 2_000_000
+
+CORE_ALGORITHMS = {
+    "IntCov": intcov,
+    "BiGreedy": bigreedy,
+    "BiGreedy+": bigreedy_plus,
+}
+
+
+def _dp_states(constraint: FairnessConstraint) -> int:
+    states = 1
+    for h in constraint.upper:
+        states *= int(h) + 1
+        if states > _DP_STATE_LIMIT:
+            return states
+    return states
+
+
+def solve_fairhms(
+    dataset: Dataset,
+    constraint: FairnessConstraint,
+    *,
+    algorithm: str = "auto",
+    **kwargs,
+) -> Solution:
+    """Solve a FairHMS instance.
+
+    Args:
+        dataset: the database (run ``dataset.skyline()`` first for speed —
+            results are unaffected because skylines preserve all utility
+            maximizers).
+        constraint: group bounds and solution size ``k``.
+        algorithm: ``"auto"``, ``"IntCov"``, ``"BiGreedy"`` or
+            ``"BiGreedy+"``.
+        **kwargs: forwarded to the chosen algorithm.
+
+    Returns:
+        A :class:`Solution`; exact and optimal when IntCov ran, a bicriteria
+        approximation otherwise.
+    """
+    if algorithm == "auto":
+        if dataset.dim == 2 and _dp_states(constraint) <= _DP_STATE_LIMIT:
+            algorithm = "IntCov"
+        else:
+            algorithm = "BiGreedy+"
+    try:
+        solver = CORE_ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{sorted(CORE_ALGORITHMS)} or 'auto'"
+        ) from None
+    return solver(dataset, constraint, **kwargs)

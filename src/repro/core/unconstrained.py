@@ -1,0 +1,83 @@
+"""Unconstrained HMS reference solvers.
+
+The paper's figures draw a black "price of fairness" line: the MHR of the
+best solution *without* fairness constraints.  In 2-D that optimum is exact
+(IntCov with a single vacuous group); in higher dimensions the paper uses
+the best unconstrained baseline solution, which we mirror with an
+unconstrained greedy (callers can also take a max over baselines).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..fairness.constraints import FairnessConstraint
+from ..geometry.deltanet import sample_directions
+from ..hms.truncated import TruncatedEngine
+from .bigreedy import bigreedy, default_net_size
+from .intcov import intcov
+from .solution import Solution
+
+__all__ = ["hms_exact_2d", "hms_greedy"]
+
+
+def _single_group(dataset: Dataset) -> Dataset:
+    """Collapse all groups into one (makes FairHMS vanilla HMS)."""
+    return dataset.with_groups(
+        np.zeros(dataset.n, dtype=np.int64), names=("all",), attribute="none"
+    )
+
+
+def hms_exact_2d(dataset: Dataset, k: int) -> Solution:
+    """Exact unconstrained HMS in 2-D (optimal MHR for size ``k``).
+
+    Runs IntCov on a single vacuous group, which keeps the interval-cover
+    DP linear in ``k``.  A ``k`` beyond the dataset size is capped to it —
+    unconstrained HMS with ``k >= n`` is simply the whole dataset.
+    """
+    k = min(int(k), dataset.n)
+    collapsed = _single_group(dataset)
+    constraint = FairnessConstraint(
+        lower=np.zeros(1, dtype=np.int64),
+        upper=np.array([k], dtype=np.int64),
+        k=k,
+    )
+    solution = intcov(collapsed, constraint)
+    solution.algorithm = "HMS-Opt2D"
+    return solution
+
+
+def hms_greedy(
+    dataset: Dataset,
+    k: int,
+    *,
+    net_size: int | None = None,
+    epsilon: float = 0.02,
+    seed=None,
+) -> Solution:
+    """Unconstrained greedy HMS via BiGreedy on a single vacuous group.
+
+    This is the "no fairness" reference used in the multi-dimensional
+    figures; it inherits BiGreedy's cap search so its quality tracks the
+    fair variant's machinery exactly (the only change is the constraint).
+    ``k`` beyond the dataset size is capped to it.
+    """
+    k = min(int(k), dataset.n)
+    collapsed = _single_group(dataset)
+    constraint = FairnessConstraint(
+        lower=np.zeros(1, dtype=np.int64),
+        upper=np.array([k], dtype=np.int64),
+        k=k,
+    )
+    m = net_size or default_net_size(k, dataset.dim)
+    net = sample_directions(m, dataset.dim, seed)
+    engine = TruncatedEngine(collapsed.points, net)
+    solution = bigreedy(
+        collapsed,
+        constraint,
+        epsilon=epsilon,
+        engine=engine,
+        algorithm_name="HMS-Greedy",
+    )
+    return solution

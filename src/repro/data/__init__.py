@@ -1,0 +1,50 @@
+"""Data substrate: datasets, generators, normalization and grouping."""
+
+from .dataset import Dataset
+from .groups import (
+    combine_partitions,
+    group_counts,
+    labels_from_values,
+    quantile_partition,
+)
+from .lsac import LSAC_APPLICANTS, lsac_example
+from .normalize import invert_preference, max_normalize, minmax_normalize
+from .realworld import (
+    DATASET_GROUPS,
+    adult,
+    compas,
+    credit,
+    lawschs,
+    load_dataset,
+)
+from .synthetic import (
+    anticorrelated,
+    anticorrelated_dataset,
+    correlated,
+    independent,
+    synthetic_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "DATASET_GROUPS",
+    "LSAC_APPLICANTS",
+    "adult",
+    "anticorrelated",
+    "anticorrelated_dataset",
+    "combine_partitions",
+    "compas",
+    "correlated",
+    "credit",
+    "group_counts",
+    "independent",
+    "invert_preference",
+    "labels_from_values",
+    "lawschs",
+    "load_dataset",
+    "lsac_example",
+    "max_normalize",
+    "minmax_normalize",
+    "quantile_partition",
+    "synthetic_dataset",
+]

@@ -1,0 +1,191 @@
+"""The ``Dataset`` container: points + group labels + provenance.
+
+A :class:`Dataset` bundles the numeric matrix (``R^d_+``), the group
+partition induced by one or more sensitive attributes, and human-readable
+names.  It is the single input type every algorithm in the library consumes.
+
+Datasets are immutable by convention: all transformation methods
+(:meth:`normalized`, :meth:`subset`, :meth:`skyline`) return new instances
+and ``ids`` always maps rows back to the original database so that solutions
+computed on a skyline can be reported against the full data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .._validation import as_points, check_group_labels
+from ..geometry.dominance import skyline_indices
+from .groups import group_counts
+from .normalize import max_normalize
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A database of ``n`` points in ``R^d_+`` partitioned into ``C`` groups.
+
+    Attributes:
+        points: float64 array of shape ``(n, d)``; nonnegative.
+        labels: int64 array of shape ``(n,)``; group ids ``0..C-1``, every
+            group non-empty.
+        name: dataset name used in reports (e.g. ``"Adult"``).
+        group_attribute: name of the partitioning attribute(s)
+            (e.g. ``"Gender"`` or ``"G+R"``).
+        group_names: one display name per group.
+        ids: int64 array mapping each row to its row index in the original
+            database (identity for freshly constructed datasets).
+        meta: free-form provenance (e.g. ``population_group_sizes`` set by
+            :meth:`skyline` so constraint builders can reference the
+            original database's group proportions, as the paper does).
+    """
+
+    points: np.ndarray
+    labels: np.ndarray
+    name: str = "dataset"
+    group_attribute: str = "group"
+    group_names: tuple[str, ...] = ()
+    ids: np.ndarray = field(default=None)  # type: ignore[assignment]
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        points = as_points(self.points)
+        labels = check_group_labels(self.labels, points.shape[0])
+        object.__setattr__(self, "points", points)
+        object.__setattr__(self, "labels", labels)
+        num_groups = int(labels.max()) + 1
+        if self.group_names:
+            if len(self.group_names) != num_groups:
+                raise ValueError(
+                    f"expected {num_groups} group names, got {len(self.group_names)}"
+                )
+            object.__setattr__(self, "group_names", tuple(self.group_names))
+        else:
+            object.__setattr__(
+                self, "group_names", tuple(f"g{c}" for c in range(num_groups))
+            )
+        if self.ids is None:
+            object.__setattr__(
+                self, "ids", np.arange(points.shape[0], dtype=np.int64)
+            )
+        else:
+            ids = np.asarray(self.ids, dtype=np.int64)
+            if ids.shape != (points.shape[0],):
+                raise ValueError("ids must be a 1-D array aligned with points")
+            object.__setattr__(self, "ids", ids)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of points."""
+        return self.points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Number of numeric attributes ``d``."""
+        return self.points.shape[1]
+
+    @property
+    def num_groups(self) -> int:
+        """Number of groups ``C``."""
+        return len(self.group_names)
+
+    @property
+    def group_sizes(self) -> np.ndarray:
+        """Array of per-group sizes ``|D_c|``."""
+        return group_counts(self.labels, self.num_groups)
+
+    def group_indices(self, group: int) -> np.ndarray:
+        """Row indices belonging to ``group``."""
+        if not 0 <= group < self.num_groups:
+            raise ValueError(f"group {group} out of range (C={self.num_groups})")
+        return np.nonzero(self.labels == group)[0]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset({self.name!r}, n={self.n}, d={self.dim}, "
+            f"C={self.num_groups}, by={self.group_attribute!r})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+
+    def normalized(self) -> "Dataset":
+        """Return a copy with every attribute scaled by its column maximum."""
+        return replace(self, points=max_normalize(self.points))
+
+    def subset(self, indices) -> "Dataset":
+        """Dataset restricted to ``indices`` (groups must stay non-empty)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        sub_labels = self.labels[idx]
+        present = np.unique(sub_labels)
+        if present.size == self.num_groups:
+            labels, names = sub_labels, self.group_names
+        else:
+            # Re-index groups compactly, dropping the empty ones.
+            remap = {int(old): new for new, old in enumerate(present)}
+            labels = np.array([remap[int(v)] for v in sub_labels], dtype=np.int64)
+            names = tuple(self.group_names[int(old)] for old in present)
+        return Dataset(
+            points=self.points[idx],
+            labels=labels,
+            name=self.name,
+            group_attribute=self.group_attribute,
+            group_names=names,
+            ids=self.ids[idx],
+        )
+
+    def skyline(self, *, per_group: bool = True) -> "Dataset":
+        """The skyline dataset used as algorithm input.
+
+        With ``per_group=True`` (the paper's setting) the result is the
+        union of each group's own skyline, so fairness-constrained
+        algorithms can still pick the best representatives of globally
+        dominated groups.  ``per_group=False`` gives the classic global
+        skyline.
+        """
+        if per_group:
+            keep: list[np.ndarray] = []
+            for c in range(self.num_groups):
+                rows = self.group_indices(c)
+                keep.append(rows[skyline_indices(self.points[rows])])
+            idx = np.sort(np.concatenate(keep))
+        else:
+            idx = skyline_indices(self.points)
+        result = self.subset(idx)
+        # Record the original group proportions: proportional-representation
+        # constraints reference the database, not its skyline.
+        population = self.meta.get("population_group_sizes")
+        if population is None:
+            population = self.group_sizes.tolist()
+        result.meta["population_group_sizes"] = list(population)
+        return result
+
+    @property
+    def population_group_sizes(self) -> np.ndarray:
+        """Group sizes of the originating database (falls back to own)."""
+        population = self.meta.get("population_group_sizes")
+        if population is None:
+            return self.group_sizes
+        return np.asarray(population, dtype=np.int64)
+
+    def with_groups(self, labels, names=(), attribute="group") -> "Dataset":
+        """Same points, different partition (e.g. Gender -> Race)."""
+        return Dataset(
+            points=self.points,
+            labels=labels,
+            name=self.name,
+            group_attribute=attribute,
+            group_names=tuple(names),
+            ids=self.ids,
+        )

@@ -1,0 +1,100 @@
+"""Group partitioning utilities (paper Section 2, "Fairness Model").
+
+A database is partitioned into ``C`` disjoint groups by one categorical
+attribute, or by the cartesian product of several attributes (e.g. the
+"G+R" = gender x race partition of Adult with 10 groups).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_group_labels
+
+__all__ = [
+    "labels_from_values",
+    "combine_partitions",
+    "quantile_partition",
+    "group_counts",
+]
+
+
+def labels_from_values(values) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Encode arbitrary categorical values as contiguous integer labels.
+
+    Returns ``(labels, names)`` where ``names[c]`` is the original value of
+    group ``c``.  Ordering is first-appearance order, which keeps labels
+    stable for deterministic inputs.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("cannot build groups from an empty value sequence")
+    names: list[str] = []
+    index: dict = {}
+    labels = np.empty(len(values), dtype=np.int64)
+    for i, value in enumerate(values):
+        key = value
+        if key not in index:
+            index[key] = len(names)
+            names.append(str(value))
+        labels[i] = index[key]
+    return labels, tuple(names)
+
+
+def combine_partitions(*label_arrays, names=None) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Combine several partitions into their product partition.
+
+    Mirrors the paper's multi-attribute grouping: ``C = prod_j C_j`` groups,
+    one per combination of values.  Only combinations that actually occur
+    are kept (empty groups are not allowed by the data model).
+
+    Args:
+        *label_arrays: one or more 1-D integer label arrays of equal length.
+        names: optional sequence of name tuples, one per partition, used to
+            render combined group names like ``"Female|Black"``.
+    """
+    if not label_arrays:
+        raise ValueError("need at least one partition to combine")
+    n = len(label_arrays[0])
+    arrays = [check_group_labels(a, n) for a in label_arrays]
+    keys = list(zip(*[a.tolist() for a in arrays]))
+    if names is None:
+        rendered = ["|".join(str(v) for v in key) for key in keys]
+    else:
+        rendered = [
+            "|".join(names[j][v] for j, v in enumerate(key)) for key in keys
+        ]
+    return labels_from_values(rendered)
+
+
+def quantile_partition(points: np.ndarray, num_groups: int) -> np.ndarray:
+    """Partition points into equal-sized groups by attribute sum.
+
+    This is the synthetic grouping scheme of Section 5.1: "we sort the
+    points by the sums of their attributes and divide them into C
+    equal-sized groups accordingly".
+    """
+    if num_groups < 1:
+        raise ValueError(f"num_groups must be >= 1, got {num_groups}")
+    n = points.shape[0]
+    if num_groups > n:
+        raise ValueError(f"cannot split {n} points into {num_groups} groups")
+    order = np.argsort(points.sum(axis=1), kind="stable")
+    labels = np.empty(n, dtype=np.int64)
+    # Split as evenly as possible: first (n % C) groups get one extra point.
+    sizes = np.full(num_groups, n // num_groups, dtype=np.int64)
+    sizes[: n % num_groups] += 1
+    start = 0
+    for c, size in enumerate(sizes):
+        labels[order[start : start + size]] = c
+        start += size
+    return labels
+
+
+def group_counts(labels: np.ndarray, num_groups: int | None = None) -> np.ndarray:
+    """Count members per group (like ``bincount`` with validation)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.size == 0:
+        return np.zeros(int(num_groups or 0), dtype=np.int64)
+    width = int(labels.max()) + 1 if num_groups is None else int(num_groups)
+    return np.bincount(labels, minlength=width)

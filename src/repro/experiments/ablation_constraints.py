@@ -1,0 +1,132 @@
+"""Ablation: how the fairness-constraint family shapes the solution.
+
+Section 2 of the paper defines two standard bound constructions —
+*proportional* and *balanced* representation — and its experiments use the
+proportional one.  This ablation runs both (plus the strictest exact-quota
+variant) across datasets, measuring MHR and the per-group composition, so
+the "price" of each fairness notion is visible side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bigreedy import bigreedy
+from ..core.intcov import intcov
+from ..fairness.constraints import FairnessConstraint
+from .common import Record, Series
+from .workloads import anticor, real_dataset
+
+__all__ = ["AblationConstraintsConfig", "run_ablation_constraints", "render_ablation_constraints"]
+
+_PANELS = (
+    ("Lawschs (Race)", {"real": ("Lawschs", "Race")}),
+    ("Adult (Gender)", {"real": ("Adult", "Gender")}),
+    ("AntiCor_6D", {"anticor": (6, 3)}),
+)
+
+
+@dataclass
+class AblationConstraintsConfig:
+    k: int = 8
+    alpha: float = 0.1
+    anticor_n: int = 1_000
+    real_n: int | None = 4_000
+    seed: int = 7
+    panels: tuple = _PANELS
+
+
+def _constraints(dataset, config) -> dict[str, FairnessConstraint]:
+    k = config.k
+    population = dataset.population_group_sizes
+    available = dataset.group_sizes
+    out: dict[str, FairnessConstraint] = {}
+
+    proportional = FairnessConstraint.proportional(k, population, alpha=config.alpha)
+    out["proportional"] = FairnessConstraint(
+        lower=np.minimum(proportional.lower, available),
+        upper=proportional.upper,
+        k=k,
+    )
+    balanced = FairnessConstraint.balanced(
+        k, dataset.num_groups, alpha=config.alpha
+    )
+    out["balanced"] = FairnessConstraint(
+        lower=np.minimum(balanced.lower, available),
+        upper=balanced.upper,
+        k=k,
+    )
+    # Exact quota: the proportional midpoint, adjusted to sum to k.
+    shares = np.asarray(population, dtype=float)
+    quota = np.floor(k * shares / shares.sum()).astype(np.int64)
+    quota = np.maximum(quota, 1)
+    quota = np.minimum(quota, available)
+    while quota.sum() > k:
+        quota[int(np.argmax(quota))] -= 1
+    while quota.sum() < k:
+        room = np.nonzero(quota < available)[0]
+        target = room[int(np.argmax(shares[room]))]
+        quota[target] += 1
+    out["exact-quota"] = FairnessConstraint.exact(quota)
+    out["unconstrained"] = FairnessConstraint.unconstrained(k, dataset.num_groups)
+    return out
+
+
+def _panel_dataset(spec: dict, config: AblationConstraintsConfig):
+    if "real" in spec:
+        name, attribute = spec["real"]
+        n = None if name == "Credit" else config.real_n
+        return real_dataset(name, attribute, n=n)
+    d, C = spec["anticor"]
+    return anticor(config.anticor_n, d, C, seed=config.seed)
+
+
+def run_ablation_constraints(
+    config: AblationConstraintsConfig | None = None,
+) -> dict[str, list[Record]]:
+    """MHR of each constraint family per panel (IntCov in 2-D, else BiGreedy)."""
+    config = config or AblationConstraintsConfig()
+    results: dict[str, list[Record]] = {}
+    for label, spec in config.panels:
+        dataset = _panel_dataset(spec, config)
+        records: list[Record] = []
+        for family, constraint in _constraints(dataset, config).items():
+            if not constraint.is_feasible_for(dataset.group_sizes):
+                continue
+            if dataset.dim == 2:
+                solution = intcov(dataset, constraint)
+                value = solution.mhr_estimate
+            else:
+                solution = bigreedy(dataset, constraint, seed=config.seed)
+                value = solution.mhr()
+            records.append(
+                Record(
+                    experiment="ablation-constraints",
+                    dataset=label,
+                    algorithm=family,
+                    x_name="k",
+                    x_value=config.k,
+                    mhr=value,
+                    violations=solution.violations(constraint),
+                    extra={"counts": solution.group_counts().tolist()},
+                )
+            )
+        results[label] = records
+    return results
+
+
+def render_ablation_constraints(results: dict[str, list[Record]]) -> str:
+    parts = []
+    for label, records in results.items():
+        parts.append(
+            Series(records, "mhr").render(
+                f"Constraint-family ablation — MHR, {label}", sparklines=False
+            )
+        )
+        composition = ", ".join(
+            f"{r.algorithm}: {r.extra['counts']}" for r in records
+        )
+        parts.append(f"  group composition -> {composition}")
+    return "\n".join(parts)

@@ -1,0 +1,152 @@
+"""Shared infrastructure for the experiment harness.
+
+Every figure/table runner produces a list of :class:`Record` rows and a
+:class:`Series` table that can be rendered as text (the reproduction's
+"figures"), compared against the paper's qualitative expectations, and
+dumped into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Record",
+    "Series",
+    "timed",
+    "format_table",
+    "geometric_range",
+    "sparkline",
+]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, *, minimum=None, maximum=None) -> str:
+    """Render a numeric series as a unicode sparkline (text "figure").
+
+    ``None`` entries render as spaces.  A constant series renders at the
+    middle level so it is visibly non-empty.
+    """
+    present = [v for v in values if v is not None]
+    if not present:
+        return " " * len(list(values))
+    low = min(present) if minimum is None else minimum
+    high = max(present) if maximum is None else maximum
+    span = high - low
+    chars = []
+    for v in values:
+        if v is None:
+            chars.append(" ")
+        elif span <= 0:
+            chars.append(_SPARK_LEVELS[len(_SPARK_LEVELS) // 2])
+        else:
+            level = int((v - low) / span * (len(_SPARK_LEVELS) - 1))
+            chars.append(_SPARK_LEVELS[max(0, min(level, len(_SPARK_LEVELS) - 1))])
+    return "".join(chars)
+
+
+@dataclass
+class Record:
+    """One measured cell: algorithm x workload-point -> metrics."""
+
+    experiment: str
+    dataset: str
+    algorithm: str
+    x_name: str
+    x_value: float
+    mhr: float | None = None
+    time_ms: float | None = None
+    violations: int | None = None
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        row = {
+            "experiment": self.experiment,
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            self.x_name: self.x_value,
+            "mhr": self.mhr,
+            "time_ms": self.time_ms,
+            "violations": self.violations,
+        }
+        row.update(self.extra)
+        return row
+
+
+class Series:
+    """A pivoted result table: rows = algorithms, columns = x values."""
+
+    def __init__(self, records: list[Record], metric: str) -> None:
+        if metric not in ("mhr", "time_ms", "violations"):
+            raise ValueError(f"unknown metric {metric!r}")
+        self.metric = metric
+        self.records = records
+        self.x_name = records[0].x_name if records else "x"
+        self.x_values = sorted({r.x_value for r in records})
+        self.algorithms = list(dict.fromkeys(r.algorithm for r in records))
+
+    def cell(self, algorithm: str, x_value) -> float | None:
+        for r in self.records:
+            if r.algorithm == algorithm and r.x_value == x_value:
+                return getattr(r, self.metric)
+        return None
+
+    def row(self, algorithm: str) -> list[float | None]:
+        return [self.cell(algorithm, x) for x in self.x_values]
+
+    def render(self, title: str = "", *, sparklines: bool = True) -> str:
+        header = [self.x_name] + [_fmt_x(x) for x in self.x_values]
+        if sparklines:
+            header.append("trend")
+        rows = []
+        for algo in self.algorithms:
+            row = [algo] + [_fmt(v, self.metric) for v in self.row(algo)]
+            if sparklines:
+                row.append(sparkline(self.row(algo)))
+            rows.append(row)
+        table = format_table(header, rows)
+        return f"{title}\n{table}" if title else table
+
+
+def _fmt_x(x) -> str:
+    if isinstance(x, float) and x.is_integer():
+        return str(int(x))
+    return f"{x:g}"
+
+
+def _fmt(value, metric: str) -> str:
+    if value is None:
+        return "-"
+    if metric == "mhr":
+        return f"{value:.4f}"
+    if metric == "time_ms":
+        return f"{value:.1f}"
+    return str(int(value))
+
+
+def format_table(header: list[str], rows: list[list[str]]) -> str:
+    """Plain fixed-width text table (the harness's rendering primitive)."""
+    columns = [header] + rows
+    widths = [max(len(str(r[i])) for r in columns) for i in range(len(header))]
+    def line(row):
+        return "  ".join(str(cell).rjust(w) for cell, w in zip(row, widths))
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    return "\n".join([line(header), sep] + [line(r) for r in rows])
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` returning ``(result, elapsed_ms)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, (time.perf_counter() - start) * 1e3
+
+
+def geometric_range(start: float, stop: float, num: int) -> np.ndarray:
+    """Geometrically spaced values including both endpoints."""
+    if num < 2:
+        return np.array([start])
+    return np.geomspace(start, stop, num)

@@ -1,0 +1,112 @@
+"""Figures 10 & 11 (Appendix B): BiGreedy+ sensitivity to epsilon and lambda.
+
+A grid over ``epsilon`` (cap-search granularity) and ``lambda``
+(stabilization threshold): Figure 10 reports the MHR surface, Figure 11
+the running-time surface.  Paper grid: ``{0.00125, ..., 0.64}`` (powers of
+2); the scaled default uses a coarser sub-grid.  Expected shape: MHR rises
+then plateaus as either parameter shrinks; time rises as they shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.adaptive import bigreedy_plus
+from .common import Record, format_table, timed
+from .runner import evaluator_for
+from .workloads import anticor, paper_constraint, real_dataset
+
+__all__ = ["Fig1011Config", "run_fig1011", "render_fig1011", "FIG1011_PANELS"]
+
+FIG1011_PANELS = (
+    ("Adult (Gender)", {"real": ("Adult", "Gender")}),
+    ("AntiCor_6D", {"anticor": (6, 3)}),
+    ("Credit (Job)", {"real": ("Credit", "Job")}),
+)
+
+
+@dataclass
+class Fig1011Config:
+    k: int = 10
+    epsilons: tuple = (0.01, 0.04, 0.16, 0.64)  # paper: 0.00125..0.64
+    lambdas: tuple = (0.01, 0.04, 0.16, 0.64)
+    anticor_n: int = 2_000
+    real_n: int | None = 4_000
+    alpha: float = 0.1
+    seed: int = 7
+    panels: tuple = FIG1011_PANELS
+
+
+def _panel_dataset(spec: dict, config: Fig1011Config):
+    if "real" in spec:
+        name, attribute = spec["real"]
+        n = None if name == "Credit" else config.real_n
+        return real_dataset(name, attribute, n=n)
+    d, C = spec["anticor"]
+    return anticor(config.anticor_n, d, C, seed=config.seed)
+
+
+def run_fig1011(config: Fig1011Config | None = None) -> dict[str, list[Record]]:
+    """Grid-sweep (epsilon, lambda) per panel for BiGreedy+."""
+    config = config or Fig1011Config()
+    results: dict[str, list[Record]] = {}
+    for label, spec in config.panels:
+        dataset = _panel_dataset(spec, config)
+        evaluator = evaluator_for(dataset)
+        constraint = paper_constraint(dataset, config.k, alpha=config.alpha)
+        records: list[Record] = []
+        for eps in config.epsilons:
+            for lam in config.lambdas:
+                solution, ms = timed(
+                    bigreedy_plus,
+                    dataset,
+                    constraint,
+                    epsilon=eps,
+                    lam=lam,
+                    seed=config.seed,
+                )
+                records.append(
+                    Record(
+                        "fig1011", label, "BiGreedy+", "eps", eps,
+                        mhr=evaluator.evaluate(solution.points).value,
+                        time_ms=ms,
+                        extra={"lambda": lam},
+                    )
+                )
+        results[label] = records
+    return results
+
+
+def _grid(records: list[Record], metric: str) -> str:
+    epsilons = sorted({r.x_value for r in records})
+    lambdas = sorted({r.extra["lambda"] for r in records})
+    header = ["eps \\ lam"] + [f"{l:g}" for l in lambdas]
+    rows = []
+    for eps in epsilons:
+        row = [f"{eps:g}"]
+        for lam in lambdas:
+            cell = next(
+                (
+                    r
+                    for r in records
+                    if r.x_value == eps and r.extra["lambda"] == lam
+                ),
+                None,
+            )
+            if cell is None:
+                row.append("-")
+            elif metric == "mhr":
+                row.append(f"{cell.mhr:.4f}")
+            else:
+                row.append(f"{cell.time_ms:.0f}")
+        rows.append(row)
+    return format_table(header, rows)
+
+
+def render_fig1011(results: dict[str, list[Record]]) -> str:
+    parts = []
+    for label, records in results.items():
+        parts.append(f"Figure 10 — MHR grid, {label}\n" + _grid(records, "mhr"))
+    for label, records in results.items():
+        parts.append(f"Figure 11 — time (ms) grid, {label}\n" + _grid(records, "time"))
+    return "\n\n".join(parts)

@@ -1,0 +1,101 @@
+"""Figure 3: fairness violations of unconstrained algorithms vs k.
+
+The paper runs the original (fairness-blind) implementations of Greedy,
+DMM, HS and Sphere — plus BiGreedy/BiGreedy+ with the constraint — on five
+panels and counts ``err(S)`` (Eq. 3) under the proportional constraint
+(alpha = 0.1).  Expected shape: the baselines violate fairness almost
+everywhere; the proposed algorithms never do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fairness.metrics import fairness_violations
+from .common import Record, Series, timed
+from .workloads import CORE_SOLVERS, UNFAIR_SOLVERS, anticor, paper_constraint, real_dataset
+
+__all__ = ["Fig3Config", "run_fig3", "FIG3_PANELS"]
+
+#: The paper's five panels: (label, dataset builder kwargs).
+FIG3_PANELS = (
+    ("Adult (Gender)", {"real": ("Adult", "Gender")}),
+    ("Adult (Race)", {"real": ("Adult", "Race")}),
+    ("AntiCor_6D", {"anticor": (6, 3)}),
+    ("Compas (Gender)", {"real": ("Compas", "Gender")}),
+    ("Credit (Job)", {"real": ("Credit", "Job")}),
+)
+
+
+@dataclass
+class Fig3Config:
+    """Scaled-down defaults; pass bigger numbers to match the paper."""
+
+    ks: tuple = (10, 12, 14, 16, 18, 20)
+    anticor_n: int = 2_000
+    real_n: int | None = 4_000  # row-count cap for simulated real data
+    alpha: float = 0.1
+    seed: int = 7
+    panels: tuple = FIG3_PANELS
+    algorithms: tuple = ("BiGreedy", "BiGreedy+", "Greedy", "DMM", "HS", "Sphere")
+    extra: dict = field(default_factory=dict)
+
+
+def _panel_dataset(spec: dict, config: Fig3Config):
+    if "real" in spec:
+        name, attribute = spec["real"]
+        n = config.real_n
+        if name == "Credit":  # already only 1,000 rows
+            n = None
+        return real_dataset(name, attribute, n=n)
+    d, C = spec["anticor"]
+    return anticor(config.anticor_n, d, C, seed=config.seed)
+
+
+def run_fig3(config: Fig3Config | None = None) -> dict[str, list[Record]]:
+    """Measure err(S) per panel; returns records keyed by panel label."""
+    config = config or Fig3Config()
+    results: dict[str, list[Record]] = {}
+    for label, spec in config.panels:
+        dataset = _panel_dataset(spec, config)
+        records: list[Record] = []
+        for k in config.ks:
+            constraint = paper_constraint(dataset, k, alpha=config.alpha)
+            for name in config.algorithms:
+                if name in CORE_SOLVERS:
+                    solver = CORE_SOLVERS[name]
+                    kwargs = {} if name == "IntCov" else {"seed": config.seed}
+                    try:
+                        solution, ms = timed(solver, dataset, constraint, **kwargs)
+                    except ValueError:
+                        continue
+                    err = solution.violations()
+                else:
+                    solver = UNFAIR_SOLVERS[name]
+                    try:
+                        solution, ms = timed(solver, dataset, k)
+                    except ValueError:
+                        continue  # e.g. DMM with k < d or d > 7
+                    err = fairness_violations(
+                        constraint, dataset.labels, solution.indices
+                    )
+                records.append(
+                    Record(
+                        experiment="fig3",
+                        dataset=label,
+                        algorithm=name,
+                        x_name="k",
+                        x_value=k,
+                        violations=err,
+                        time_ms=ms,
+                    )
+                )
+        results[label] = records
+    return results
+
+
+def render_fig3(results: dict[str, list[Record]]) -> str:
+    parts = []
+    for label, records in results.items():
+        parts.append(Series(records, "violations").render(f"Figure 3 — err(S), {label}"))
+    return "\n\n".join(parts)

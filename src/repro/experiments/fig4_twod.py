@@ -1,0 +1,173 @@
+"""Figure 4: two-dimensional results (MHR and running time).
+
+Panels (a)-(e) report MHRs and (f)-(j) running times:
+
+* Lawschs (Gender), k = 2..6;
+* Lawschs (Race), k = 5..10 (k >= C is needed for the clamped bounds);
+* AntiCor_2D, k = 5..10;
+* AntiCor_2D varying C = 2..5 at k = 5;
+* AntiCor_2D varying n at k = 5.
+
+The black price-of-fairness line is the exact unconstrained 2-D optimum
+(IntCov with a vacuous single group), recorded as algorithm
+``"Unconstrained"``.  Expected shape: IntCov tops every MHR panel (it is
+optimal) and is the slowest; the price of fairness stays within ~0.02 on
+Lawschs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.unconstrained import hms_exact_2d
+from .common import Record, Series, timed
+from .runner import evaluator_for, run_fair_solvers
+from .workloads import anticor, paper_constraint, real_dataset
+
+__all__ = ["Fig4Config", "run_fig4", "render_fig4", "FIG4_ALGORITHMS"]
+
+FIG4_ALGORITHMS = (
+    "IntCov",
+    "BiGreedy",
+    "BiGreedy+",
+    "F-Greedy",
+    "G-Greedy",
+    "G-DMM",
+    "G-HS",
+    "G-Sphere",
+)
+
+
+@dataclass
+class Fig4Config:
+    """Scaled-down defaults (full-paper sizes in comments)."""
+
+    lawschs_gender_ks: tuple = (2, 3, 4, 5, 6)
+    lawschs_race_ks: tuple = (5, 6, 7, 8, 9, 10)
+    anticor_ks: tuple = (5, 6, 7, 8, 9, 10)
+    anticor_n: int = 2_000          # paper: 10,000
+    anticor_C: int = 3
+    vary_C: tuple = (2, 3, 4, 5)
+    vary_n: tuple = (100, 1_000, 10_000)   # paper: 1e2..1e6
+    vary_k: int = 5
+    lawschs_n: int | None = 20_000  # paper: 65,494
+    alpha: float = 0.1
+    seed: int = 7
+    algorithms: tuple = FIG4_ALGORITHMS
+    include_price_of_fairness: bool = True
+
+
+def _sweep_k(config, experiment, label, dataset, ks) -> list[Record]:
+    records: list[Record] = []
+    for k in ks:
+        constraint = paper_constraint(dataset, k, alpha=config.alpha)
+        records.extend(
+            run_fair_solvers(
+                experiment,
+                label,
+                dataset,
+                constraint,
+                config.algorithms,
+                x_name="k",
+                x_value=k,
+                seed=config.seed,
+            )
+        )
+        if config.include_price_of_fairness:
+            solution, ms = timed(hms_exact_2d, dataset, k)
+            records.append(
+                Record(
+                    experiment=experiment,
+                    dataset=label,
+                    algorithm="Unconstrained",
+                    x_name="k",
+                    x_value=k,
+                    mhr=evaluator_for(dataset).evaluate(solution.points).value,
+                    time_ms=ms,
+                )
+            )
+    return records
+
+
+def run_fig4(config: Fig4Config | None = None) -> dict[str, list[Record]]:
+    """Run all five panels; returns records keyed by panel label."""
+    config = config or Fig4Config()
+    results: dict[str, list[Record]] = {}
+
+    law_gender = real_dataset("Lawschs", "Gender", n=config.lawschs_n)
+    results["Lawschs (Gender)"] = _sweep_k(
+        config, "fig4", "Lawschs (Gender)", law_gender, config.lawschs_gender_ks
+    )
+    law_race = real_dataset("Lawschs", "Race", n=config.lawschs_n)
+    results["Lawschs (Race)"] = _sweep_k(
+        config, "fig4", "Lawschs (Race)", law_race, config.lawschs_race_ks
+    )
+    ac = anticor(config.anticor_n, 2, config.anticor_C, seed=config.seed)
+    results["AntiCor_2D"] = _sweep_k(
+        config, "fig4", "AntiCor_2D", ac, config.anticor_ks
+    )
+
+    # Panel (d)/(i): vary the number of groups C at fixed k.
+    records_c: list[Record] = []
+    for C in config.vary_C:
+        data = anticor(config.anticor_n, 2, C, seed=config.seed)
+        constraint = paper_constraint(data, config.vary_k, alpha=config.alpha)
+        records_c.extend(
+            run_fair_solvers(
+                "fig4",
+                "AntiCor_2D (vary C)",
+                data,
+                constraint,
+                config.algorithms,
+                x_name="C",
+                x_value=C,
+                seed=config.seed,
+            )
+        )
+        if config.include_price_of_fairness:
+            solution, ms = timed(hms_exact_2d, data, config.vary_k)
+            records_c.append(
+                Record(
+                    "fig4", "AntiCor_2D (vary C)", "Unconstrained", "C", C,
+                    mhr=evaluator_for(data).evaluate(solution.points).value,
+                    time_ms=ms,
+                )
+            )
+    results["AntiCor_2D (vary C)"] = records_c
+
+    # Panel (e)/(j): vary the dataset size n at fixed k.
+    records_n: list[Record] = []
+    for n in config.vary_n:
+        data = anticor(n, 2, config.anticor_C, seed=config.seed)
+        constraint = paper_constraint(data, config.vary_k, alpha=config.alpha)
+        records_n.extend(
+            run_fair_solvers(
+                "fig4",
+                "AntiCor_2D (vary n)",
+                data,
+                constraint,
+                config.algorithms,
+                x_name="n",
+                x_value=n,
+                seed=config.seed,
+            )
+        )
+        if config.include_price_of_fairness:
+            solution, ms = timed(hms_exact_2d, data, config.vary_k)
+            records_n.append(
+                Record(
+                    "fig4", "AntiCor_2D (vary n)", "Unconstrained", "n", n,
+                    mhr=evaluator_for(data).evaluate(solution.points).value,
+                    time_ms=ms,
+                )
+            )
+    results["AntiCor_2D (vary n)"] = records_n
+    return results
+
+
+def render_fig4(results: dict[str, list[Record]]) -> str:
+    parts = []
+    for label, records in results.items():
+        parts.append(Series(records, "mhr").render(f"Figure 4 — MHR, {label}"))
+        parts.append(Series(records, "time_ms").render(f"Figure 4 — time (ms), {label}"))
+    return "\n\n".join(parts)

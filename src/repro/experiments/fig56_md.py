@@ -1,0 +1,133 @@
+"""Figures 5 & 6: multi-dimensional MHRs (Fig. 5) and running time (Fig. 6).
+
+Ten panels, one per (dataset, group attribute):
+
+* Adult by Gender (k = 6..16), Race and G+R (k = 10..20);
+* AntiCor_6D (k = 10..20);
+* Compas by Gender, isRecid, G+iR (k = 10..20);
+* Credit by Job, Housing, WY (k = 10..20).
+
+Algorithms: BiGreedy, BiGreedy+, F-Greedy, G-Greedy, G-DMM, G-HS, G-Sphere
+(G-DMM absent on Compas where d = 9 > 7; G-DMM/G-Sphere absent wherever
+some group quota is below d).  The black line is the best unconstrained
+baseline solution ("Unconstrained").  Expected shape: BiGreedy >=
+BiGreedy+ >= adapted baselines on MHR in most panels; BiGreedy+ faster
+than BiGreedy; G-Sphere fastest but worst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fairness.metrics import fairness_violations
+from .common import Record, Series, timed
+from .runner import evaluator_for, run_fair_solvers
+from .workloads import UNFAIR_SOLVERS, anticor, paper_constraint, real_dataset
+
+__all__ = ["Fig56Config", "run_fig56", "render_fig56", "FIG56_PANELS", "FIG56_ALGORITHMS"]
+
+FIG56_ALGORITHMS = (
+    "BiGreedy",
+    "BiGreedy+",
+    "F-Greedy",
+    "G-Greedy",
+    "G-DMM",
+    "G-HS",
+    "G-Sphere",
+)
+
+#: (label, spec); "real" -> (name, attribute), "anticor" -> (d, C).
+FIG56_PANELS = (
+    ("Adult (Gender)", {"real": ("Adult", "Gender"), "ks": (6, 8, 10, 12, 14, 16)}),
+    ("Adult (Race)", {"real": ("Adult", "Race")}),
+    ("Adult (G+R)", {"real": ("Adult", "G+R")}),
+    ("AntiCor_6D", {"anticor": (6, 3)}),
+    ("Compas (Gender)", {"real": ("Compas", "Gender")}),
+    ("Compas (isRecid)", {"real": ("Compas", "isRecid")}),
+    ("Compas (G+iR)", {"real": ("Compas", "G+iR")}),
+    ("Credit (Job)", {"real": ("Credit", "Job")}),
+    ("Credit (Housing)", {"real": ("Credit", "Housing")}),
+    ("Credit (WY)", {"real": ("Credit", "WY")}),
+)
+
+
+@dataclass
+class Fig56Config:
+    """Scaled-down defaults (paper sizes in comments)."""
+
+    default_ks: tuple = (10, 12, 14, 16, 18, 20)
+    anticor_n: int = 2_000          # paper: 10,000
+    real_n: int | None = 4_000     # paper: full sizes
+    alpha: float = 0.1
+    seed: int = 7
+    panels: tuple = FIG56_PANELS
+    algorithms: tuple = FIG56_ALGORITHMS
+    include_unconstrained: bool = True
+
+
+def _panel_dataset(spec: dict, config: Fig56Config):
+    if "real" in spec:
+        name, attribute = spec["real"]
+        n = None if name == "Credit" else config.real_n
+        return real_dataset(name, attribute, n=n)
+    d, C = spec["anticor"]
+    return anticor(config.anticor_n, d, C, seed=config.seed)
+
+
+def _best_unconstrained(dataset, k: int, evaluator) -> tuple[float, float]:
+    """Best MHR over the unconstrained baselines, and total time (ms)."""
+    best = 0.0
+    total_ms = 0.0
+    for solver in UNFAIR_SOLVERS.values():
+        try:
+            solution, ms = timed(solver, dataset, k)
+        except ValueError:
+            continue
+        total_ms += ms
+        best = max(best, evaluator.evaluate(solution.points).value)
+    return best, total_ms
+
+
+def run_fig56(config: Fig56Config | None = None) -> dict[str, list[Record]]:
+    """Run all panels; returns records keyed by panel label."""
+    config = config or Fig56Config()
+    results: dict[str, list[Record]] = {}
+    for label, spec in config.panels:
+        dataset = _panel_dataset(spec, config)
+        evaluator = evaluator_for(dataset)
+        ks = spec.get("ks", config.default_ks)
+        records: list[Record] = []
+        for k in ks:
+            constraint = paper_constraint(dataset, k, alpha=config.alpha)
+            records.extend(
+                run_fair_solvers(
+                    "fig56",
+                    label,
+                    dataset,
+                    constraint,
+                    config.algorithms,
+                    x_name="k",
+                    x_value=k,
+                    seed=config.seed,
+                )
+            )
+            if config.include_unconstrained:
+                best, ms = _best_unconstrained(dataset, k, evaluator)
+                records.append(
+                    Record(
+                        "fig56", label, "Unconstrained", "k", k,
+                        mhr=best, time_ms=ms,
+                        violations=None,
+                    )
+                )
+        results[label] = records
+    return results
+
+
+def render_fig56(results: dict[str, list[Record]]) -> str:
+    parts = []
+    for label, records in results.items():
+        parts.append(Series(records, "mhr").render(f"Figure 5 — MHR, {label}"))
+    for label, records in results.items():
+        parts.append(Series(records, "time_ms").render(f"Figure 6 — time (ms), {label}"))
+    return "\n\n".join(parts)

@@ -1,0 +1,101 @@
+"""Figure 7: scalability on anti-correlated data (vary d, C, n at k = 20).
+
+Three column-pairs in the paper:
+
+* (a) vary dimensionality d (paper 2..16; scaled default 2..8) with
+  n = 10,000 (scaled), C = 3;
+* (b) vary number of groups C = 2..10 with d = 6;
+* (c) vary dataset size n (paper 1e2..1e6; scaled default 1e2..1e4)
+  with d = 6, C = 3.
+
+Expected shape: MHR decreases and time grows with every axis; the
+advantage of BiGreedy/BiGreedy+ over the per-group baselines widens with
+C and n; time grows near-linearly with n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import Record, Series
+from .runner import run_fair_solvers
+from .workloads import anticor, paper_constraint
+
+__all__ = ["Fig7Config", "run_fig7", "render_fig7", "FIG7_ALGORITHMS"]
+
+FIG7_ALGORITHMS = (
+    "BiGreedy",
+    "BiGreedy+",
+    "F-Greedy",
+    "G-Greedy",
+    "G-DMM",
+    "G-HS",
+    "G-Sphere",
+)
+
+
+@dataclass
+class Fig7Config:
+    """Scaled-down defaults (paper sizes in comments)."""
+
+    k: int = 20
+    base_n: int = 2_000             # paper: 10,000
+    base_d: int = 6
+    base_C: int = 3
+    dims: tuple = (2, 3, 4, 6, 8)   # paper: 2..16
+    Cs: tuple = (2, 4, 6, 8, 10)    # paper: 2..10
+    ns: tuple = (100, 1_000, 10_000)  # paper: 1e2..1e6
+    alpha: float = 0.1
+    seed: int = 7
+    algorithms: tuple = FIG7_ALGORITHMS
+
+
+def run_fig7(config: Fig7Config | None = None) -> dict[str, list[Record]]:
+    """Run the three sweeps; returns records keyed by sweep label."""
+    config = config or Fig7Config()
+    results: dict[str, list[Record]] = {}
+
+    records_d: list[Record] = []
+    for d in config.dims:
+        data = anticor(config.base_n, d, config.base_C, seed=config.seed)
+        constraint = paper_constraint(data, config.k, alpha=config.alpha)
+        records_d.extend(
+            run_fair_solvers(
+                "fig7", "AntiCor (vary d)", data, constraint,
+                config.algorithms, x_name="d", x_value=d, seed=config.seed,
+            )
+        )
+    results["AntiCor (vary d)"] = records_d
+
+    records_c: list[Record] = []
+    for C in config.Cs:
+        data = anticor(config.base_n, config.base_d, C, seed=config.seed)
+        constraint = paper_constraint(data, config.k, alpha=config.alpha)
+        records_c.extend(
+            run_fair_solvers(
+                "fig7", "AntiCor_6D (vary C)", data, constraint,
+                config.algorithms, x_name="C", x_value=C, seed=config.seed,
+            )
+        )
+    results["AntiCor_6D (vary C)"] = records_c
+
+    records_n: list[Record] = []
+    for n in config.ns:
+        data = anticor(n, config.base_d, config.base_C, seed=config.seed)
+        constraint = paper_constraint(data, config.k, alpha=config.alpha)
+        records_n.extend(
+            run_fair_solvers(
+                "fig7", "AntiCor_6D (vary n)", data, constraint,
+                config.algorithms, x_name="n", x_value=n, seed=config.seed,
+            )
+        )
+    results["AntiCor_6D (vary n)"] = records_n
+    return results
+
+
+def render_fig7(results: dict[str, list[Record]]) -> str:
+    parts = []
+    for label, records in results.items():
+        parts.append(Series(records, "mhr").render(f"Figure 7 — MHR, {label}"))
+        parts.append(Series(records, "time_ms").render(f"Figure 7 — time (ms), {label}"))
+    return "\n\n".join(parts)

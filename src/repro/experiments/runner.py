@@ -1,0 +1,80 @@
+"""Shared execution helper: run a roster of solvers on one instance.
+
+Handles the paper's conventions: solvers that cannot run a configuration
+(DMM/Sphere with ``k_c < d``, DMM with ``d > 7``) are silently omitted from
+that series, and every solution is scored with the dataset's cached
+:class:`MhrEvaluator`.
+"""
+
+from __future__ import annotations
+
+from ..data.dataset import Dataset
+from ..fairness.constraints import FairnessConstraint
+from ..hms.evaluation import MhrEvaluator
+from .common import Record, timed
+from .workloads import FAIR_SOLVERS
+
+__all__ = ["run_fair_solvers", "evaluator_for"]
+
+_EVALUATORS: dict[int, MhrEvaluator] = {}
+
+
+def evaluator_for(dataset: Dataset) -> MhrEvaluator:
+    """Cached MhrEvaluator keyed by the dataset's identity."""
+    key = id(dataset)
+    if key not in _EVALUATORS:
+        _EVALUATORS[key] = MhrEvaluator(dataset.points)
+    return _EVALUATORS[key]
+
+
+def run_fair_solvers(
+    experiment: str,
+    label: str,
+    dataset: Dataset,
+    constraint: FairnessConstraint,
+    algorithms,
+    *,
+    x_name: str,
+    x_value,
+    seed: int = 7,
+    solver_kwargs: dict | None = None,
+) -> list[Record]:
+    """Run each named fair solver once and record MHR / time / err.
+
+    Args:
+        experiment / label: identifiers stamped on the records.
+        dataset: per-group skyline input.
+        constraint: the fairness constraint (carries ``k``).
+        algorithms: iterable of solver names from ``FAIR_SOLVERS``.
+        x_name / x_value: the sweep coordinate (k, C, n, d, m, ...).
+        seed: forwarded to the stochastic core solvers.
+        solver_kwargs: optional per-solver extra kwargs
+            ``{name: {kw: value}}``.
+    """
+    solver_kwargs = solver_kwargs or {}
+    evaluator = evaluator_for(dataset)
+    records: list[Record] = []
+    for name in algorithms:
+        solver = FAIR_SOLVERS[name]
+        kwargs = dict(solver_kwargs.get(name, {}))
+        if name in ("BiGreedy", "BiGreedy+"):  # the stochastic core solvers
+            kwargs.setdefault("seed", seed)
+        try:
+            solution, ms = timed(solver, dataset, constraint, **kwargs)
+        except ValueError:
+            continue  # configuration not runnable for this solver
+        evaluation = evaluator.evaluate(solution.points)
+        records.append(
+            Record(
+                experiment=experiment,
+                dataset=label,
+                algorithm=name,
+                x_name=x_name,
+                x_value=x_value,
+                mhr=evaluation.value,
+                time_ms=ms,
+                violations=solution.violations(constraint),
+                extra={"mhr_exact_method": evaluation.method},
+            )
+        )
+    return records

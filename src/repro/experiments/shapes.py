@@ -1,0 +1,226 @@
+"""Qualitative "paper shape" checks.
+
+The reproduction's substrate is pure Python on simulated data, so absolute
+numbers differ from the paper; what must carry over is *who wins, by
+roughly what factor, and which way the curves bend*.  Each check below
+encodes one such claim from the paper's evaluation; ``run_all`` prints the
+verdicts and the test suite asserts the critical ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+
+from .common import Record
+
+__all__ = ["ShapeCheck", "check_all_shapes"]
+
+
+@dataclass
+class ShapeCheck:
+    name: str
+    passed: bool
+    detail: str
+
+
+def _cells(records: list[Record], algorithm: str) -> list[Record]:
+    return [r for r in records if r.algorithm == algorithm]
+
+
+def _check_example22(results) -> list[ShapeCheck]:
+    checks = []
+    for r in results:
+        checks.append(
+            ShapeCheck(
+                f"example22/{r.name}",
+                r.matches,
+                f"got {sorted(r.selected)} mhr={r.mhr:.4f}",
+            )
+        )
+    return checks
+
+
+def _check_fig3(results: dict[str, list[Record]]) -> list[ShapeCheck]:
+    checks = []
+    fair_names = {"IntCov", "BiGreedy", "BiGreedy+"}
+    for label, records in results.items():
+        fair = [r for r in records if r.algorithm in fair_names]
+        unfair = [r for r in records if r.algorithm not in fair_names]
+        fair_ok = all(r.violations == 0 for r in fair)
+        if unfair:
+            frac = sum(1 for r in unfair if (r.violations or 0) > 0) / len(unfair)
+        else:
+            frac = 0.0
+        checks.append(
+            ShapeCheck(
+                f"fig3/{label}/fair-always-zero", fair_ok,
+                f"{len(fair)} fair cells",
+            )
+        )
+        checks.append(
+            ShapeCheck(
+                f"fig3/{label}/baselines-violate", frac >= 0.5,
+                f"{frac:.0%} of baseline cells violate",
+            )
+        )
+    return checks
+
+
+def _check_fig4(results: dict[str, list[Record]]) -> list[ShapeCheck]:
+    checks = []
+    for label, records in results.items():
+        intcov = _cells(records, "IntCov")
+        others = [
+            r
+            for r in records
+            if r.algorithm not in ("IntCov", "Unconstrained") and r.mhr is not None
+        ]
+        optimal = all(
+            r.mhr + 1e-6 >= max(
+                (o.mhr for o in others if o.x_value == r.x_value), default=0.0
+            )
+            for r in intcov
+        )
+        checks.append(
+            ShapeCheck(f"fig4/{label}/intcov-optimal", optimal, f"{len(intcov)} cells")
+        )
+        unconstrained = _cells(records, "Unconstrained")
+        if unconstrained and intcov:
+            price = max(
+                (u.mhr - i.mhr)
+                for u in unconstrained
+                for i in intcov
+                if i.x_value == u.x_value
+            )
+            checks.append(
+                ShapeCheck(
+                    f"fig4/{label}/price-of-fairness-bounded",
+                    price <= 0.25,
+                    f"max price {price:.4f}",
+                )
+            )
+    return checks
+
+
+def _check_fig56(results: dict[str, list[Record]]) -> list[ShapeCheck]:
+    checks = []
+    wins = 0
+    comparisons = 0
+    for label, records in results.items():
+        fair = [
+            r for r in records if r.algorithm != "Unconstrained" and r.mhr is not None
+        ]
+        err_ok = all((r.violations or 0) == 0 for r in fair)
+        checks.append(
+            ShapeCheck(f"fig56/{label}/all-fair", err_ok, f"{len(fair)} cells")
+        )
+        big = _cells(records, "BiGreedy")
+        for r in big:
+            rivals = [
+                o.mhr
+                for o in records
+                if o.x_value == r.x_value
+                and o.algorithm in ("G-Greedy", "G-DMM", "G-HS", "G-Sphere")
+                and o.mhr is not None
+            ]
+            if rivals:
+                comparisons += 1
+                if r.mhr + 1e-9 >= max(rivals):
+                    wins += 1
+        big_t = [r.time_ms for r in big if r.time_ms is not None]
+        plus_t = [
+            r.time_ms for r in _cells(records, "BiGreedy+") if r.time_ms is not None
+        ]
+        if big_t and plus_t:
+            checks.append(
+                ShapeCheck(
+                    f"fig56/{label}/bigreedy+-faster",
+                    median(plus_t) <= median(big_t) * 1.2,
+                    f"median {median(plus_t):.0f}ms vs {median(big_t):.0f}ms",
+                )
+            )
+    if comparisons:
+        checks.append(
+            ShapeCheck(
+                "fig56/bigreedy-beats-adapted-mostly",
+                wins / comparisons >= 0.6,
+                f"{wins}/{comparisons} cells won",
+            )
+        )
+    return checks
+
+
+def _check_fig7(results: dict[str, list[Record]]) -> list[ShapeCheck]:
+    checks = []
+    by_d = results.get("AntiCor (vary d)", [])
+    big = sorted(_cells(by_d, "BiGreedy"), key=lambda r: r.x_value)
+    if len(big) >= 2:
+        checks.append(
+            ShapeCheck(
+                "fig7/mhr-decreases-with-d",
+                big[-1].mhr <= big[0].mhr + 1e-6,
+                f"{big[0].mhr:.4f} (d={big[0].x_value:g}) -> "
+                f"{big[-1].mhr:.4f} (d={big[-1].x_value:g})",
+            )
+        )
+    by_n = results.get("AntiCor_6D (vary n)", [])
+    big_n = sorted(_cells(by_n, "BiGreedy"), key=lambda r: r.x_value)
+    if len(big_n) >= 2:
+        checks.append(
+            ShapeCheck(
+                "fig7/time-grows-with-n",
+                big_n[-1].time_ms >= big_n[0].time_ms,
+                f"{big_n[0].time_ms:.0f}ms -> {big_n[-1].time_ms:.0f}ms",
+            )
+        )
+    return checks
+
+
+def _check_fig89(results: dict[str, list[Record]]) -> list[ShapeCheck]:
+    checks = []
+    for label, records in results.items():
+        big = sorted(_cells(records, "BiGreedy"), key=lambda r: r.x_value)
+        if len(big) >= 2:
+            checks.append(
+                ShapeCheck(
+                    f"fig89/{label}/mhr-saturates",
+                    big[-1].mhr >= big[0].mhr - 0.05,
+                    f"{big[0].mhr:.4f} (m={big[0].x_value:g}) -> "
+                    f"{big[-1].mhr:.4f} (m={big[-1].x_value:g})",
+                )
+            )
+            checks.append(
+                ShapeCheck(
+                    f"fig89/{label}/time-grows-with-m",
+                    big[-1].time_ms >= big[0].time_ms,
+                    f"{big[0].time_ms:.0f}ms -> {big[-1].time_ms:.0f}ms",
+                )
+            )
+    return checks
+
+
+def check_all_shapes(
+    *,
+    example22=None,
+    fig3=None,
+    fig4=None,
+    fig56=None,
+    fig7=None,
+    fig89=None,
+) -> list[ShapeCheck]:
+    """Run every applicable shape check over the supplied results."""
+    checks: list[ShapeCheck] = []
+    if example22 is not None:
+        checks.extend(_check_example22(example22))
+    if fig3 is not None:
+        checks.extend(_check_fig3(fig3))
+    if fig4 is not None:
+        checks.extend(_check_fig4(fig4))
+    if fig56 is not None:
+        checks.extend(_check_fig56(fig56))
+    if fig7 is not None:
+        checks.extend(_check_fig7(fig7))
+    if fig89 is not None:
+        checks.extend(_check_fig89(fig89))
+    return checks

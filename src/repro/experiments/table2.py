@@ -1,0 +1,96 @@
+"""Table 2: dataset statistics, including per-group skyline sizes.
+
+The reproduction mirrors the table's columns (d, n, C, #skylines where
+``#skylines`` is the sum of the per-group skyline sizes used as algorithm
+input) for the simulated real datasets and an anti-correlated family.
+Paper values are included for side-by-side comparison: the simulated
+datasets are tuned so skyline sizes land in the same order of magnitude
+(the property the experiments exercise), not to match exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.realworld import DATASET_GROUPS
+from .common import format_table
+from .workloads import anticor, real_dataset
+
+__all__ = ["run_table2", "TABLE2_PAPER", "Table2Row"]
+
+#: Paper-reported #skylines per (dataset, group attribute).
+TABLE2_PAPER = {
+    ("Lawschs", "Gender"): 19,
+    ("Lawschs", "Race"): 42,
+    ("Adult", "Gender"): 130,
+    ("Adult", "Race"): 206,
+    ("Adult", "G+R"): 339,
+    ("Compas", "Gender"): 195,
+    ("Compas", "isRecid"): 229,
+    ("Compas", "G+iR"): 296,
+    ("Credit", "Housing"): 120,
+    ("Credit", "Job"): 126,
+    ("Credit", "WY"): 185,
+}
+
+
+@dataclass
+class Table2Row:
+    dataset: str
+    group: str
+    d: int
+    n: int
+    C: int
+    skylines: int
+    paper_skylines: int | None
+
+
+def run_table2(*, scale: float = 1.0, include_synthetic: bool = True) -> list[Table2Row]:
+    """Measure the Table 2 statistics.
+
+    Args:
+        scale: row-count scale factor (1.0 = the paper's full sizes; the
+            benches use smaller scales to stay fast).
+        include_synthetic: append an AntiCor_6D row like the paper's first.
+    """
+    rows: list[Table2Row] = []
+    if include_synthetic:
+        n = max(100, int(10_000 * scale))
+        sky = anticor(n, 6, 3)
+        rows.append(
+            Table2Row("AntiCor_6D", "sum-quantile", 6, n, 3, sky.n, None)
+        )
+    full_sizes = {"Lawschs": 65_494, "Adult": 32_561, "Compas": 4_743, "Credit": 1_000}
+    for name, attributes in DATASET_GROUPS.items():
+        n = max(100, int(full_sizes[name] * scale)) if scale != 1.0 else None
+        for attribute in attributes:
+            sky = real_dataset(name, attribute, n=n)
+            rows.append(
+                Table2Row(
+                    dataset=name,
+                    group=attribute,
+                    d=sky.dim,
+                    n=n or full_sizes[name],
+                    C=sky.num_groups,
+                    skylines=sky.n,
+                    paper_skylines=TABLE2_PAPER.get((name, attribute)),
+                )
+            )
+    return rows
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    header = ["Dataset", "Group", "d", "n", "C", "#skylines", "paper #skylines"]
+    body = [
+        [
+            r.dataset,
+            r.group,
+            str(r.d),
+            str(r.n),
+            str(r.C),
+            str(r.skylines),
+            "-" if r.paper_skylines is None else str(r.paper_skylines),
+        ]
+        for r in rows
+    ]
+    return format_table(header, body)

@@ -1,0 +1,93 @@
+"""Workload builders shared by the experiment runners.
+
+Centralizes (a) dataset construction + per-group skyline extraction with
+caching, (b) the paper's proportional fairness constraint (alpha = 0.1,
+clamped — Section 5.1), and (c) the algorithm rosters of each figure.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.adaptive import bigreedy_plus
+from ..core.bigreedy import bigreedy
+from ..core.intcov import intcov
+from ..baselines.adapted import FAIR_BASELINES
+from ..baselines.dmm import dmm
+from ..baselines.greedy import rdp_greedy
+from ..baselines.hs import hitting_set
+from ..baselines.sphere import sphere
+from ..data.dataset import Dataset
+from ..data.realworld import load_dataset
+from ..data.synthetic import anticorrelated_dataset
+from ..fairness.constraints import FairnessConstraint
+
+__all__ = [
+    "skyline_of",
+    "real_dataset",
+    "anticor",
+    "paper_constraint",
+    "CORE_SOLVERS",
+    "UNFAIR_SOLVERS",
+    "FAIR_SOLVERS",
+]
+
+#: Fair solvers: name -> callable(dataset, constraint, **kw) -> Solution.
+CORE_SOLVERS = {
+    "IntCov": intcov,
+    "BiGreedy": bigreedy,
+    "BiGreedy+": bigreedy_plus,
+}
+
+#: Unconstrained solvers: name -> callable(dataset, k, **kw) -> Solution.
+UNFAIR_SOLVERS = {
+    "Greedy": rdp_greedy,
+    "DMM": dmm,
+    "Sphere": sphere,
+    "HS": hitting_set,
+}
+
+#: All fairness-aware solvers compared in Figures 4-7.
+FAIR_SOLVERS = dict(CORE_SOLVERS)
+FAIR_SOLVERS.update(FAIR_BASELINES)
+
+
+@lru_cache(maxsize=64)
+def _real_skyline(name: str, group_attribute: str, n: int | None) -> Dataset:
+    data = load_dataset(name, group_attribute, n=n).normalized()
+    return data.skyline(per_group=True)
+
+
+def real_dataset(name: str, group_attribute: str, *, n: int | None = None) -> Dataset:
+    """Normalized per-group skyline of a (simulated) real dataset, cached."""
+    return _real_skyline(name, group_attribute, n)
+
+
+@lru_cache(maxsize=64)
+def _anticor_skyline(n: int, d: int, C: int, seed: int) -> Dataset:
+    data = anticorrelated_dataset(n, d, C, seed=seed).normalized()
+    return data.skyline(per_group=True)
+
+
+def anticor(n: int, d: int, C: int, *, seed: int = 42) -> Dataset:
+    """Normalized per-group skyline of an anti-correlated dataset, cached."""
+    return _anticor_skyline(n, d, C, seed)
+
+
+def paper_constraint(dataset: Dataset, k: int, *, alpha: float = 0.1) -> FairnessConstraint:
+    """The paper's proportional constraint with its Section 5.1 clamping.
+
+    Proportions reference the *population* group sizes (recorded by
+    ``Dataset.skyline()``); lower bounds are additionally capped by the
+    skyline's per-group availability, since no algorithm can select tuples
+    that do not exist in its input.
+    """
+    constraint = FairnessConstraint.proportional(
+        k, dataset.population_group_sizes, alpha=alpha, clamp=True
+    )
+    available = dataset.group_sizes
+    lower = np.minimum(constraint.lower, available)
+    upper = np.maximum(constraint.upper, lower)
+    return FairnessConstraint(lower=lower, upper=upper, k=k)

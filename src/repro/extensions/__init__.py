@@ -1,0 +1,32 @@
+"""Extensions beyond the reproduced paper.
+
+Three directions the paper's related/future work points at, built on the
+same substrate and tested to the same standard:
+
+* :mod:`repro.extensions.streaming` — bounded-memory one-pass FairHMS
+  (after El Halabi et al., the source of the fairness matroid);
+* :mod:`repro.extensions.dynamic` — insert/delete maintenance of fair
+  representative sets (after the fully-dynamic kRMS line of work);
+* :mod:`repro.extensions.khms` — fairness-constrained k-HMS, happiness
+  against the ell-th best tuple (after Chester et al.'s kRMS).
+"""
+
+from .dynamic import DynamicFairHMS
+from .khms import (
+    KHMSEngine,
+    bigreedy_khms,
+    khms_ratios,
+    kth_best_scores,
+    mhr_khms_on_net,
+)
+from .streaming import StreamingFairHMS
+
+__all__ = [
+    "DynamicFairHMS",
+    "KHMSEngine",
+    "StreamingFairHMS",
+    "bigreedy_khms",
+    "khms_ratios",
+    "kth_best_scores",
+    "mhr_khms_on_net",
+]

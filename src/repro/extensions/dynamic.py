@@ -1,0 +1,185 @@
+"""Dynamic FairHMS: maintain a fair representative set under updates.
+
+The paper's related work points to fully-dynamic k-regret structures
+(Wang et al., ICDE 2021; Zheng et al., TKDE 2022) as the way to keep an
+HMS fresh while the database changes.  This extension maintains, per
+group, the set of alive tuples and an incrementally updated group skyline:
+
+* insert: a tuple enters its group's skyline iff no current skyline member
+  dominates it; it then evicts the members it dominates (sound because the
+  group skyline always dominates every non-skyline member transitively);
+* delete: removing a non-skyline member is free; removing a skyline member
+  marks the group dirty, and its skyline is rebuilt from the alive tuples
+  on the next query (deletions can resurrect previously dominated tuples).
+
+``solution()`` re-solves on the current per-group skyline with the chosen
+core algorithm, caching the result until the data or the constraint
+changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_points
+from ..core.solve import solve_fairhms
+from ..core.solution import Solution
+from ..data.dataset import Dataset
+from ..fairness.constraints import FairnessConstraint
+from ..geometry.dominance import skyline_indices
+
+__all__ = ["DynamicFairHMS"]
+
+
+class _Group:
+    """Alive tuples and the maintained skyline of one group."""
+
+    __slots__ = ("alive", "skyline", "dirty")
+
+    def __init__(self) -> None:
+        self.alive: dict[int, np.ndarray] = {}
+        self.skyline: set[int] = set()
+        self.dirty = False
+
+    def insert(self, key: int, point: np.ndarray) -> None:
+        self.alive[key] = point
+        if self.dirty:
+            return  # rebuilt wholesale on next query anyway
+        for member in self.skyline:
+            other = self.alive[member]
+            if (other >= point).all() and (other > point).any():
+                return  # dominated on arrival: never on the skyline
+        evicted = [
+            member
+            for member in self.skyline
+            if (point >= self.alive[member]).all()
+            and (point > self.alive[member]).any()
+        ]
+        self.skyline.difference_update(evicted)
+        self.skyline.add(key)
+
+    def delete(self, key: int) -> None:
+        if key not in self.alive:
+            raise KeyError(f"tuple {key} is not alive")
+        del self.alive[key]
+        if key in self.skyline:
+            self.skyline.discard(key)
+            self.dirty = True  # dominated tuples may resurface
+
+    def current_skyline(self) -> list[int]:
+        if self.dirty:
+            keys = list(self.alive)
+            if keys:
+                pts = np.asarray([self.alive[k] for k in keys])
+                self.skyline = {keys[i] for i in skyline_indices(pts)}
+            else:
+                self.skyline = set()
+            self.dirty = False
+        return sorted(self.skyline)
+
+
+class DynamicFairHMS:
+    """Fair representative set maintenance under inserts and deletes.
+
+    Args:
+        dim: attribute count of the tuples.
+        num_groups: number of groups ``C``.
+        algorithm: core solver used on queries (``"auto"`` by default).
+        seed: forwarded to stochastic solvers.
+
+    Tuples are identified by the integer keys the caller supplies (e.g.
+    primary keys); points must already be normalized consistently — the
+    maintained skylines are scale-sensitive like everything else here.
+    """
+
+    def __init__(self, dim: int, num_groups: int, *, algorithm: str = "auto", seed=7):
+        if dim < 1 or num_groups < 1:
+            raise ValueError("dim and num_groups must be positive")
+        self.dim = dim
+        self.num_groups = num_groups
+        self.algorithm = algorithm
+        self.seed = seed
+        self._groups = [_Group() for _ in range(num_groups)]
+        self._keys: dict[int, int] = {}  # key -> group
+        self._version = 0
+        self._cache: tuple[int, int, Solution] | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def insert(self, key: int, point, group: int) -> None:
+        """Insert tuple ``key`` with coordinates ``point`` into ``group``."""
+        if key in self._keys:
+            raise KeyError(f"tuple {key} already present")
+        if not 0 <= group < self.num_groups:
+            raise ValueError(f"group {group} out of range")
+        arr = as_points(np.asarray(point, dtype=np.float64)[None, :])[0]
+        if arr.shape[0] != self.dim:
+            raise ValueError(f"point must have {self.dim} attributes")
+        self._groups[group].insert(key, arr)
+        self._keys[key] = group
+        self._version += 1
+
+    def delete(self, key: int) -> None:
+        """Delete tuple ``key``."""
+        group = self._keys.pop(key, None)
+        if group is None:
+            raise KeyError(f"tuple {key} is not alive")
+        self._groups[group].delete(key)
+        self._version += 1
+
+    def group_sizes(self) -> np.ndarray:
+        return np.array(
+            [len(g.alive) for g in self._groups], dtype=np.int64
+        )
+
+    def skyline_keys(self) -> list[int]:
+        """Current per-group skyline, as caller keys."""
+        keys: list[int] = []
+        for g in self._groups:
+            keys.extend(g.current_skyline())
+        return sorted(keys)
+
+    def skyline_dataset(self) -> Dataset:
+        """The current per-group skyline as a solvable Dataset."""
+        keys: list[int] = []
+        labels: list[int] = []
+        points: list[np.ndarray] = []
+        for c, g in enumerate(self._groups):
+            for key in g.current_skyline():
+                keys.append(key)
+                labels.append(c)
+                points.append(g.alive[key])
+        if not points:
+            raise ValueError("no tuples alive")
+        present = sorted(set(labels))
+        remap = {c: i for i, c in enumerate(present)}
+        dataset = Dataset(
+            points=np.asarray(points),
+            labels=np.asarray([remap[c] for c in labels], dtype=np.int64),
+            name="dynamic",
+            group_attribute="dynamic",
+            group_names=tuple(f"g{c}" for c in present),
+            ids=np.asarray(keys, dtype=np.int64),
+        )
+        dataset.meta["population_group_sizes"] = [
+            len(self._groups[c].alive) for c in present
+        ]
+        return dataset
+
+    def solution(self, constraint: FairnessConstraint) -> Solution:
+        """(Re-)solve on the current state; cached until the data changes."""
+        cache_key = (self._version, id(constraint))
+        if self._cache is not None and self._cache[:2] == cache_key:
+            return self._cache[2]
+        dataset = self.skyline_dataset()
+        kwargs = {} if self.algorithm == "IntCov" else {"seed": self.seed}
+        if self.algorithm == "auto" and dataset.dim == 2:
+            kwargs = {}
+        solution = solve_fairhms(
+            dataset, constraint, algorithm=self.algorithm, **kwargs
+        )
+        self._cache = (self._version, id(constraint), solution)
+        return solution

@@ -1,0 +1,202 @@
+"""Streaming FairHMS: bounded-memory selection over a tuple stream.
+
+The fairness matroid the paper builds on comes from *streaming* submodular
+maximization (El Halabi et al., NeurIPS 2020), which makes a streaming
+FairHMS the natural extension.  The difficulty unique to HMS is that the
+objective's denominators — the best score per utility direction — are
+themselves stream-dependent, so marginal gains computed early are stale.
+
+This implementation therefore streams a *sieve* rather than a solution:
+
+* a fixed direction net is sampled upfront;
+* per direction, the running top score over the stream so far is kept;
+* an arriving tuple enters its group's bounded buffer if its score is
+  within ``(1 - slack)`` of the running top for some direction (it is a
+  near-champion somewhere); buffer members that stop satisfying this
+  criterion under the updated tops are evicted lazily when space is
+  needed, worst-scoring first;
+* ``finalize(constraint)`` runs BiGreedy over the buffered tuples with
+  denominators from the *final* running tops — exactly the offline
+  computation, restricted to the survivors.
+
+Every tuple that would achieve a happiness ratio of ``tau >= 1 - slack``
+for some net direction at finalize time is in the buffer (its score beats
+``(1 - slack) top_j`` at arrival and tops only grow, so it also beat every
+intermediate criterion), hence the sieve is lossless for solutions whose
+per-direction champions are near-champions — the regime every HMS
+instance of the paper lives in.  Memory is ``O(C * buffer_per_group)``
+tuples plus the net.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..core.bigreedy import bigreedy, default_net_size
+from ..core.solution import Solution
+from ..data.dataset import Dataset
+from ..fairness.constraints import FairnessConstraint
+from ..geometry.deltanet import sample_directions
+from ..hms.truncated import TruncatedEngine
+
+__all__ = ["StreamingFairHMS"]
+
+
+class _Buffered:
+    __slots__ = ("key", "point", "scores")
+
+    def __init__(self, key, point, scores):
+        self.key = key
+        self.point = point
+        self.scores = scores
+
+
+class StreamingFairHMS:
+    """One-pass bounded-memory sieve + finalization for FairHMS.
+
+    Args:
+        dim: attribute count.
+        num_groups: number of groups ``C``.
+        buffer_per_group: max tuples kept per group (memory budget).
+        net_size: direction-net size (defaults to ``10 * 20 * dim``, i.e.
+            the paper's practical size for k up to 20).
+        slack: sieve admission slack; larger keeps more marginal tuples.
+        seed: net-sampling seed.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_groups: int,
+        *,
+        buffer_per_group: int = 256,
+        net_size: int | None = None,
+        slack: float = 0.2,
+        seed=7,
+    ) -> None:
+        self.dim = check_positive_int(dim, name="dim")
+        self.num_groups = check_positive_int(num_groups, name="num_groups")
+        self.buffer_per_group = check_positive_int(
+            buffer_per_group, name="buffer_per_group"
+        )
+        if not 0.0 < slack < 1.0:
+            raise ValueError(f"slack must lie in (0, 1), got {slack}")
+        self.slack = float(slack)
+        m = net_size or default_net_size(20, dim)
+        self.net = sample_directions(m, dim, seed)
+        self.tops = np.zeros(m)
+        self._buffers: list[list[_Buffered]] = [[] for _ in range(num_groups)]
+        self._seen = 0
+        self._group_seen = np.zeros(num_groups, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def seen(self) -> int:
+        """Tuples observed so far."""
+        return self._seen
+
+    def buffered(self) -> int:
+        """Tuples currently held in the sieve."""
+        return sum(len(b) for b in self._buffers)
+
+    def observe(self, key: int, point, group: int) -> bool:
+        """Feed one tuple; returns True if it entered the buffer."""
+        if not 0 <= group < self.num_groups:
+            raise ValueError(f"group {group} out of range")
+        arr = np.asarray(point, dtype=np.float64)
+        if arr.shape != (self.dim,):
+            raise ValueError(f"point must have {self.dim} attributes")
+        if (arr < 0).any():
+            raise ValueError("points must be nonnegative")
+        self._seen += 1
+        self._group_seen[group] += 1
+        scores = self.net @ arr
+        np.maximum(self.tops, scores, out=self.tops)
+        # Admission: near-champion for some direction under current tops.
+        if not (scores >= (1.0 - self.slack) * self.tops - 1e-12).any():
+            return False
+        buffer = self._buffers[group]
+        buffer.append(_Buffered(int(key), arr, scores))
+        if len(buffer) > self.buffer_per_group:
+            self._evict(buffer)
+        return True
+
+    def observe_many(self, keys, points, groups) -> int:
+        """Feed a batch; returns how many entered the buffer."""
+        points = np.asarray(points, dtype=np.float64)
+        admitted = 0
+        for key, point, group in zip(keys, points, groups):
+            admitted += bool(self.observe(key, point, int(group)))
+        return admitted
+
+    def _evict(self, buffer: list[_Buffered]) -> None:
+        """Drop members that stopped being near-champions; then worst-first."""
+        threshold = (1.0 - self.slack) * self.tops
+        keep = [b for b in buffer if (b.scores >= threshold - 1e-12).any()]
+        if len(keep) > self.buffer_per_group:
+            # Still over budget: keep the tuples with the best relative
+            # standing (max score ratio against the current tops).
+            standing = [float((b.scores / np.maximum(self.tops, 1e-300)).max()) for b in keep]
+            order = np.argsort(standing)[::-1][: self.buffer_per_group]
+            keep = [keep[int(i)] for i in sorted(order)]
+        buffer[:] = keep
+
+    # ------------------------------------------------------------------ #
+
+    def buffer_dataset(self) -> Dataset:
+        """The sieve survivors as a Dataset (ids = caller keys)."""
+        keys: list[int] = []
+        labels: list[int] = []
+        points: list[np.ndarray] = []
+        for c, buffer in enumerate(self._buffers):
+            self._evict(buffer)  # apply the final tops before exporting
+            for member in buffer:
+                keys.append(member.key)
+                labels.append(c)
+                points.append(member.point)
+        if not points:
+            raise ValueError("nothing buffered; stream some tuples first")
+        present = sorted(set(labels))
+        remap = {c: i for i, c in enumerate(present)}
+        dataset = Dataset(
+            points=np.asarray(points),
+            labels=np.asarray([remap[c] for c in labels], dtype=np.int64),
+            name="stream-sieve",
+            group_attribute="stream",
+            group_names=tuple(f"g{c}" for c in present),
+            ids=np.asarray(keys, dtype=np.int64),
+        )
+        dataset.meta["population_group_sizes"] = [
+            int(self._group_seen[c]) for c in present
+        ]
+        return dataset
+
+    def finalize(self, constraint: FairnessConstraint, **kwargs) -> Solution:
+        """Run BiGreedy over the sieve with final-stream denominators.
+
+        The happiness denominators come from the running per-direction tops
+        of the *whole stream* (every observed tuple contributed to them, in
+        or out of the buffer), so the returned MHR estimate is measured
+        against the full stream, exactly as the offline algorithm would.
+        """
+        dataset = self.buffer_dataset()
+        engine = TruncatedEngine(dataset.points, self.net)
+        stream_top = np.maximum(self.tops, 1e-300)
+        engine.ratios = np.asarray(
+            (self.net @ dataset.points.T) / stream_top[:, None],
+            dtype=engine.ratios.dtype,
+        )
+        engine._capped_tau = None  # invalidate the per-cap cache
+        engine._capped = None
+        solution = bigreedy(
+            dataset,
+            constraint,
+            engine=engine,
+            algorithm_name="StreamingFairHMS",
+            **kwargs,
+        )
+        solution.stats["stream_seen"] = self._seen
+        solution.stats["stream_buffered"] = dataset.n
+        return solution

@@ -1,0 +1,12 @@
+"""Fairness substrate: constraints, the fairness matroid, and metrics."""
+
+from .constraints import FairnessConstraint
+from .matroid import FairnessMatroid
+from .metrics import fairness_violations, violation_breakdown
+
+__all__ = [
+    "FairnessConstraint",
+    "FairnessMatroid",
+    "fairness_violations",
+    "violation_breakdown",
+]

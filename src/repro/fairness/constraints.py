@@ -1,0 +1,169 @@
+"""Group fairness constraints (paper Section 2, "Fairness Model").
+
+A constraint assigns each group ``c`` a lower bound ``l_c`` and upper bound
+``h_c`` on how many solution members may come from it.  Two standard
+constructions (following El Halabi et al., NeurIPS 2020):
+
+* proportional representation:
+  ``l_c = floor((1 - alpha) k |D_c| / |D|)``,
+  ``h_c = ceil((1 + alpha) k |D_c| / |D|)``;
+* balanced representation:
+  ``l_c = floor((1 - alpha) k / C)``, ``h_c = ceil((1 + alpha) k / C)``.
+
+The experiments additionally clamp ``l_c`` to at least 1 and ``h_c`` to at
+most ``k - C + 1`` (Section 5.1), which we expose as ``clamp=True``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_int
+
+__all__ = ["FairnessConstraint"]
+
+
+@dataclass(frozen=True)
+class FairnessConstraint:
+    """Per-group selection bounds for a solution of size ``k``.
+
+    Attributes:
+        lower: int64 array of per-group lower bounds ``l_c >= 0``.
+        upper: int64 array of per-group upper bounds ``h_c >= l_c``.
+        k: target solution size.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    k: int
+
+    def __post_init__(self) -> None:
+        lower = np.asarray(self.lower, dtype=np.int64).copy()
+        upper = np.asarray(self.upper, dtype=np.int64).copy()
+        k = check_positive_int(self.k, name="k")
+        if lower.ndim != 1 or upper.shape != lower.shape:
+            raise ValueError("lower and upper must be 1-D arrays of equal length")
+        if lower.shape[0] == 0:
+            raise ValueError("need at least one group")
+        if (lower < 0).any():
+            raise ValueError("lower bounds must be nonnegative")
+        if (upper < lower).any():
+            raise ValueError("every upper bound must be >= its lower bound")
+        lower.setflags(write=False)
+        upper.setflags(write=False)
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+        object.__setattr__(self, "k", k)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def proportional(
+        cls, k: int, group_sizes, *, alpha: float = 0.1, clamp: bool = True
+    ) -> "FairnessConstraint":
+        """Proportional-representation bounds (the paper's default).
+
+        With ``clamp=True`` (Section 5.1): ``l_c`` is at least 1 and ``h_c``
+        at most ``k - C + 1``.
+        """
+        k = check_positive_int(k, name="k")
+        sizes = np.asarray(group_sizes, dtype=np.float64)
+        if sizes.ndim != 1 or (sizes <= 0).any():
+            raise ValueError("group_sizes must be a 1-D array of positive sizes")
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+        shares = k * sizes / sizes.sum()
+        lower = np.floor((1.0 - alpha) * shares).astype(np.int64)
+        upper = np.ceil((1.0 + alpha) * shares).astype(np.int64)
+        if clamp:
+            # Section 5.1: l_c at least 1, h_c at most k - C + 1.  The upper
+            # cap is hard (it is what leaves room for one tuple from every
+            # other group), so a dominant group's lower bound must yield.
+            num_groups = sizes.shape[0]
+            lower = np.maximum(lower, 1)
+            upper = np.minimum(upper, max(k - num_groups + 1, 1))
+            lower = np.minimum(lower, upper)
+        return cls(lower=lower, upper=upper, k=k)
+
+    @classmethod
+    def balanced(
+        cls, k: int, num_groups: int, *, alpha: float = 0.1, clamp: bool = True
+    ) -> "FairnessConstraint":
+        """Balanced-representation bounds: every group gets ~``k / C``."""
+        k = check_positive_int(k, name="k")
+        num_groups = check_positive_int(num_groups, name="num_groups")
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+        share = k / num_groups
+        lower = np.full(num_groups, math.floor((1.0 - alpha) * share), dtype=np.int64)
+        upper = np.full(num_groups, math.ceil((1.0 + alpha) * share), dtype=np.int64)
+        if clamp:
+            lower = np.maximum(lower, 1)
+            upper = np.minimum(upper, max(k - num_groups + 1, 1))
+            lower = np.minimum(lower, upper)
+        return cls(lower=lower, upper=upper, k=k)
+
+    @classmethod
+    def exact(cls, counts) -> "FairnessConstraint":
+        """Fixed per-group quota (``l_c = h_c``), e.g. one per gender."""
+        counts = np.asarray(counts, dtype=np.int64)
+        return cls(lower=counts, upper=counts, k=int(counts.sum()))
+
+    @classmethod
+    def unconstrained(cls, k: int, num_groups: int) -> "FairnessConstraint":
+        """Vacuous bounds turning FairHMS into vanilla HMS."""
+        k = check_positive_int(k, name="k")
+        num_groups = check_positive_int(num_groups, name="num_groups")
+        return cls(
+            lower=np.zeros(num_groups, dtype=np.int64),
+            upper=np.full(num_groups, k, dtype=np.int64),
+            k=k,
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_groups(self) -> int:
+        return self.lower.shape[0]
+
+    def is_feasible_for(self, group_sizes) -> bool:
+        """Can any size-``k`` subset of a dataset with these group sizes
+        satisfy the constraint?"""
+        sizes = np.asarray(group_sizes, dtype=np.int64)
+        if sizes.shape != self.lower.shape:
+            return False
+        if (sizes < self.lower).any():
+            return False
+        capacity = np.minimum(self.upper, sizes)
+        return int(self.lower.sum()) <= self.k <= int(capacity.sum())
+
+    def counts_of(self, labels, selection) -> np.ndarray:
+        """Per-group counts ``|S ∩ D_c|`` of a selection (index array)."""
+        labels = np.asarray(labels, dtype=np.int64)
+        selection = np.asarray(selection, dtype=np.int64)
+        return np.bincount(labels[selection], minlength=self.num_groups)
+
+    def satisfied_by(self, labels, selection) -> bool:
+        """True iff the selection has size ``k`` and meets every bound."""
+        selection = np.asarray(selection, dtype=np.int64)
+        if selection.shape[0] != self.k:
+            return False
+        counts = self.counts_of(labels, selection)
+        return bool(
+            (counts >= self.lower).all() and (counts <= self.upper).all()
+        )
+
+    def describe(self, group_names=None) -> str:
+        """Human-readable rendering, e.g. ``Female:1..3, Male:2..4``."""
+        parts = []
+        for c in range(self.num_groups):
+            name = group_names[c] if group_names else f"g{c}"
+            parts.append(f"{name}:{int(self.lower[c])}..{int(self.upper[c])}")
+        return ", ".join(parts)

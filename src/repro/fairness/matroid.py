@@ -1,0 +1,139 @@
+"""The fairness matroid (paper Section 2).
+
+Following El Halabi et al. (NeurIPS 2020), the group-fairness constraint
+induces a matroid ``M = (D, I)`` with independent sets
+
+    I = { S :  sum_c max(|S ∩ D_c|, l_c) <= k   and   |S ∩ D_c| <= h_c }.
+
+Facts used by the algorithms (tested property-based in the suite):
+
+* every feasible size-``k`` fair subset is independent;
+* every independent set with ``|S| < k`` extends to a feasible fair
+  size-``k`` set (augmentation), so greedy can always finish;
+* maximal independent sets (bases) have exactly ``min(k, sum_c min(h_c,
+  |D_c|))`` elements when the constraint is feasible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_group_labels
+from .constraints import FairnessConstraint
+
+__all__ = ["FairnessMatroid"]
+
+
+class FairnessMatroid:
+    """Independence oracle for the group-fairness matroid.
+
+    Designed for greedy algorithms: :meth:`addable_groups` answers "which
+    groups may contribute one more element" in O(C) given the current
+    per-group counts, so a greedy step is O(C) plus the gain computation.
+    """
+
+    def __init__(self, constraint: FairnessConstraint, labels) -> None:
+        self.constraint = constraint
+        self.labels = check_group_labels(labels, len(labels))
+        num_groups = int(self.labels.max()) + 1
+        if num_groups > constraint.num_groups:
+            raise ValueError(
+                f"labels reference {num_groups} groups but the constraint has "
+                f"{constraint.num_groups}"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def k(self) -> int:
+        return self.constraint.k
+
+    @property
+    def num_groups(self) -> int:
+        return self.constraint.num_groups
+
+    def slack(self, counts: np.ndarray) -> int:
+        """``k - sum_c max(counts_c, l_c)`` — remaining unreserved capacity."""
+        counts = np.asarray(counts, dtype=np.int64)
+        return int(self.k - np.maximum(counts, self.constraint.lower).sum())
+
+    def is_independent_counts(self, counts) -> bool:
+        """Independence test from per-group counts alone."""
+        counts = np.asarray(counts, dtype=np.int64)
+        if (counts > self.constraint.upper).any():
+            return False
+        return self.slack(counts) >= 0
+
+    def is_independent(self, selection) -> bool:
+        """Independence test for an index set (must be duplicate-free)."""
+        selection = np.asarray(selection, dtype=np.int64)
+        if selection.size != np.unique(selection).size:
+            return False
+        counts = np.bincount(self.labels[selection], minlength=self.num_groups)
+        return self.is_independent_counts(counts)
+
+    def addable_groups(self, counts) -> np.ndarray:
+        """Groups whose count may grow by one while staying independent.
+
+        Group ``c`` is addable iff ``counts_c < h_c`` and the reservation
+        total stays within ``k``.  Adding to a group below its lower bound
+        does not consume new reserved capacity (the slot was reserved
+        already), hence the two-case test.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        slack = self.slack(counts)
+        below_upper = counts < self.constraint.upper
+        # If counts_c < l_c the increment is absorbed by the reservation;
+        # otherwise it needs one unit of slack.
+        free_increment = counts < self.constraint.lower
+        return np.nonzero(below_upper & (free_increment | (slack >= 1)))[0]
+
+    def can_add(self, counts, group: int) -> bool:
+        """May one more element of ``group`` be added?"""
+        counts = np.asarray(counts, dtype=np.int64)
+        if not 0 <= group < self.num_groups:
+            raise ValueError(f"group {group} out of range")
+        if counts[group] >= self.constraint.upper[group]:
+            return False
+        if counts[group] < self.constraint.lower[group]:
+            return True
+        return self.slack(counts) >= 1
+
+    # ------------------------------------------------------------------ #
+    # completion to a feasible fair set
+    # ------------------------------------------------------------------ #
+
+    def completion_groups(self, counts) -> list[int]:
+        """Greedy order of groups to fill so a partial set reaches size k.
+
+        Returns a list of group ids (with repetition) whose members should
+        be added — groups below their lower bound first, then any group
+        with spare upper-bound capacity.  Raises if the counts are not
+        independent (no completion exists).
+        """
+        counts = np.asarray(counts, dtype=np.int64).copy()
+        if not self.is_independent_counts(counts):
+            raise ValueError("counts are not independent; cannot complete")
+        order: list[int] = []
+        group_sizes = np.bincount(self.labels, minlength=self.num_groups)
+        while counts.sum() < self.k:
+            deficits = np.nonzero(
+                (counts < self.constraint.lower) & (counts < group_sizes)
+            )[0]
+            if deficits.size:
+                c = int(deficits[0])
+            else:
+                addable = [
+                    c
+                    for c in self.addable_groups(counts)
+                    if counts[c] < group_sizes[c]
+                ]
+                if not addable:
+                    raise ValueError(
+                        "constraint infeasible for these group sizes: "
+                        f"cannot reach k={self.k} from counts={counts.tolist()}"
+                    )
+                c = int(addable[0])
+            counts[c] += 1
+            order.append(c)
+        return order

@@ -1,0 +1,48 @@
+"""Fairness-violation metric (paper Equation 3).
+
+``err(S) = sum_c max(|S ∩ D_c| - h_c, l_c - |S ∩ D_c|, 0)`` counts how many
+members a solution is away from satisfying every group bound; 0 means fair.
+Used throughout the Figure 3 experiment to show that unconstrained RMS/HMS
+algorithms violate group fairness almost everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constraints import FairnessConstraint
+
+__all__ = ["fairness_violations", "violation_breakdown"]
+
+
+def fairness_violations(constraint: FairnessConstraint, labels, selection) -> int:
+    """``err(S)`` of Equation 3 for an index selection."""
+    counts = constraint.counts_of(labels, selection)
+    over = counts - constraint.upper
+    under = constraint.lower - counts
+    return int(np.maximum(np.maximum(over, under), 0).sum())
+
+
+def violation_breakdown(
+    constraint: FairnessConstraint, labels, selection
+) -> list[dict]:
+    """Per-group diagnostic rows: count, bounds, violation.
+
+    Handy for reports and the examples; one dict per group with keys
+    ``group``, ``count``, ``lower``, ``upper``, ``violation``.
+    """
+    counts = constraint.counts_of(labels, selection)
+    rows = []
+    for c in range(constraint.num_groups):
+        over = int(counts[c] - constraint.upper[c])
+        under = int(constraint.lower[c] - counts[c])
+        rows.append(
+            {
+                "group": c,
+                "count": int(counts[c]),
+                "lower": int(constraint.lower[c]),
+                "upper": int(constraint.upper[c]),
+                "violation": max(over, under, 0),
+            }
+        )
+    return rows

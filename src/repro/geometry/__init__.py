@@ -1,0 +1,35 @@
+"""Geometric substrate: dominance, envelopes, delta-nets, hulls, LPs."""
+
+from .deltanet import (
+    coverage_angle,
+    delta_net,
+    delta_net_size,
+    grid_directions_2d,
+    net_parameter_for_mhr_error,
+    sample_directions,
+)
+from .dominance import dominates, is_skyline_point, skyline_indices, skyline_mask
+from .envelope import Envelope, tau_interval, tau_intervals, upper_envelope
+from .hull import maxima_candidates
+from .lp import RegretResult, max_regret_ratio_lp, worst_direction_lp
+
+__all__ = [
+    "Envelope",
+    "RegretResult",
+    "coverage_angle",
+    "delta_net",
+    "delta_net_size",
+    "dominates",
+    "grid_directions_2d",
+    "is_skyline_point",
+    "maxima_candidates",
+    "max_regret_ratio_lp",
+    "net_parameter_for_mhr_error",
+    "sample_directions",
+    "skyline_indices",
+    "skyline_mask",
+    "tau_interval",
+    "tau_intervals",
+    "upper_envelope",
+    "worst_direction_lp",
+]

@@ -1,0 +1,119 @@
+"""Pareto dominance and skyline computation.
+
+A point ``p`` dominates ``q`` iff ``p >= q`` coordinate-wise with at least
+one strict inequality (larger is better).  The skyline (Pareto front) is the
+set of non-dominated points.  The paper precomputes skylines as algorithm
+input — per *group*, because fairness constraints can force selecting points
+that are dominated globally but not within their group (Table 2 reports the
+sum of per-group skyline sizes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_points
+
+__all__ = ["dominates", "skyline_mask", "skyline_indices", "is_skyline_point"]
+
+
+def dominates(p, q, *, strict_all: bool = False) -> bool:
+    """Return True iff point ``p`` dominates point ``q``.
+
+    Args:
+        p, q: 1-D coordinate arrays of equal length.
+        strict_all: if True require ``p > q`` in every coordinate (strong
+            dominance) instead of the usual weak-plus-one-strict definition.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape or p.ndim != 1:
+        raise ValueError("p and q must be 1-D arrays of equal length")
+    if strict_all:
+        return bool((p > q).all())
+    return bool((p >= q).all() and (p > q).any())
+
+
+def _skyline_mask_2d(arr: np.ndarray) -> np.ndarray:
+    """O(n log n) skyline for d = 2: sweep by descending x, track max y.
+
+    A point is dominated iff some point with x' >= x has y' >= y (and is not
+    an exact duplicate counted as non-dominating).  Sorting by (-x, -y) and
+    keeping the running maximum of y over *strictly larger* x handles ties:
+    among equal-x points, only those matching the maximal y survive, unless
+    an earlier strictly-larger-x point already reaches that y.
+    """
+    n = arr.shape[0]
+    order = np.lexsort((-arr[:, 1], -arr[:, 0]))
+    mask = np.zeros(n, dtype=bool)
+    best_y = -np.inf  # max y among points with strictly larger x
+    i = 0
+    while i < n:
+        # Block of points sharing the same x.
+        j = i
+        x = arr[order[i], 0]
+        block_best = -np.inf
+        while j < n and arr[order[j], 0] == x:
+            block_best = max(block_best, arr[order[j], 1])
+            j += 1
+        for t in range(i, j):
+            y = arr[order[t], 1]
+            # Dominated by a strictly-larger-x point reaching >= y, or by a
+            # same-x point with strictly larger y.
+            if y <= best_y or y < block_best:
+                continue
+            mask[order[t]] = True
+        best_y = max(best_y, block_best)
+        i = j
+    return mask
+
+
+def skyline_mask(points) -> np.ndarray:
+    """Boolean mask of skyline membership.
+
+    Uses an O(n log n) sweep in 2-D and the SFS (sort-filter-skyline)
+    algorithm otherwise: scan points in descending coordinate-sum order —
+    a dominator always has a sum >= its victim's — testing each candidate
+    against the skyline found so far with one vectorized comparison.
+    Duplicate points are all kept (a copy does not dominate its twin).
+    """
+    arr = as_points(points)
+    n, d = arr.shape
+    if d == 1:
+        return arr[:, 0] == arr[:, 0].max()
+    if d == 2:
+        return _skyline_mask_2d(arr)
+    order = np.argsort(-arr.sum(axis=1), kind="stable")
+    mask = np.zeros(n, dtype=bool)
+    buffer = np.empty_like(arr)  # filled prefix holds the current skyline
+    count = 0
+    for idx in order:
+        candidate = arr[idx]
+        if count:
+            sky = buffer[:count]
+            geq = (sky >= candidate).all(axis=1)
+            if geq.any() and (sky[geq] > candidate).any():
+                continue
+        mask[idx] = True
+        buffer[count] = candidate
+        count += 1
+    return mask
+
+
+def skyline_indices(points) -> np.ndarray:
+    """Indices of skyline points, in original order."""
+    return np.nonzero(skyline_mask(points))[0]
+
+
+def is_skyline_point(points, index: int) -> bool:
+    """Return True iff ``points[index]`` is on the skyline of ``points``."""
+    arr = as_points(points)
+    if not 0 <= index < arr.shape[0]:
+        raise IndexError(f"index {index} out of range")
+    p = arr[index]
+    others = np.delete(arr, index, axis=0)
+    if others.size == 0:
+        return True
+    geq = (others >= p).all(axis=1)
+    strict = (others > p).any(axis=1)
+    return not bool((geq & strict).any())

@@ -1,0 +1,57 @@
+"""Convex-hull helpers for exact happiness-ratio computation.
+
+The maximizer of a nonnegative linear utility over a database is always a
+point that is both on the skyline and a vertex of the convex hull.
+Restricting the exact-MHR linear programs (``repro.geometry.lp``) to these
+*maxima candidates* is therefore lossless and often shrinks the candidate
+set by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_points
+from .dominance import skyline_indices
+from .envelope import upper_envelope
+
+__all__ = ["maxima_candidates"]
+
+# Above this many points, qhull in high dimension tends to be slower than
+# just running the LPs on the skyline, so we skip it.
+_HULL_SIZE_LIMIT = 200_000
+# qhull's cost explodes combinatorially with dimension; beyond this the
+# skyline is the better candidate set.
+_HULL_DIM_LIMIT = 6
+
+
+def maxima_candidates(points) -> np.ndarray:
+    """Indices of points that can maximize some ``u >= 0`` utility.
+
+    Returns a superset of the true maxima set (never misses a maximizer):
+
+    * ``d = 1``: the max points.
+    * ``d = 2``: supporting points of the upper score-line envelope, which
+      are exactly the maximizers over all ``u = (lam, 1 - lam)``.
+    * ``d >= 3``: skyline points that are convex-hull vertices (via scipy's
+      qhull); falls back to the full skyline if qhull is unavailable or
+      degenerate (e.g. coplanar data).
+    """
+    arr = as_points(points)
+    n, d = arr.shape
+    if d == 1:
+        return np.nonzero(arr[:, 0] == arr[:, 0].max())[0]
+    sky = skyline_indices(arr)
+    if d == 2:
+        env = upper_envelope(arr)
+        return np.unique(env.supporting_points())
+    if n * d > _HULL_SIZE_LIMIT or d > _HULL_DIM_LIMIT or sky.size <= d + 1:
+        return sky
+    try:
+        from scipy.spatial import ConvexHull
+
+        hull = ConvexHull(arr[sky], qhull_options="QJ")
+        return np.sort(sky[np.unique(hull.vertices)])
+    except Exception:
+        # Degenerate geometry (flat data) — the skyline is always safe.
+        return sky

@@ -1,0 +1,34 @@
+"""Happiness-ratio objective: direct, exact, and truncated evaluators."""
+
+from .evaluation import MhrEvaluation, MhrEvaluator, evaluate_mhr
+from .exact import (
+    critical_lambdas_2d,
+    mhr_exact,
+    mhr_exact_2d,
+    mhr_exact_2d_with_env,
+)
+from .ratios import (
+    happiness_ratio,
+    happiness_ratios,
+    mhr_on_net,
+    scores,
+    top_scores,
+)
+from .truncated import TruncatedEngine, TruncatedState
+
+__all__ = [
+    "MhrEvaluation",
+    "MhrEvaluator",
+    "TruncatedEngine",
+    "TruncatedState",
+    "critical_lambdas_2d",
+    "evaluate_mhr",
+    "happiness_ratio",
+    "happiness_ratios",
+    "mhr_exact",
+    "mhr_exact_2d",
+    "mhr_exact_2d_with_env",
+    "mhr_on_net",
+    "scores",
+    "top_scores",
+]

@@ -1,0 +1,97 @@
+"""Exact minimum-happiness-ratio computation.
+
+Two exact engines, cross-validated against each other in the test suite:
+
+* ``d = 2``: sweep the critical directions — the union of the breakpoints
+  of the upper envelopes of ``S`` and ``D``.  Between consecutive
+  breakpoints both envelopes are linear, and a ratio of linear functions is
+  monotone, so the minimum of ``hr`` is attained at a breakpoint.
+* ``d >= 3`` (works for any d): the LP decomposition of
+  :mod:`repro.geometry.lp`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_points
+from ..geometry.envelope import upper_envelope
+from ..geometry.lp import max_regret_ratio_lp
+
+__all__ = [
+    "mhr_exact",
+    "mhr_exact_2d",
+    "mhr_exact_2d_with_env",
+    "critical_lambdas_2d",
+]
+
+
+def critical_lambdas_2d(S, D) -> np.ndarray:
+    """Candidate minimizing directions for 2-D exact MHR.
+
+    The envelope breakpoints of both ``S`` and ``D`` (0 and 1 included).
+    """
+    env_s = upper_envelope(S)
+    env_d = upper_envelope(D)
+    lams = np.concatenate([env_s.vertices(), env_d.vertices()])
+    return np.unique(np.clip(lams, 0.0, 1.0))
+
+
+def mhr_exact_2d_with_env(S, env_d) -> float:
+    """Exact 2-D MHR against a precomputed database envelope.
+
+    Saves rebuilding the (large) database envelope when many subsets are
+    scored against the same database, e.g. inside F-Greedy's sweep.
+    """
+    S_arr = as_points(S, name="S")
+    env_s = upper_envelope(S_arr)
+    lams = np.unique(
+        np.clip(np.concatenate([env_s.vertices(), env_d.vertices()]), 0.0, 1.0)
+    )
+    top_s = np.asarray(env_s.value(lams))
+    top_d = np.asarray(env_d.value(lams))
+    if (top_d <= 0).any():
+        raise ValueError("database scores must be positive on [0, 1]")
+    return float(np.min(top_s / top_d))
+
+
+def mhr_exact_2d(S, D) -> float:
+    """Exact ``mhr(S, D)`` in two dimensions via the critical-lambda sweep."""
+    S_arr = as_points(S, name="S")
+    D_arr = as_points(D, name="D")
+    if S_arr.shape[1] != 2 or D_arr.shape[1] != 2:
+        raise ValueError("mhr_exact_2d requires 2-D points")
+    env_s = upper_envelope(S_arr)
+    env_d = upper_envelope(D_arr)
+    lams = np.unique(
+        np.clip(np.concatenate([env_s.vertices(), env_d.vertices()]), 0.0, 1.0)
+    )
+    top_s = env_s.value(lams)
+    top_d = env_d.value(lams)
+    if (top_d <= 0).any():
+        raise ValueError("database scores must be positive on [0, 1]")
+    return float(np.min(top_s / top_d))
+
+
+def mhr_exact(S, D, *, candidates=None) -> float:
+    """Exact ``mhr(S, D)`` for any dimension.
+
+    Args:
+        S: selected points ``(k, d)``; an empty selection has MHR 0.
+        D: database points ``(n, d)``.
+        candidates: optional maxima-candidate indices into ``D`` forwarded
+            to the LP engine (ignored in 2-D where the sweep is exact and
+            faster).
+    """
+    D_arr = as_points(D, name="D")
+    S_arr = np.asarray(S, dtype=np.float64)
+    if S_arr.ndim != 2 or S_arr.shape[1] != D_arr.shape[1]:
+        raise ValueError("S must be 2-D with the same dimension as D")
+    if S_arr.shape[0] == 0:
+        return 0.0
+    if D_arr.shape[1] == 1:
+        return float(S_arr[:, 0].max() / D_arr[:, 0].max())
+    if D_arr.shape[1] == 2:
+        return mhr_exact_2d(S_arr, D_arr)
+    result = max_regret_ratio_lp(S_arr, D_arr, candidates=candidates)
+    return 1.0 - result.value

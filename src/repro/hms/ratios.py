@@ -1,0 +1,68 @@
+"""Happiness-ratio primitives (paper Section 2).
+
+``hr(u, S, D) = max_{p in S} <u, p> / max_{p in D} <u, p>`` measures how
+satisfied a user with utility ``u`` is with the subset ``S``;
+``mhr(S, D) = min_u hr(u, S, D)`` is the worst case over all nonnegative
+linear utilities.  This module provides the direct (finite-set) evaluations;
+exact continuous minimization lives in :mod:`repro.hms.exact`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_points
+
+__all__ = ["scores", "top_scores", "happiness_ratio", "happiness_ratios", "mhr_on_net"]
+
+
+def scores(points, directions) -> np.ndarray:
+    """Utility matrix ``U[j, i] = <u_j, p_i>`` of shape ``(m, n)``."""
+    pts = as_points(points)
+    dirs = np.asarray(directions, dtype=np.float64)
+    if dirs.ndim == 1:
+        dirs = dirs[None, :]
+    if dirs.shape[1] != pts.shape[1]:
+        raise ValueError(
+            f"direction dimension {dirs.shape[1]} != point dimension {pts.shape[1]}"
+        )
+    if (dirs < 0).any():
+        raise ValueError("utility vectors must be nonnegative")
+    return dirs @ pts.T
+
+
+def top_scores(points, directions) -> np.ndarray:
+    """Best achievable score per direction: ``max_i <u_j, p_i>``."""
+    return scores(points, directions).max(axis=1)
+
+
+def happiness_ratio(u, S, D) -> float:
+    """``hr(u, S, D)`` for a single direction.
+
+    Directions with zero best score over ``D`` (possible only for the zero
+    vector, which is excluded from the utility space) raise ``ValueError``.
+    """
+    u_arr = np.asarray(u, dtype=np.float64)
+    best_d = float(scores(D, u_arr).max())
+    if best_d <= 0.0:
+        raise ValueError("direction has zero utility over the database")
+    best_s = float(scores(S, u_arr).max())
+    return best_s / best_d
+
+
+def happiness_ratios(S, D, directions) -> np.ndarray:
+    """``hr(u_j, S, D)`` for every direction ``u_j`` (vectorized)."""
+    top_d = top_scores(D, directions)
+    if (top_d <= 0).any():
+        raise ValueError("some direction has zero utility over the database")
+    top_s = top_scores(S, directions)
+    return top_s / top_d
+
+
+def mhr_on_net(S, D, directions) -> float:
+    """``mhr(S | N) = min_{u in N} hr(u, S, D)`` (Lemma 4.1's estimator).
+
+    Always an *upper* bound on the true ``mhr(S, D)``; the gap is at most
+    ``2 delta d / (1 + delta d)`` when ``directions`` is a delta-net.
+    """
+    return float(happiness_ratios(S, D, directions).min())

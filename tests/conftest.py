@@ -1,0 +1,74 @@
+"""Shared fixtures and hypothesis strategies for the FairHMS test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.data.dataset import Dataset
+from repro.data.lsac import lsac_example
+from repro.data.synthetic import anticorrelated_dataset
+from repro.fairness.constraints import FairnessConstraint
+
+# Keep property tests fast and deterministic in CI.
+settings.register_profile(
+    "suite",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("suite")
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(123)
+
+
+@pytest.fixture(scope="session")
+def lsac():
+    """The paper's Table 1 example, normalized, gender groups."""
+    return lsac_example("Gender")
+
+
+@pytest.fixture(scope="session")
+def lsac_sky(lsac):
+    return lsac.skyline()
+
+
+@pytest.fixture(scope="session")
+def tiny2d():
+    """Small 2-D anti-correlated dataset with 2 groups (fast exact tests)."""
+    return anticorrelated_dataset(40, 2, 2, seed=5).normalized()
+
+
+@pytest.fixture(scope="session")
+def small2d():
+    """Medium 2-D anti-correlated dataset with 3 groups."""
+    return anticorrelated_dataset(300, 2, 3, seed=6).normalized()
+
+
+@pytest.fixture(scope="session")
+def small3d():
+    """Small 3-D dataset with 2 groups for LP / BiGreedy tests."""
+    return anticorrelated_dataset(150, 3, 2, seed=7).normalized()
+
+
+@pytest.fixture(scope="session")
+def small6d():
+    """Small 6-D dataset with 3 groups."""
+    return anticorrelated_dataset(250, 6, 3, seed=8).normalized()
+
+
+@pytest.fixture
+def one_per_group():
+    """FairHMS constraint 'exactly one from each of two groups'."""
+    return FairnessConstraint.exact([1, 1])
+
+
+def make_dataset(points, labels, **kwargs) -> Dataset:
+    """Convenience constructor used across tests."""
+    return Dataset(points=np.asarray(points, dtype=float),
+                   labels=np.asarray(labels, dtype=np.int64), **kwargs)

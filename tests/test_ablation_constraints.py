@@ -1,0 +1,84 @@
+"""Tests for the constraint-family ablation runner and sparklines."""
+
+import pytest
+
+from repro.experiments.ablation_constraints import (
+    AblationConstraintsConfig,
+    render_ablation_constraints,
+    run_ablation_constraints,
+)
+from repro.experiments.common import sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        out = sparkline([1, 2, 3, 4])
+        assert out[0] == "▁" and out[-1] == "█"
+        assert len(out) == 4
+
+    def test_constant_series(self):
+        out = sparkline([2, 2, 2])
+        assert len(set(out)) == 1
+
+    def test_none_rendered_as_space(self):
+        assert sparkline([1, None, 3])[1] == " "
+
+    def test_all_none(self):
+        assert sparkline([None, None]) == "  "
+
+    def test_explicit_bounds(self):
+        out = sparkline([0.5], minimum=0.0, maximum=1.0)
+        assert out in "▃▄▅"
+
+
+class TestAblationConstraints:
+    @pytest.fixture(scope="class")
+    def results(self):
+        config = AblationConstraintsConfig(
+            k=6,
+            anticor_n=200,
+            real_n=1_500,
+            panels=(
+                ("Adult (Gender)", {"real": ("Adult", "Gender")}),
+                ("AntiCor_6D", {"anticor": (6, 3)}),
+            ),
+        )
+        return run_ablation_constraints(config)
+
+    def test_all_families_present(self, results):
+        for records in results.values():
+            families = {r.algorithm for r in records}
+            assert "proportional" in families
+            assert "balanced" in families
+            assert "unconstrained" in families
+
+    def test_fair_families_have_zero_violations(self, results):
+        for records in results.values():
+            for r in records:
+                assert r.violations == 0
+
+    def test_unconstrained_weakly_best(self, results):
+        for records in results.values():
+            best_fair = max(
+                r.mhr for r in records if r.algorithm != "unconstrained"
+            )
+            unconstrained = next(
+                r.mhr for r in records if r.algorithm == "unconstrained"
+            )
+            # Unconstrained has a superset feasible region; allow net noise.
+            assert unconstrained >= best_fair - 0.05
+
+    def test_exact_quota_at_most_proportional(self, results):
+        """A stricter family can never beat a looser one (up to noise)."""
+        for records in results.values():
+            by_family = {r.algorithm: r.mhr for r in records}
+            if "exact-quota" in by_family:
+                assert (
+                    by_family["exact-quota"]
+                    <= by_family["proportional"] + 0.05
+                )
+
+    def test_render(self, results):
+        out = render_ablation_constraints(results)
+        assert "Constraint-family ablation" in out
+        assert "group composition" in out

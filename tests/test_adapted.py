@@ -1,0 +1,124 @@
+"""Fair-adaptation tests: quota splitting, G-* wrappers, F-Greedy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.adapted import (
+    BASELINES,
+    FAIR_BASELINES,
+    adapt_per_group,
+    f_greedy,
+    split_quota,
+)
+from repro.fairness.constraints import FairnessConstraint
+
+
+class TestSplitQuota:
+    def test_sums_to_k(self):
+        c = FairnessConstraint(lower=[1, 1, 1], upper=[4, 4, 4], k=8)
+        quota = split_quota(c, [100, 50, 50])
+        assert quota.sum() == 8
+
+    def test_respects_bounds(self):
+        c = FairnessConstraint(lower=[1, 2], upper=[3, 4], k=6)
+        quota = split_quota(c, [80, 20])
+        assert (quota >= c.lower).all()
+        assert (quota <= c.upper).all()
+
+    def test_proportional_tendency(self):
+        c = FairnessConstraint(lower=[1, 1], upper=[9, 9], k=10)
+        quota = split_quota(c, [90, 10])
+        assert quota[0] > quota[1]
+
+    def test_caps_at_group_size(self):
+        c = FairnessConstraint(lower=[0, 0], upper=[5, 5], k=5)
+        quota = split_quota(c, [2, 100])
+        assert quota[0] <= 2
+
+    def test_infeasible_rejected(self):
+        c = FairnessConstraint(lower=[3], upper=[4], k=3)
+        with pytest.raises(ValueError, match="infeasible"):
+            split_quota(c, [2])
+
+
+class TestAdaptPerGroup:
+    def test_g_greedy_fair(self, small2d):
+        c = FairnessConstraint.proportional(5, small2d.group_sizes, alpha=0.1)
+        s = adapt_per_group("Greedy", small2d, c)
+        assert s.algorithm == "G-Greedy"
+        assert s.size == 5
+        assert s.violations() == 0
+
+    def test_unknown_baseline(self, small2d):
+        c = FairnessConstraint.proportional(4, small2d.group_sizes, alpha=0.1)
+        with pytest.raises(ValueError, match="unknown baseline"):
+            adapt_per_group("Nope", small2d, c)
+
+    def test_dmm_propagates_small_quota_error(self, small6d):
+        c = FairnessConstraint.proportional(8, small6d.group_sizes, alpha=0.1)
+        # Quotas ~3 < d=6: DMM must refuse, like the paper's missing series.
+        with pytest.raises(ValueError):
+            adapt_per_group("DMM", small6d, c)
+
+    def test_indices_map_back_to_input_dataset(self, small2d):
+        c = FairnessConstraint.proportional(5, small2d.group_sizes, alpha=0.1)
+        s = adapt_per_group("Greedy", small2d, c)
+        # Every selected index's group matches the quota accounting.
+        counts = s.group_counts()
+        assert counts.sum() == 5
+        assert (counts >= c.lower).all()
+
+    def test_all_wrappers_registered(self):
+        for name in BASELINES:
+            assert f"G-{name}" in FAIR_BASELINES
+
+
+class TestFGreedy:
+    def test_fair_and_sized_2d(self, small2d):
+        c = FairnessConstraint.proportional(5, small2d.group_sizes, alpha=0.1)
+        s = f_greedy(small2d, c)
+        assert s.size == 5
+        assert s.violations() == 0
+        assert s.stats["marginals"] == "sweep"
+
+    def test_fair_and_sized_md(self, small3d):
+        c = FairnessConstraint.proportional(5, small3d.group_sizes, alpha=0.1)
+        s = f_greedy(small3d, c)
+        assert s.size == 5
+        assert s.violations() == 0
+        assert s.stats["marginals"] == "net"
+
+    def test_lp_marginals_small_instance(self, tiny2d):
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=3)
+        lp = f_greedy(tiny2d, c, marginals="lp")
+        sweep = f_greedy(tiny2d, c, marginals="sweep")
+        # Exact-LP and exact-sweep marginals must agree on quality.
+        assert lp.mhr() == pytest.approx(sweep.mhr(), abs=1e-6)
+
+    def test_sweep_requires_2d(self, small3d):
+        c = FairnessConstraint.proportional(4, small3d.group_sizes, alpha=0.1)
+        with pytest.raises(ValueError, match="d = 2"):
+            f_greedy(small3d, c, marginals="sweep")
+
+    def test_invalid_mode(self, small2d):
+        c = FairnessConstraint.proportional(4, small2d.group_sizes, alpha=0.1)
+        with pytest.raises(ValueError, match="marginals"):
+            f_greedy(small2d, c, marginals="psychic")
+
+    def test_infeasible(self, small2d):
+        sizes = small2d.group_sizes
+        c = FairnessConstraint(
+            lower=[int(sizes[0]) + 1, 0, 0],
+            upper=[int(sizes[0]) + 1, 1, 1],
+            k=int(sizes[0]) + 3,
+        )
+        with pytest.raises(ValueError, match="infeasible"):
+            f_greedy(small2d, c)
+
+    def test_close_to_intcov(self, small2d):
+        from repro.core.intcov import intcov
+
+        c = FairnessConstraint.proportional(5, small2d.group_sizes, alpha=0.1)
+        opt = intcov(small2d, c).mhr_estimate
+        s = f_greedy(small2d, c)
+        assert s.mhr() >= opt - 0.15

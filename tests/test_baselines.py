@@ -1,0 +1,182 @@
+"""Unconstrained baseline tests: Greedy, DMM, Sphere, HS."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import greedy_set_cover, pad_unconstrained
+from repro.baselines.dmm import DMM_MAX_DIM, dmm
+from repro.baselines.greedy import rdp_greedy
+from repro.baselines.hs import hitting_set
+from repro.baselines.oracles import DirectionOracle
+from repro.baselines.sphere import sphere
+from repro.hms.exact import mhr_exact
+
+
+class TestPadUnconstrained:
+    def test_no_padding_needed(self, tiny2d):
+        assert pad_unconstrained([3, 1], tiny2d, 2) == [3, 1]
+
+    def test_pads_with_best_sums(self, tiny2d):
+        out = pad_unconstrained([], tiny2d, 2)
+        sums = tiny2d.points.sum(axis=1)
+        assert out[0] == int(np.argmax(sums))
+
+    def test_dedupes(self, tiny2d):
+        out = pad_unconstrained([1, 1, 2], tiny2d, 3)
+        assert len(set(out)) == 3
+
+    def test_too_large_selection(self, tiny2d):
+        with pytest.raises(ValueError, match="larger than k"):
+            pad_unconstrained([0, 1, 2], tiny2d, 2)
+
+    def test_k_exceeds_n(self, tiny2d):
+        with pytest.raises(ValueError, match="exceeds"):
+            pad_unconstrained([], tiny2d, tiny2d.n + 1)
+
+
+class TestGreedySetCover:
+    def test_simple_cover(self):
+        covers = np.array([[True, False], [False, True]])
+        assert sorted(greedy_set_cover(covers)) == [0, 1]
+
+    def test_prefers_big_sets(self):
+        covers = np.array([[True, True], [True, False], [False, True]]).T
+        # Universe of 3 rows? build explicitly: rows=elements, cols=sets.
+        covers = np.array(
+            [[True, True, False], [True, False, True], [True, False, False]]
+        )
+        assert greedy_set_cover(covers) == [0]
+
+    def test_uncoverable(self):
+        covers = np.array([[True], [False]])
+        assert greedy_set_cover(covers) is None
+
+    def test_budget(self):
+        covers = np.eye(3, dtype=bool)
+        assert greedy_set_cover(covers, max_sets=2) is None
+        assert len(greedy_set_cover(covers, max_sets=3)) == 3
+
+    def test_empty_universe(self):
+        assert greedy_set_cover(np.zeros((0, 4), dtype=bool)) == []
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            greedy_set_cover(np.array([True, False]))
+
+
+class TestRdpGreedy:
+    def test_size(self, small2d):
+        assert rdp_greedy(small2d, 5).size == 5
+
+    def test_k_too_large(self, tiny2d):
+        with pytest.raises(ValueError):
+            rdp_greedy(tiny2d, tiny2d.n + 1)
+
+    def test_bad_oracle(self, small2d):
+        with pytest.raises(ValueError, match="oracle"):
+            rdp_greedy(small2d, 3, oracle="quantum")
+
+    def test_quality_improves_with_k(self, small2d):
+        small = rdp_greedy(small2d, 2).mhr()
+        large = rdp_greedy(small2d, 8).mhr()
+        assert large >= small - 1e-9
+
+    def test_lp_oracle_matches_hybrid_closely(self, small3d):
+        hybrid = rdp_greedy(small3d, 5, oracle="hybrid").mhr()
+        lp = rdp_greedy(small3d, 5, oracle="lp").mhr()
+        assert abs(hybrid - lp) < 0.1
+
+    def test_mhr_reasonable_2d(self, small2d):
+        s = rdp_greedy(small2d, 8)
+        assert s.mhr() > 0.8  # greedy is strong in 2-D
+
+
+class TestDMM:
+    def test_size(self, small2d):
+        assert dmm(small2d, 5).size == 5
+
+    def test_requires_k_ge_d(self, small3d):
+        with pytest.raises(ValueError, match="k >= d"):
+            dmm(small3d, 2)
+
+    def test_dimension_cap(self):
+        from repro.data.synthetic import anticorrelated_dataset
+
+        ds = anticorrelated_dataset(30, DMM_MAX_DIM + 1, 2, seed=0).normalized()
+        with pytest.raises(ValueError, match="does not scale"):
+            dmm(ds, 10)
+
+    def test_solution_quality_2d(self, small2d):
+        s = dmm(small2d, 8)
+        assert s.mhr() > 0.75
+
+    def test_threshold_recorded(self, small2d):
+        s = dmm(small2d, 5)
+        assert 0.0 <= s.stats["threshold"] <= 1.0
+
+
+class TestSphere:
+    def test_contains_extreme_points(self, small3d):
+        s = sphere(small3d, 6)
+        pts = small3d.points
+        for j in range(small3d.dim):
+            best = int(np.argmax(pts[:, j]))
+            assert best in s.indices.tolist()
+
+    def test_requires_k_ge_d(self, small3d):
+        with pytest.raises(ValueError, match="k >= d"):
+            sphere(small3d, 2)
+
+    def test_size(self, small3d):
+        assert sphere(small3d, 7).size == 7
+
+    def test_deterministic(self, small3d):
+        a = sphere(small3d, 6, seed=3)
+        b = sphere(small3d, 6, seed=3)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+
+class TestHS:
+    def test_size(self, small2d):
+        assert hitting_set(small2d, 5).size == 5
+
+    def test_quality_2d(self, small2d):
+        s = hitting_set(small2d, 8)
+        assert s.mhr() > 0.8
+
+    def test_eps_recorded(self, small2d):
+        s = hitting_set(small2d, 5)
+        assert 0.0 <= s.stats["eps"] <= 1.0
+
+    def test_certified_at_least_as_tight(self, small3d):
+        fast = hitting_set(small3d, 6)
+        certified = hitting_set(small3d, 6, certify=True)
+        # Certification can only make the accepted eps larger (harder).
+        assert certified.stats["eps"] >= fast.stats["eps"] - 1e-9
+
+
+class TestDirectionOracle:
+    def test_worst_direction_2d_exact(self, small2d):
+        oracle = DirectionOracle(small2d.points)
+        S = small2d.points[:3]
+        direction, hr = oracle.worst_direction(S)
+        assert hr == pytest.approx(mhr_exact(S, small2d.points), abs=1e-9)
+
+    def test_worst_direction_md_close_to_exact(self, small3d):
+        oracle = DirectionOracle(small3d.points, net_size=2048, refine=32)
+        S = small3d.points[:4]
+        _, hr = oracle.worst_direction(S)
+        assert hr == pytest.approx(mhr_exact(S, small3d.points), abs=0.02)
+
+    def test_violated_direction_none_for_full_set(self, small3d):
+        oracle = DirectionOracle(small3d.points)
+        assert oracle.violated_direction(small3d.points, 0.01) is None
+
+    def test_violated_direction_found(self, small3d):
+        oracle = DirectionOracle(small3d.points)
+        S = small3d.points[:1]
+        direction = oracle.violated_direction(S, 0.05, certify=True)
+        if direction is not None:
+            from repro.hms.ratios import happiness_ratio
+
+            assert happiness_ratio(direction, S, small3d.points) < 0.95 + 1e-6

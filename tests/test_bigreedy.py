@@ -1,0 +1,147 @@
+"""BiGreedy correctness and guarantee tests."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.bigreedy import bigreedy, default_net_size
+from repro.data.synthetic import anticorrelated_dataset
+from repro.fairness.constraints import FairnessConstraint
+from repro.geometry.deltanet import sample_directions
+from repro.hms.exact import mhr_exact
+from repro.hms.ratios import mhr_on_net
+from repro.hms.truncated import TruncatedEngine
+
+
+def brute_force_fair_optimum(dataset, constraint, net):
+    """Best net-MHR over all fair size-k subsets."""
+    best = -1.0
+    for combo in itertools.combinations(range(dataset.n), constraint.k):
+        if constraint.satisfied_by(dataset.labels, list(combo)):
+            value = mhr_on_net(dataset.points[list(combo)], dataset.points, net)
+            best = max(best, value)
+    return best
+
+
+class TestFeasibleMode:
+    def test_solution_is_fair_and_sized(self, small3d):
+        c = FairnessConstraint.proportional(6, small3d.group_sizes, alpha=0.1)
+        s = bigreedy(small3d, c, seed=0)
+        assert s.size == 6
+        assert s.violations() == 0
+        assert s.algorithm == "BiGreedy"
+
+    def test_deterministic_given_seed(self, small3d):
+        c = FairnessConstraint.proportional(5, small3d.group_sizes, alpha=0.1)
+        a = bigreedy(small3d, c, seed=42)
+        b = bigreedy(small3d, c, seed=42)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_estimate_is_net_upper_bound(self, small3d):
+        c = FairnessConstraint.proportional(5, small3d.group_sizes, alpha=0.1)
+        s = bigreedy(small3d, c, seed=1)
+        # Net estimate upper-bounds the exact MHR (Lemma 4.1).
+        assert s.mhr_estimate >= s.mhr() - 1e-6
+
+    def test_stats_recorded(self, small3d):
+        c = FairnessConstraint.proportional(5, small3d.group_sizes, alpha=0.1)
+        s = bigreedy(small3d, c, seed=2)
+        assert s.stats["net_size"] == default_net_size(5, 3)
+        assert s.stats["mode"] == "feasible"
+        assert s.stats["tau_steps"] >= 1
+
+    def test_explicit_net(self, small3d):
+        c = FairnessConstraint.proportional(4, small3d.group_sizes, alpha=0.1)
+        net = sample_directions(64, 3, seed=3)
+        s = bigreedy(small3d, c, net=net)
+        assert s.stats["net_size"] == 64
+
+    def test_delta_parameter(self, tiny2d):
+        c = FairnessConstraint.proportional(3, tiny2d.group_sizes, alpha=0.1)
+        s = bigreedy(tiny2d, c, delta=0.3, seed=4)
+        assert s.size == 3
+
+    def test_bicriteria_union_meets_guarantee(self):
+        """Theorem 4.6 on the *same* net: union within ~(1 - eps) of opt.
+
+        The (1 - eps) guarantee applies to the bicriteria union (the
+        feasible single-round output carries no such bound); the grid
+        contributes another (1 - eps/2) factor, folded into 2 eps slack.
+        """
+        eps = 0.05
+        ds = anticorrelated_dataset(12, 3, 2, seed=30).normalized()
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=3)
+        net = sample_directions(60, 3, seed=31)
+        engine = TruncatedEngine(ds.points, net, dtype=np.float64)
+        s = bigreedy(
+            ds, c, engine=engine, epsilon=eps, extra_steps=4, mode="bicriteria"
+        )
+        opt = brute_force_fair_optimum(ds, c, net)
+        got = mhr_on_net(s.points, ds.points, net)
+        assert got >= (1 - 2 * eps) * opt - 1e-6
+
+    def test_lsac_example(self, lsac_sky):
+        c = FairnessConstraint.exact([1, 1])
+        s = bigreedy(lsac_sky, c, seed=0)
+        assert sorted(s.ids.tolist()) == [4, 7]  # a5, a8
+        assert s.mhr() == pytest.approx(0.9834, abs=5e-5)
+
+
+class TestBicriteriaMode:
+    def test_union_respects_scaled_bounds(self, small3d):
+        c = FairnessConstraint.proportional(5, small3d.group_sizes, alpha=0.1)
+        s = bigreedy(small3d, c, seed=5, mode="bicriteria")
+        rounds = s.stats["rounds_used"]
+        counts = s.group_counts()
+        assert (counts <= rounds * c.upper).all()
+        assert s.size <= rounds * c.k
+
+    def test_union_at_least_k(self, small3d):
+        c = FairnessConstraint.proportional(5, small3d.group_sizes, alpha=0.1)
+        s = bigreedy(small3d, c, seed=6, mode="bicriteria")
+        assert s.size >= c.k
+
+    def test_union_estimate_not_below_feasible(self, small3d):
+        c = FairnessConstraint.proportional(5, small3d.group_sizes, alpha=0.1)
+        union = bigreedy(small3d, c, seed=7, mode="bicriteria")
+        single = bigreedy(small3d, c, seed=7, mode="feasible")
+        assert union.mhr_estimate >= single.mhr_estimate - 1e-6
+
+
+class TestValidation:
+    def test_bad_mode(self, small3d):
+        c = FairnessConstraint.proportional(4, small3d.group_sizes, alpha=0.1)
+        with pytest.raises(ValueError, match="mode"):
+            bigreedy(small3d, c, mode="turbo")
+
+    def test_bad_epsilon(self, small3d):
+        c = FairnessConstraint.proportional(4, small3d.group_sizes, alpha=0.1)
+        with pytest.raises(ValueError, match="epsilon"):
+            bigreedy(small3d, c, epsilon=0.0)
+
+    def test_group_mismatch(self, small3d):
+        c = FairnessConstraint(lower=[1], upper=[2], k=2)
+        with pytest.raises(ValueError, match="groups"):
+            bigreedy(small3d, c)
+
+    def test_infeasible_constraint(self, small3d):
+        sizes = small3d.group_sizes
+        c = FairnessConstraint(
+            lower=[int(sizes[0]) + 1, 0],
+            upper=[int(sizes[0]) + 2, 2],
+            k=int(sizes[0]) + 2,
+        )
+        with pytest.raises(ValueError, match="infeasible"):
+            bigreedy(small3d, c)
+
+
+class TestQualityVsBaseline2D:
+    def test_close_to_intcov_optimum(self, small2d):
+        """BiGreedy should land near the exact optimum in 2-D."""
+        from repro.core.intcov import intcov
+
+        c = FairnessConstraint.proportional(5, small2d.group_sizes, alpha=0.1)
+        opt = intcov(small2d, c)
+        approx = bigreedy(small2d, c, seed=8)
+        assert approx.mhr() >= opt.mhr_estimate - 0.1

@@ -1,0 +1,75 @@
+"""CLI smoke tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve", "Credit"])
+        assert args.k == 10
+        assert args.algorithm == "auto"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "Mystery"])
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "MATCH" in out
+        assert "MISMATCH" not in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Lawschs" in out and "#skylines" in out
+
+    def test_solve_anticor(self, capsys):
+        code = main(
+            [
+                "solve", "anticor", "--n", "200", "--d", "3",
+                "--groups", "2", "-k", "4", "--algorithm", "BiGreedy+",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact MHR" in out
+        assert "violations: 0" in out
+
+    def test_solve_credit_auto(self, capsys):
+        assert main(["solve", "Credit", "-k", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "BiGreedy+" in out or "IntCov" in out
+
+    def test_solve_lawschs_intcov(self, capsys):
+        code = main(
+            ["solve", "Lawschs", "--n", "3000", "-k", "4", "--algorithm", "IntCov"]
+        )
+        assert code == 0
+        assert "violations: 0" in capsys.readouterr().out
+
+    def test_experiments_forwards_to_run_all(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        calls = {}
+
+        def fake_run_all(*, fast, out):
+            calls["fast"] = fast
+            calls["out"] = out
+            return "REPORT"
+
+        import importlib
+
+        run_all_module = importlib.import_module("repro.experiments.run_all")
+        monkeypatch.setattr(run_all_module, "run_all", fake_run_all)
+        assert cli_module.main(["experiments", "--fast"]) == 0
+        assert calls == {"fast": True, "out": None}
+        assert "REPORT" in capsys.readouterr().out

@@ -1,0 +1,114 @@
+"""Unit tests for FairnessConstraint."""
+
+import numpy as np
+import pytest
+
+from repro.fairness.constraints import FairnessConstraint
+
+
+class TestConstruction:
+    def test_basic(self):
+        c = FairnessConstraint(lower=[1, 0], upper=[2, 3], k=4)
+        assert c.num_groups == 2
+        assert c.k == 4
+
+    def test_rejects_negative_lower(self):
+        with pytest.raises(ValueError):
+            FairnessConstraint(lower=[-1, 0], upper=[2, 3], k=4)
+
+    def test_rejects_upper_below_lower(self):
+        with pytest.raises(ValueError):
+            FairnessConstraint(lower=[2], upper=[1], k=2)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            FairnessConstraint(lower=[1, 1], upper=[2], k=2)
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ValueError):
+            FairnessConstraint(lower=[], upper=[], k=2)
+
+    def test_bounds_immutable(self):
+        c = FairnessConstraint(lower=[1], upper=[2], k=2)
+        with pytest.raises(ValueError):
+            c.lower[0] = 5
+
+
+class TestProportional:
+    def test_paper_formula(self):
+        # k=10, sizes 60/40, alpha=0.1 -> shares 6 and 4.
+        c = FairnessConstraint.proportional(10, [60, 40], alpha=0.1, clamp=False)
+        assert c.lower.tolist() == [int(np.floor(0.9 * 6)), int(np.floor(0.9 * 4))]
+        assert c.upper.tolist() == [int(np.ceil(1.1 * 6)), int(np.ceil(1.1 * 4))]
+
+    def test_clamping_floors_lower_at_one(self):
+        c = FairnessConstraint.proportional(5, [990, 10], alpha=0.1, clamp=True)
+        assert c.lower.min() >= 1
+
+    def test_clamping_caps_upper(self):
+        c = FairnessConstraint.proportional(5, [990, 10], alpha=0.1, clamp=True)
+        assert c.upper.max() <= 5 - 2 + 1
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            FairnessConstraint.proportional(5, [10, 10], alpha=1.5)
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError):
+            FairnessConstraint.proportional(5, [10, 0])
+
+
+class TestBalanced:
+    def test_equal_bounds(self):
+        c = FairnessConstraint.balanced(9, 3, alpha=0.1, clamp=False)
+        assert len(set(c.lower.tolist())) == 1
+        assert len(set(c.upper.tolist())) == 1
+
+    def test_respects_alpha(self):
+        c = FairnessConstraint.balanced(10, 2, alpha=0.2, clamp=False)
+        assert c.lower[0] == int(np.floor(0.8 * 5))
+        assert c.upper[0] == int(np.ceil(1.2 * 5))
+
+
+class TestExactAndUnconstrained:
+    def test_exact(self):
+        c = FairnessConstraint.exact([1, 2])
+        assert c.k == 3
+        assert (c.lower == c.upper).all()
+
+    def test_unconstrained_accepts_anything(self):
+        c = FairnessConstraint.unconstrained(4, 3)
+        assert c.satisfied_by([0, 0, 1, 2], [0, 1, 2, 3])
+
+
+class TestQueries:
+    def test_is_feasible_for(self):
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=3)
+        assert c.is_feasible_for([5, 5])
+        assert not c.is_feasible_for([5, 0])   # group 1 below lower bound
+        assert not c.is_feasible_for([1, 1])   # capacity 2 < k
+
+    def test_is_feasible_wrong_groups(self):
+        c = FairnessConstraint(lower=[1], upper=[2], k=2)
+        assert not c.is_feasible_for([5, 5])
+
+    def test_counts_of(self):
+        c = FairnessConstraint(lower=[0, 0], upper=[3, 3], k=3)
+        labels = np.array([0, 0, 1, 1, 1])
+        assert c.counts_of(labels, [0, 2, 3]).tolist() == [1, 2]
+
+    def test_satisfied_by(self):
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=3)
+        labels = np.array([0, 0, 1, 1])
+        assert c.satisfied_by(labels, [0, 1, 2])
+        assert not c.satisfied_by(labels, [0, 1])  # wrong size
+
+    def test_satisfied_by_bounds(self):
+        c = FairnessConstraint(lower=[1, 1], upper=[1, 2], k=3)
+        labels = np.array([0, 0, 1, 1])
+        assert not c.satisfied_by(labels, [0, 1, 2])  # two from group 0 > h_0
+
+    def test_describe(self):
+        c = FairnessConstraint(lower=[1, 2], upper=[2, 3], k=4)
+        assert c.describe(("F", "M")) == "F:1..2, M:2..3"
+        assert c.describe() == "g0:1..2, g1:2..3"

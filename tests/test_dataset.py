@@ -1,0 +1,123 @@
+"""Unit tests for repro.data.dataset.Dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.geometry.dominance import skyline_indices
+
+
+def make(points, labels, **kw):
+    return Dataset(points=np.asarray(points, float),
+                   labels=np.asarray(labels, np.int64), **kw)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        ds = make([[1, 2], [3, 4], [5, 6]], [0, 1, 0], name="t")
+        assert ds.n == 3
+        assert ds.dim == 2
+        assert ds.num_groups == 2
+        assert len(ds) == 3
+
+    def test_default_group_names(self):
+        ds = make([[1, 2]], [0])
+        assert ds.group_names == ("g0",)
+
+    def test_explicit_group_names(self):
+        ds = make([[1, 2], [3, 4]], [0, 1], group_names=("F", "M"))
+        assert ds.group_names == ("F", "M")
+
+    def test_wrong_group_name_count(self):
+        with pytest.raises(ValueError, match="group names"):
+            make([[1, 2], [3, 4]], [0, 1], group_names=("only-one",))
+
+    def test_default_ids_are_identity(self):
+        ds = make([[1, 2], [3, 4]], [0, 0])
+        assert ds.ids.tolist() == [0, 1]
+
+    def test_missing_group_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            make([[1, 2], [3, 4]], [0, 2])
+
+    def test_group_sizes(self):
+        ds = make([[1, 2], [3, 4], [5, 6]], [0, 1, 1])
+        assert ds.group_sizes.tolist() == [1, 2]
+
+    def test_group_indices(self):
+        ds = make([[1, 2], [3, 4], [5, 6]], [0, 1, 1])
+        assert ds.group_indices(1).tolist() == [1, 2]
+
+    def test_group_indices_out_of_range(self):
+        ds = make([[1, 2]], [0])
+        with pytest.raises(ValueError):
+            ds.group_indices(3)
+
+
+class TestTransformations:
+    def test_normalized_scales_columns(self):
+        ds = make([[2, 10], [1, 5]], [0, 1]).normalized()
+        assert ds.points.max(axis=0).tolist() == [1.0, 1.0]
+
+    def test_normalized_preserves_groups(self):
+        ds = make([[2, 10], [1, 5]], [0, 1], group_names=("a", "b")).normalized()
+        assert ds.group_names == ("a", "b")
+
+    def test_subset_keeps_ids(self):
+        ds = make([[1, 2], [3, 4], [5, 6]], [0, 1, 0])
+        sub = ds.subset([2, 0])
+        assert sub.ids.tolist() == [2, 0]
+        assert sub.points[0].tolist() == [5.0, 6.0]
+
+    def test_subset_reindexes_dropped_groups(self):
+        ds = make([[1, 2], [3, 4], [5, 6]], [0, 1, 2],
+                  group_names=("a", "b", "c"))
+        sub = ds.subset([0, 2])
+        assert sub.num_groups == 2
+        assert sub.group_names == ("a", "c")
+        assert sub.labels.tolist() == [0, 1]
+
+    def test_subset_keeps_group_names_when_all_present(self):
+        ds = make([[1, 2], [3, 4], [5, 6]], [0, 1, 0], group_names=("a", "b"))
+        sub = ds.subset([0, 1])
+        assert sub.group_names == ("a", "b")
+
+    def test_with_groups(self):
+        ds = make([[1, 2], [3, 4]], [0, 1])
+        re = ds.with_groups(np.array([0, 0]), names=("all",), attribute="none")
+        assert re.num_groups == 1
+        assert re.group_attribute == "none"
+        np.testing.assert_array_equal(re.points, ds.points)
+
+
+class TestSkyline:
+    def test_global_skyline(self):
+        # p1 dominates p0.
+        ds = make([[1, 1], [2, 2], [0, 3]], [0, 0, 0])
+        sky = ds.skyline(per_group=False)
+        assert set(sky.ids.tolist()) == {1, 2}
+
+    def test_per_group_skyline_keeps_dominated_group_best(self):
+        # Group 1's only point is dominated globally but kept per-group.
+        ds = make([[2, 2], [1, 1]], [0, 1])
+        sky = ds.skyline(per_group=True)
+        assert set(sky.ids.tolist()) == {0, 1}
+
+    def test_per_group_contains_global(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((60, 3))
+        labels = rng.integers(0, 3, 60)
+        # Ensure all groups appear.
+        labels[:3] = [0, 1, 2]
+        ds = make(pts, labels)
+        per_group = set(ds.skyline(per_group=True).ids.tolist())
+        global_sky = set(ds.skyline(per_group=False).ids.tolist())
+        assert global_sky <= per_group
+
+    def test_skyline_ids_map_to_original(self):
+        rng = np.random.default_rng(4)
+        pts = rng.random((30, 2))
+        ds = make(pts, [0] * 30)
+        sky = ds.skyline(per_group=False)
+        expected = skyline_indices(pts)
+        assert sorted(sky.ids.tolist()) == sorted(expected.tolist())

@@ -1,0 +1,112 @@
+"""Unit + property tests for delta-net sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.deltanet import (
+    coverage_angle,
+    delta_net,
+    delta_net_size,
+    grid_directions_2d,
+    net_parameter_for_mhr_error,
+    sample_directions,
+)
+
+
+class TestSampleDirections:
+    def test_shape(self):
+        assert sample_directions(10, 3, seed=0).shape == (10, 3)
+
+    def test_unit_norm(self):
+        net = sample_directions(50, 4, seed=1)
+        np.testing.assert_allclose(np.linalg.norm(net, axis=1), 1.0, atol=1e-12)
+
+    def test_nonnegative(self):
+        net = sample_directions(50, 5, seed=2)
+        assert (net >= 0).all()
+
+    def test_seeded_reproducibility(self):
+        a = sample_directions(20, 3, seed=7)
+        b = sample_directions(20, 3, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(9)
+        a = sample_directions(5, 2, rng)
+        b = sample_directions(5, 2, rng)  # advances the stream
+        assert not np.array_equal(a, b)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            sample_directions(0, 2)
+
+
+class TestGridDirections2D:
+    def test_endpoints(self):
+        grid = grid_directions_2d(5)
+        np.testing.assert_allclose(grid[0], [1.0, 0.0], atol=1e-12)
+        np.testing.assert_allclose(grid[-1], [0.0, 1.0], atol=1e-12)
+
+    def test_unit_norm(self):
+        grid = grid_directions_2d(9)
+        np.testing.assert_allclose(np.linalg.norm(grid, axis=1), 1.0, atol=1e-12)
+
+    def test_single_direction(self):
+        grid = grid_directions_2d(1)
+        np.testing.assert_allclose(grid[0], [np.cos(np.pi / 4)] * 2)
+
+    def test_covers_quarter_circle(self):
+        grid = grid_directions_2d(64)
+        probes = sample_directions(200, 2, seed=3)
+        # Spacing pi/2/63 -> any direction within ~pi/126 of the grid.
+        assert coverage_angle(grid, probes) <= np.pi / 126 + 1e-9
+
+
+class TestDeltaNetSize:
+    def test_grows_with_dimension(self):
+        assert delta_net_size(0.1, 4) > delta_net_size(0.1, 3)
+
+    def test_grows_as_delta_shrinks(self):
+        assert delta_net_size(0.01, 3) > delta_net_size(0.1, 3)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            delta_net_size(0.0, 3)
+        with pytest.raises(ValueError):
+            delta_net_size(1.0, 3)
+
+
+class TestNetParameter:
+    def test_paper_formula(self):
+        # delta' = delta / (d (2 - delta))
+        assert net_parameter_for_mhr_error(0.1, 4) == pytest.approx(
+            0.1 / (4 * 1.9)
+        )
+
+    @given(st.floats(0.01, 0.99), st.integers(2, 8))
+    def test_error_bound_inverts(self, delta, d):
+        """Plugging delta' back into Lemma 4.1's bound returns <= delta."""
+        dp = net_parameter_for_mhr_error(delta, d)
+        error = 2 * dp * d / (1 + dp * d)
+        assert error <= delta + 1e-12
+
+
+class TestDeltaNetCoverage:
+    def test_sampled_net_covers_2d(self):
+        """With the theoretical size the sampled net is a delta-net w.h.p."""
+        delta = 0.15
+        net = delta_net(delta, 2, seed=11)
+        probes = sample_directions(500, 2, seed=13)
+        assert coverage_angle(net, probes) <= delta
+
+    def test_sampled_net_covers_3d(self):
+        delta = 0.35
+        net = delta_net(delta, 3, seed=17)
+        probes = sample_directions(500, 3, seed=19)
+        assert coverage_angle(net, probes) <= delta
+
+    def test_coverage_angle_validates(self):
+        with pytest.raises(ValueError):
+            coverage_angle(np.zeros((3, 2)), np.zeros((3, 4)))

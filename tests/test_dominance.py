@@ -1,0 +1,140 @@
+"""Unit + property tests for repro.geometry.dominance."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.dominance import (
+    dominates,
+    is_skyline_point,
+    skyline_indices,
+    skyline_mask,
+)
+
+
+def brute_force_skyline(points: np.ndarray) -> np.ndarray:
+    """Quadratic reference implementation."""
+    n = points.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if (points[j] >= points[i]).all() and (points[j] > points[i]).any():
+                mask[i] = False
+                break
+    return mask
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([2, 2], [1, 1])
+
+    def test_weak_plus_one_strict(self):
+        assert dominates([2, 1], [1, 1])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1, 1], [1, 1])
+
+    def test_incomparable(self):
+        assert not dominates([2, 0], [0, 2])
+        assert not dominates([0, 2], [2, 0])
+
+    def test_strict_all_mode(self):
+        assert dominates([2, 2], [1, 1], strict_all=True)
+        assert not dominates([2, 1], [1, 1], strict_all=True)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates([1, 2], [1, 2, 3])
+
+
+class TestSkylineMask2D:
+    def test_simple(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0], [0.0, 3.0], [3.0, 0.0]])
+        mask = skyline_mask(pts)
+        assert mask.tolist() == [False, True, True, True]
+
+    def test_duplicates_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert skyline_mask(pts).tolist() == [True, True]
+
+    def test_duplicate_dominated_pair(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert skyline_mask(pts).tolist() == [False, False, True]
+
+    def test_ties_on_x(self):
+        pts = np.array([[1.0, 2.0], [1.0, 3.0], [1.0, 3.0]])
+        assert skyline_mask(pts).tolist() == [False, True, True]
+
+    def test_ties_on_y_larger_x_wins(self):
+        pts = np.array([[1.0, 3.0], [2.0, 3.0]])
+        assert skyline_mask(pts).tolist() == [False, True]
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 40), st.just(2)),
+            elements=st.floats(0, 1, width=16),
+        )
+    )
+    def test_matches_brute_force_2d(self, pts):
+        np.testing.assert_array_equal(skyline_mask(pts), brute_force_skyline(pts))
+
+
+class TestSkylineMaskMD:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 25), st.integers(3, 5)),
+            elements=st.floats(0, 1, width=16),
+        )
+    )
+    def test_matches_brute_force_md(self, pts):
+        np.testing.assert_array_equal(skyline_mask(pts), brute_force_skyline(pts))
+
+    def test_single_point(self):
+        assert skyline_mask(np.array([[0.5, 0.5, 0.5]])).tolist() == [True]
+
+    def test_1d(self):
+        pts = np.array([[1.0], [3.0], [3.0], [2.0]])
+        assert skyline_mask(pts).tolist() == [False, True, True, False]
+
+    def test_no_skyline_point_dominated(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((80, 4))
+        idx = skyline_indices(pts)
+        sky = pts[idx]
+        for i in range(sky.shape[0]):
+            others = np.delete(sky, i, axis=0)
+            geq = (others >= sky[i]).all(axis=1)
+            strict = (others > sky[i]).any(axis=1)
+            assert not (geq & strict).any()
+
+    def test_every_dropped_point_is_dominated(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((80, 3))
+        mask = skyline_mask(pts)
+        sky = pts[mask]
+        for p in pts[~mask]:
+            geq = (sky >= p).all(axis=1)
+            strict = (sky > p).any(axis=1)
+            assert (geq & strict).any()
+
+
+class TestIsSkylinePoint:
+    def test_consistent_with_mask(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((30, 3))
+        mask = skyline_mask(pts)
+        for i in range(30):
+            assert is_skyline_point(pts, i) == mask[i]
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            is_skyline_point(np.array([[1.0, 2.0]]), 5)
+
+    def test_singleton(self):
+        assert is_skyline_point(np.array([[1.0, 2.0]]), 0)

@@ -1,0 +1,133 @@
+"""Tests for the dynamic (insert/delete) FairHMS extension."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import anticorrelated_dataset
+from repro.extensions.dynamic import DynamicFairHMS
+from repro.fairness.constraints import FairnessConstraint
+from repro.geometry.dominance import skyline_indices
+
+
+def fill(dyn, dataset, keys=None):
+    keys = keys if keys is not None else range(dataset.n)
+    for key, idx in zip(keys, range(dataset.n)):
+        dyn.insert(int(key), dataset.points[idx], int(dataset.labels[idx]))
+
+
+class TestSkylineMaintenance:
+    def test_insert_matches_batch_skyline(self):
+        ds = anticorrelated_dataset(
+            80, 3, 2, seed=1, sum_spread=0.05
+        ).normalized()
+        dyn = DynamicFairHMS(3, 2)
+        fill(dyn, ds)
+        expected = set()
+        for c in (0, 1):
+            rows = ds.group_indices(c)
+            expected |= {int(rows[i]) for i in skyline_indices(ds.points[rows])}
+        assert set(dyn.skyline_keys()) == expected
+
+    def test_delete_non_skyline_is_cheap(self):
+        dyn = DynamicFairHMS(2, 1)
+        dyn.insert(0, [1.0, 1.0], 0)
+        dyn.insert(1, [0.5, 0.5], 0)  # dominated
+        assert dyn.skyline_keys() == [0]
+        dyn.delete(1)
+        assert dyn.skyline_keys() == [0]
+
+    def test_delete_skyline_resurrects_dominated(self):
+        dyn = DynamicFairHMS(2, 1)
+        dyn.insert(0, [1.0, 1.0], 0)
+        dyn.insert(1, [0.5, 0.5], 0)
+        dyn.delete(0)
+        assert dyn.skyline_keys() == [1]
+
+    def test_random_sequence_matches_recompute(self):
+        rng = np.random.default_rng(2)
+        dyn = DynamicFairHMS(3, 2)
+        alive = {}
+        next_key = 0
+        for step in range(200):
+            if alive and rng.random() < 0.35:
+                key = int(rng.choice(list(alive)))
+                dyn.delete(key)
+                del alive[key]
+            else:
+                point = rng.random(3) + 0.01
+                group = int(rng.integers(0, 2))
+                dyn.insert(next_key, point, group)
+                alive[next_key] = (point, group)
+                next_key += 1
+        expected = set()
+        for c in (0, 1):
+            keys = [k for k, (_, g) in alive.items() if g == c]
+            if keys:
+                pts = np.asarray([alive[k][0] for k in keys])
+                expected |= {keys[i] for i in skyline_indices(pts)}
+        assert set(dyn.skyline_keys()) == expected
+
+    def test_duplicate_key_rejected(self):
+        dyn = DynamicFairHMS(2, 1)
+        dyn.insert(0, [0.5, 0.5], 0)
+        with pytest.raises(KeyError):
+            dyn.insert(0, [0.4, 0.4], 0)
+
+    def test_delete_missing_key(self):
+        dyn = DynamicFairHMS(2, 1)
+        with pytest.raises(KeyError):
+            dyn.delete(42)
+
+    def test_group_out_of_range(self):
+        dyn = DynamicFairHMS(2, 2)
+        with pytest.raises(ValueError):
+            dyn.insert(0, [0.5, 0.5], 5)
+
+
+class TestDynamicSolutions:
+    def test_solution_tracks_updates(self):
+        ds = anticorrelated_dataset(
+            60, 2, 2, seed=3, sum_spread=0.05
+        ).normalized()
+        dyn = DynamicFairHMS(2, 2)
+        fill(dyn, ds)
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=3)
+        before = dyn.solution(c)
+        assert before.size == 3
+        assert before.violations() == 0
+        # Delete everything the solution picked; the answer must change.
+        for key in before.ids.tolist():
+            dyn.delete(int(key))
+        after = dyn.solution(c)
+        assert set(after.ids.tolist()).isdisjoint(set(before.ids.tolist()))
+        assert after.violations() == 0
+
+    def test_solution_cached_between_updates(self):
+        ds = anticorrelated_dataset(
+            40, 2, 2, seed=4, sum_spread=0.05
+        ).normalized()
+        dyn = DynamicFairHMS(2, 2)
+        fill(dyn, ds)
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=3)
+        first = dyn.solution(c)
+        second = dyn.solution(c)
+        assert first is second  # cache hit
+        dyn.insert(10_000, np.array([0.99, 0.99]), 0)
+        third = dyn.solution(c)
+        assert third is not second
+
+    def test_solution_matches_offline(self):
+        """Dynamic state solved == same data solved offline."""
+        from repro.core.intcov import intcov
+
+        ds = anticorrelated_dataset(
+            50, 2, 2, seed=5, sum_spread=0.05
+        ).normalized()
+        dyn = DynamicFairHMS(2, 2, algorithm="IntCov")
+        fill(dyn, ds)
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=3)
+        dynamic = dyn.solution(c)
+        offline = intcov(ds.skyline(per_group=True), c)
+        assert dynamic.mhr_estimate == pytest.approx(
+            offline.mhr_estimate, abs=1e-9
+        )

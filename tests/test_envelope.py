@@ -1,0 +1,155 @@
+"""Unit + property tests for the 2-D envelope machinery (IntCov's core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.envelope import tau_interval, tau_intervals, upper_envelope
+
+
+def env_brute(points, lams):
+    """Reference envelope values by direct max over score lines."""
+    lams = np.asarray(lams)
+    x, y = points[:, 0], points[:, 1]
+    return (y[None, :] + (x - y)[None, :] * lams[:, None]).max(axis=1)
+
+
+points_2d = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 30), st.just(2)),
+    elements=st.floats(0.0, 1.0, width=16),
+)
+
+
+class TestUpperEnvelope:
+    def test_single_point(self):
+        env = upper_envelope([[0.5, 0.8]])
+        assert env.value(0.0) == pytest.approx(0.8)
+        assert env.value(1.0) == pytest.approx(0.5)
+        assert env.value(0.5) == pytest.approx(0.65)
+
+    def test_two_crossing_lines(self):
+        env = upper_envelope([[1.0, 0.0], [0.0, 1.0]])
+        assert env.value(0.0) == pytest.approx(1.0)
+        assert env.value(1.0) == pytest.approx(1.0)
+        assert env.value(0.5) == pytest.approx(0.5)
+        assert env.num_pieces == 2
+
+    def test_dominated_line_excluded(self):
+        env = upper_envelope([[1.0, 1.0], [0.5, 0.5]])
+        assert env.num_pieces == 1
+        assert env.supporting_points().tolist() == [0]
+
+    def test_duplicate_slope_keeps_higher(self):
+        env = upper_envelope([[0.6, 0.2], [0.8, 0.4]])  # parallel lines
+        assert env.value(0.0) == pytest.approx(0.4)
+        assert env.value(1.0) == pytest.approx(0.8)
+
+    def test_breaks_are_sorted(self):
+        rng = np.random.default_rng(0)
+        env = upper_envelope(rng.random((50, 2)))
+        assert (np.diff(env.breaks) >= 0).all()
+        assert env.breaks[0] == 0.0
+        assert env.breaks[-1] == 1.0
+
+    def test_value_rejects_out_of_range(self):
+        env = upper_envelope([[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            env.value(1.5)
+
+    def test_vectorized_value(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((20, 2))
+        env = upper_envelope(pts)
+        lams = np.linspace(0, 1, 33)
+        np.testing.assert_allclose(env.value(lams), env_brute(pts, lams), atol=1e-9)
+
+    @given(points_2d)
+    def test_envelope_matches_brute_force(self, pts):
+        env = upper_envelope(pts)
+        lams = np.linspace(0, 1, 41)
+        np.testing.assert_allclose(env.value(lams), env_brute(pts, lams), atol=1e-7)
+
+    @given(points_2d)
+    def test_envelope_is_convex(self, pts):
+        env = upper_envelope(pts)
+        lams = np.linspace(0, 1, 21)
+        vals = np.asarray(env.value(lams))
+        mids = np.asarray(env.value((lams[:-1] + lams[1:]) / 2))
+        chords = (vals[:-1] + vals[1:]) / 2
+        assert (mids <= chords + 1e-9).all()
+
+    def test_supporting_points_achieve_max(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((40, 2))
+        env = upper_envelope(pts)
+        support = set(env.supporting_points().tolist())
+        for lam in np.linspace(0, 1, 11):
+            scores = pts[:, 1] + (pts[:, 0] - pts[:, 1]) * lam
+            assert int(np.argmax(scores)) in support or (
+                scores.max() - scores[sorted(support)].max() < 1e-9
+            )
+
+
+class TestTauInterval:
+    def test_full_interval_for_top_point(self):
+        pts = np.array([[1.0, 1.0], [0.5, 0.5]])
+        env = upper_envelope(pts)
+        assert tau_interval(pts[0], env, 1.0) == pytest.approx((0.0, 1.0))
+
+    def test_empty_for_weak_point(self):
+        pts = np.array([[1.0, 1.0], [0.2, 0.2]])
+        env = upper_envelope(pts)
+        assert tau_interval(pts[1], env, 0.9) is None
+
+    def test_partial_interval(self):
+        pts = np.array([[1.0, 0.0], [0.0, 1.0]])
+        env = upper_envelope(pts)
+        iv = tau_interval(pts[0], env, 0.9)
+        assert iv is not None
+        lo, hi = iv
+        assert hi == pytest.approx(1.0)
+        assert 0.4 < lo < 0.6  # crosses near the middle
+
+    def test_invalid_tau(self):
+        env = upper_envelope([[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            tau_interval([0.5, 0.5], env, 1.5)
+
+    def test_invalid_point_shape(self):
+        env = upper_envelope([[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            tau_interval([0.5, 0.5, 0.5], env, 0.5)
+
+    @given(points_2d, st.floats(0.05, 1.0))
+    def test_interval_matches_grid_scan(self, pts, tau):
+        """I_tau(p) must agree with a brute-force lambda grid scan."""
+        env = upper_envelope(pts)
+        lams = np.linspace(0, 1, 201)
+        env_vals = np.asarray(env.value(lams))
+        for i in range(min(5, pts.shape[0])):
+            line = pts[i, 1] + (pts[i, 0] - pts[i, 1]) * lams
+            feasible = line >= tau * env_vals - 1e-9
+            iv = tau_interval(pts[i], env, tau)
+            if iv is None:
+                # No grid point should be clearly feasible.
+                assert not (line > tau * env_vals + 1e-7).any()
+            else:
+                lo, hi = iv
+                inside = (lams >= lo - 5e-3) & (lams <= hi + 5e-3)
+                # Every clearly feasible grid point lies inside the interval.
+                clearly = line > tau * env_vals + 1e-7
+                assert (inside | ~clearly).all()
+                # And the interval's interior grid points are feasible.
+                interior = (lams >= lo + 5e-3) & (lams <= hi - 5e-3)
+                assert (feasible | ~interior).all()
+
+    def test_tau_intervals_batch(self):
+        pts = np.array([[1.0, 0.0], [0.0, 1.0], [0.1, 0.1]])
+        env = upper_envelope(pts)
+        ivs = tau_intervals(pts, env, 0.8)
+        assert len(ivs) == 3
+        assert ivs[0] is not None and ivs[1] is not None
+        assert ivs[2] is None

@@ -1,0 +1,67 @@
+"""Unit tests for the MHR evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.hms.evaluation import MhrEvaluator, evaluate_mhr
+from repro.hms.exact import mhr_exact
+
+
+class TestEvaluator2D:
+    def test_uses_sweep(self):
+        rng = np.random.default_rng(0)
+        D = rng.random((30, 2)) + 0.01
+        ev = MhrEvaluator(D)
+        result = ev.evaluate(D[:3])
+        assert result.method == "sweep"
+        assert result.exact
+        assert result.value == pytest.approx(mhr_exact(D[:3], D), abs=1e-9)
+
+
+class TestEvaluatorLP:
+    def test_uses_lp_when_few_candidates(self):
+        rng = np.random.default_rng(1)
+        D = rng.random((40, 3)) + 0.01
+        ev = MhrEvaluator(D, exact_limit=100)
+        result = ev.evaluate(D[:4])
+        assert result.method == "lp"
+        assert result.exact
+        assert result.value == pytest.approx(mhr_exact(D[:4], D), abs=1e-7)
+
+    def test_caches_candidates(self):
+        rng = np.random.default_rng(2)
+        D = rng.random((30, 3)) + 0.01
+        ev = MhrEvaluator(D)
+        first = ev.candidates
+        second = ev.candidates
+        assert first is second
+
+
+class TestEvaluatorRefinedNet:
+    def test_falls_back_when_many_candidates(self):
+        rng = np.random.default_rng(3)
+        D = rng.random((60, 4)) + 0.01
+        ev = MhrEvaluator(D, exact_limit=5, net_size=512, refine=32)
+        result = ev.evaluate(D[:6])
+        assert result.method == "refined-net"
+        assert not result.exact
+
+    def test_refined_value_close_to_exact(self):
+        rng = np.random.default_rng(4)
+        D = rng.random((60, 4)) + 0.01
+        S = D[:6]
+        exact = mhr_exact(S, D)
+        ev = MhrEvaluator(D, exact_limit=5, net_size=2048, refine=64)
+        refined = ev.evaluate(S).value
+        # Refined estimate must never be below exact (both bounds are from
+        # above) and should be close.
+        assert refined >= exact - 1e-9
+        assert refined <= exact + 0.05
+
+
+class TestOneOff:
+    def test_evaluate_mhr_function(self):
+        rng = np.random.default_rng(5)
+        D = rng.random((20, 2)) + 0.01
+        result = evaluate_mhr(D[:2], D)
+        assert 0.0 <= result.value <= 1.0

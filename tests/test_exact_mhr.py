@@ -1,0 +1,98 @@
+"""Cross-validation tests for exact MHR computation (sweep vs LP)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.envelope import upper_envelope
+from repro.geometry.lp import max_regret_ratio_lp
+from repro.hms.exact import (
+    critical_lambdas_2d,
+    mhr_exact,
+    mhr_exact_2d,
+    mhr_exact_2d_with_env,
+)
+
+pts_2d = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 25), st.just(2)),
+    elements=st.floats(0.05, 1.0),
+)
+
+
+class TestMhrExact2D:
+    def test_full_set(self):
+        pts = np.random.default_rng(0).random((20, 2)) + 0.01
+        assert mhr_exact_2d(pts, pts) == pytest.approx(1.0)
+
+    def test_single_corner_point(self):
+        D = np.array([[1.0, 0.1], [0.1, 1.0]])
+        assert mhr_exact_2d(D[:1], D) == pytest.approx(0.1)
+
+    def test_grid_lower_bound(self):
+        rng = np.random.default_rng(1)
+        D = rng.random((30, 2)) + 0.01
+        S = D[:4]
+        exact = mhr_exact_2d(S, D)
+        lams = np.linspace(0, 1, 500)
+        x, y = D[:, 0], D[:, 1]
+        top_d = (y[None, :] + (x - y)[None, :] * lams[:, None]).max(axis=1)
+        xs, ys = S[:, 0], S[:, 1]
+        top_s = (ys[None, :] + (xs - ys)[None, :] * lams[:, None]).max(axis=1)
+        grid = float((top_s / top_d).min())
+        assert exact <= grid + 1e-9
+
+    @given(pts_2d)
+    def test_sweep_matches_lp(self, pts):
+        S = pts[: max(1, pts.shape[0] // 3)]
+        sweep = mhr_exact_2d(S, pts)
+        lp = 1.0 - max_regret_ratio_lp(S, pts).value
+        assert sweep == pytest.approx(lp, abs=1e-6)
+
+    @given(pts_2d)
+    def test_sweep_with_env_matches(self, pts):
+        S = pts[:2]
+        env = upper_envelope(pts)
+        assert mhr_exact_2d_with_env(S, env) == pytest.approx(
+            mhr_exact_2d(S, pts), abs=1e-12
+        )
+
+    def test_critical_lambdas_include_endpoints(self):
+        pts = np.random.default_rng(2).random((10, 2)) + 0.01
+        lams = critical_lambdas_2d(pts[:3], pts)
+        assert lams[0] == 0.0
+        assert lams[-1] == 1.0
+
+
+class TestMhrExactDispatch:
+    def test_1d(self):
+        D = np.array([[1.0], [2.0], [4.0]])
+        assert mhr_exact(D[:1], D) == pytest.approx(0.25)
+
+    def test_2d_uses_sweep(self):
+        rng = np.random.default_rng(3)
+        D = rng.random((15, 2)) + 0.01
+        assert mhr_exact(D[:3], D) == pytest.approx(mhr_exact_2d(D[:3], D))
+
+    def test_3d_uses_lp(self):
+        rng = np.random.default_rng(4)
+        D = rng.random((15, 3)) + 0.01
+        S = D[:3]
+        assert mhr_exact(S, D) == pytest.approx(
+            1.0 - max_regret_ratio_lp(S, D).value, abs=1e-9
+        )
+
+    def test_empty_selection(self):
+        D = np.random.default_rng(5).random((5, 3)) + 0.01
+        assert mhr_exact(np.empty((0, 3)), D) == 0.0
+
+    def test_monotone_in_selection(self):
+        rng = np.random.default_rng(6)
+        D = rng.random((20, 3)) + 0.01
+        assert mhr_exact(D[:2], D) <= mhr_exact(D[:6], D) + 1e-9
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mhr_exact(np.ones((2, 2)), np.ones((3, 3)))

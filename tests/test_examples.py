@@ -1,0 +1,31 @@
+"""The quickstart example must run and print the paper's numbers."""
+
+import runpy
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "0.9984" in out
+    assert "0.9834" in out
+    assert "Price of fairness: 0.0012" in out
+
+
+def test_examples_exist_and_are_documented():
+    expected = {
+        "quickstart.py",
+        "fair_admissions.py",
+        "price_of_fairness.py",
+        "scalability_study.py",
+        "streaming_and_dynamic.py",
+    }
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        source = (EXAMPLES / name).read_text()
+        assert source.lstrip().startswith('"""'), f"{name} lacks a docstring"
+        assert "def main(" in source, f"{name} lacks a main()"

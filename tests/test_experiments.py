@@ -1,0 +1,192 @@
+"""Experiment-harness tests on miniature configurations."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import Record, Series, format_table, geometric_range, timed
+from repro.experiments.fig3_violations import Fig3Config, run_fig3
+from repro.experiments.fig4_twod import Fig4Config, run_fig4
+from repro.experiments.fig56_md import Fig56Config, run_fig56
+from repro.experiments.fig89_samplesize import Fig89Config, run_fig89
+from repro.experiments.fig1011_params import Fig1011Config, run_fig1011
+from repro.experiments.shapes import check_all_shapes
+from repro.experiments.table2 import run_table2, render_table2
+from repro.experiments.workloads import anticor, paper_constraint
+
+
+class TestCommon:
+    def test_record_as_dict(self):
+        r = Record("e", "d", "a", "k", 5, mhr=0.9, time_ms=1.5, violations=0)
+        row = r.as_dict()
+        assert row["k"] == 5 and row["mhr"] == 0.9
+
+    def test_series_pivot(self):
+        records = [
+            Record("e", "d", "A", "k", 1, mhr=0.5),
+            Record("e", "d", "A", "k", 2, mhr=0.6),
+            Record("e", "d", "B", "k", 1, mhr=0.4),
+        ]
+        s = Series(records, "mhr")
+        assert s.row("A") == [0.5, 0.6]
+        assert s.row("B") == [0.4, None]
+        rendered = s.render("title")
+        assert "title" in rendered and "0.5000" in rendered
+
+    def test_series_invalid_metric(self):
+        with pytest.raises(ValueError):
+            Series([], "happiness")
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["33", "44"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1
+
+    def test_timed(self):
+        value, ms = timed(lambda x: x + 1, 41)
+        assert value == 42 and ms >= 0.0
+
+    def test_geometric_range(self):
+        out = geometric_range(1, 100, 3)
+        np.testing.assert_allclose(out, [1, 10, 100])
+
+
+class TestWorkloads:
+    def test_anticor_cached(self):
+        a = anticor(100, 2, 2)
+        b = anticor(100, 2, 2)
+        assert a is b  # lru cache
+
+    def test_paper_constraint_clamped(self):
+        ds = anticor(100, 2, 2)
+        c = paper_constraint(ds, 4)
+        assert c.lower.min() >= 1
+
+
+class TestTable2:
+    def test_rows_cover_all_partitions(self):
+        rows = run_table2(scale=0.02)
+        keys = {(r.dataset, r.group) for r in rows}
+        assert ("Lawschs", "Gender") in keys
+        assert ("Credit", "WY") in keys
+        assert len(rows) >= 12  # 11 real partitions + synthetic
+
+    def test_render(self):
+        rows = run_table2(scale=0.02, include_synthetic=False)
+        out = render_table2(rows)
+        assert "Lawschs" in out and "#skylines" in out
+
+
+_MINI_FIG3 = Fig3Config(
+    ks=(6,),
+    anticor_n=150,
+    real_n=600,
+    panels=(("AntiCor_6D", {"anticor": (6, 2)}),),
+    algorithms=("BiGreedy", "Greedy", "Sphere"),
+)
+
+
+class TestFig3:
+    def test_mini_run(self):
+        results = run_fig3(_MINI_FIG3)
+        records = results["AntiCor_6D"]
+        fair = [r for r in records if r.algorithm == "BiGreedy"]
+        assert fair and all(r.violations == 0 for r in fair)
+        assert all(r.time_ms is not None for r in records)
+
+
+class TestFig4:
+    def test_mini_run(self):
+        cfg = Fig4Config(
+            lawschs_gender_ks=(2,),
+            lawschs_race_ks=(5,),
+            anticor_ks=(4,),
+            anticor_n=120,
+            vary_C=(2,),
+            vary_n=(100,),
+            lawschs_n=2_000,
+            algorithms=("IntCov", "BiGreedy", "G-Greedy"),
+        )
+        results = run_fig4(cfg)
+        assert set(results) == {
+            "Lawschs (Gender)",
+            "Lawschs (Race)",
+            "AntiCor_2D",
+            "AntiCor_2D (vary C)",
+            "AntiCor_2D (vary n)",
+        }
+        for records in results.values():
+            intcov_cells = [r for r in records if r.algorithm == "IntCov"]
+            assert intcov_cells
+            for r in intcov_cells:
+                assert r.violations == 0
+                others = [
+                    o.mhr
+                    for o in records
+                    if o.x_value == r.x_value
+                    and o.algorithm not in ("IntCov", "Unconstrained")
+                ]
+                assert all(r.mhr >= m - 1e-6 for m in others)
+
+
+class TestFig56:
+    def test_mini_run(self):
+        cfg = Fig56Config(
+            default_ks=(8,),
+            anticor_n=150,
+            real_n=600,
+            panels=(("AntiCor_6D", {"anticor": (6, 2)}),),
+            algorithms=("BiGreedy", "BiGreedy+", "G-Greedy"),
+        )
+        results = run_fig56(cfg)
+        records = results["AntiCor_6D"]
+        assert {r.algorithm for r in records} >= {"BiGreedy", "BiGreedy+", "G-Greedy"}
+        fair = [r for r in records if r.algorithm != "Unconstrained"]
+        assert all(r.violations == 0 for r in fair)
+
+
+class TestFig89:
+    def test_mini_run(self):
+        cfg = Fig89Config(
+            k=6,
+            factors=(2.0, 4.0),
+            anticor_n=150,
+            panels=(("AntiCor_6D", {"anticor": (6, 2)}),),
+        )
+        results = run_fig89(cfg)
+        records = results["AntiCor_6D"]
+        ms = sorted({r.x_value for r in records})
+        assert len(ms) == 2
+        assert {r.algorithm for r in records} == {"BiGreedy", "BiGreedy+"}
+
+
+class TestFig1011:
+    def test_mini_run(self):
+        cfg = Fig1011Config(
+            k=6,
+            epsilons=(0.16, 0.64),
+            lambdas=(0.16,),
+            anticor_n=150,
+            panels=(("AntiCor_6D", {"anticor": (6, 2)}),),
+        )
+        results = run_fig1011(cfg)
+        records = results["AntiCor_6D"]
+        assert len(records) == 2
+        assert all(r.extra["lambda"] == 0.16 for r in records)
+
+
+class TestShapes:
+    def test_fig3_shape_logic(self):
+        records = [
+            Record("fig3", "X", "BiGreedy", "k", 10, violations=0),
+            Record("fig3", "X", "Greedy", "k", 10, violations=4),
+        ]
+        checks = check_all_shapes(fig3={"X": records})
+        by_name = {c.name: c.passed for c in checks}
+        assert by_name["fig3/X/fair-always-zero"]
+        assert by_name["fig3/X/baselines-violate"]
+
+    def test_fig3_shape_fails_on_violating_fair(self):
+        records = [Record("fig3", "X", "IntCov", "k", 10, violations=2)]
+        checks = check_all_shapes(fig3={"X": records})
+        assert not checks[0].passed

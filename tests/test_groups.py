@@ -1,0 +1,88 @@
+"""Unit tests for repro.data.groups."""
+
+import numpy as np
+import pytest
+
+from repro.data.groups import (
+    combine_partitions,
+    group_counts,
+    labels_from_values,
+    quantile_partition,
+)
+
+
+class TestLabelsFromValues:
+    def test_first_appearance_order(self):
+        labels, names = labels_from_values(["b", "a", "b", "c"])
+        assert labels.tolist() == [0, 1, 0, 2]
+        assert names == ("b", "a", "c")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            labels_from_values([])
+
+    def test_non_string_values(self):
+        labels, names = labels_from_values([10, 20, 10])
+        assert labels.tolist() == [0, 1, 0]
+        assert names == ("10", "20")
+
+
+class TestCombinePartitions:
+    def test_product_groups(self):
+        gender = np.array([0, 0, 1, 1])
+        race = np.array([0, 1, 0, 1])
+        labels, names = combine_partitions(
+            gender, race, names=(("F", "M"), ("B", "W"))
+        )
+        assert len(names) == 4
+        assert names[labels[0]] == "F|B"
+        assert names[labels[3]] == "M|W"
+
+    def test_only_observed_combinations(self):
+        a = np.array([0, 0, 1])
+        b = np.array([0, 0, 1])
+        labels, names = combine_partitions(a, b)
+        assert len(names) == 2  # (0,0) and (1,1) only
+
+    def test_requires_some_partition(self):
+        with pytest.raises(ValueError):
+            combine_partitions()
+
+    def test_single_partition_passthrough(self):
+        labels, names = combine_partitions(np.array([0, 1, 0]))
+        assert labels.tolist() == [0, 1, 0]
+
+
+class TestQuantilePartition:
+    def test_equal_sizes(self):
+        points = np.random.default_rng(0).random((12, 2))
+        labels = quantile_partition(points, 3)
+        assert np.bincount(labels).tolist() == [4, 4, 4]
+
+    def test_ordered_by_sum(self):
+        points = np.array([[0.1, 0.1], [0.9, 0.9], [0.5, 0.5], [0.2, 0.2]])
+        labels = quantile_partition(points, 2)
+        sums = points.sum(axis=1)
+        assert sums[labels == 0].max() <= sums[labels == 1].min()
+
+    def test_uneven_split(self):
+        points = np.random.default_rng(0).random((10, 2))
+        labels = quantile_partition(points, 3)
+        counts = sorted(np.bincount(labels).tolist())
+        assert counts == [3, 3, 4]
+
+    def test_too_many_groups(self):
+        with pytest.raises(ValueError):
+            quantile_partition(np.random.random((3, 2)), 5)
+
+    def test_one_group(self):
+        labels = quantile_partition(np.random.random((5, 2)), 1)
+        assert (labels == 0).all()
+
+
+class TestGroupCounts:
+    def test_counts(self):
+        assert group_counts(np.array([0, 1, 1, 2]), 4).tolist() == [1, 2, 1, 0]
+
+    def test_empty(self):
+        assert group_counts(np.array([], dtype=np.int64), 2).tolist() == [0, 0]

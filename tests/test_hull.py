@@ -1,0 +1,63 @@
+"""Unit tests for maxima-candidate extraction."""
+
+import numpy as np
+
+from repro.geometry.deltanet import sample_directions
+from repro.geometry.dominance import skyline_indices
+from repro.geometry.hull import maxima_candidates
+
+
+class TestMaximaCandidates:
+    def test_1d(self):
+        pts = np.array([[1.0], [3.0], [3.0], [2.0]])
+        assert sorted(maxima_candidates(pts).tolist()) == [1, 2]
+
+    def test_2d_matches_envelope_support(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((50, 2))
+        cands = set(maxima_candidates(pts).tolist())
+        # Every direction's maximizer must be in the candidate set.
+        for u in sample_directions(300, 2, seed=1):
+            scores = pts @ u
+            best = scores.max()
+            winners = set(np.nonzero(scores >= best - 1e-12)[0].tolist())
+            assert winners & cands
+
+    def test_md_never_misses_a_maximizer(self):
+        rng = np.random.default_rng(2)
+        for d in (3, 4, 5):
+            pts = rng.random((60, d))
+            cands = set(maxima_candidates(pts).tolist())
+            for u in sample_directions(200, d, seed=d):
+                scores = pts @ u
+                winners = set(
+                    np.nonzero(scores >= scores.max() - 1e-12)[0].tolist()
+                )
+                assert winners & cands, f"missed maximizer in d={d}"
+
+    def test_candidates_subset_of_skyline(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((80, 4))
+        cands = set(maxima_candidates(pts).tolist())
+        sky = set(skyline_indices(pts).tolist())
+        assert cands <= sky
+
+    def test_high_dim_falls_back_to_skyline(self):
+        rng = np.random.default_rng(4)
+        pts = rng.random((30, 9))
+        cands = maxima_candidates(pts)
+        sky = skyline_indices(pts)
+        np.testing.assert_array_equal(np.sort(cands), np.sort(sky))
+
+    def test_degenerate_flat_data(self):
+        # All points on a line in 3D: qhull would choke without the guard.
+        t = np.linspace(0, 1, 10)
+        pts = np.column_stack([t, t, t])
+        cands = maxima_candidates(pts)
+        assert 9 in cands.tolist()  # the endpoint maximizes everything
+
+    def test_duplicates(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [0.5, 0.2]])
+        cands = maxima_candidates(pts)
+        assert len(cands) >= 1
+        assert set(cands.tolist()) <= {0, 1}

@@ -1,0 +1,151 @@
+"""IntCov correctness tests, including brute-force optimality."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.intcov import candidate_mhr_values, intcov
+from repro.data.dataset import Dataset
+from repro.data.synthetic import anticorrelated_dataset
+from repro.fairness.constraints import FairnessConstraint
+from repro.hms.exact import mhr_exact_2d
+
+
+def brute_force_fairhms(dataset, constraint):
+    """Exhaustive optimum over all fair size-k subsets."""
+    best_val, best_set = -1.0, None
+    labels = dataset.labels
+    for combo in itertools.combinations(range(dataset.n), constraint.k):
+        if not constraint.satisfied_by(labels, list(combo)):
+            continue
+        val = mhr_exact_2d(dataset.points[list(combo)], dataset.points)
+        if val > best_val:
+            best_val, best_set = val, combo
+    return best_val, best_set
+
+
+def random_instance(seed, n=14, C=2):
+    ds = anticorrelated_dataset(n, 2, C, seed=seed).normalized()
+    return ds
+
+
+class TestCandidateValues:
+    def test_contains_coordinates(self):
+        ds = random_instance(0)
+        H = candidate_mhr_values(ds.points)
+        # Normalized data: every coordinate is itself a candidate ratio.
+        for v in ds.points[:, 0]:
+            assert np.min(np.abs(H - v)) < 1e-9
+
+    def test_sorted_unique_unit_range(self):
+        ds = random_instance(1)
+        H = candidate_mhr_values(ds.points)
+        assert (np.diff(H) > 0).all()
+        assert H.min() >= 0.0 and H.max() <= 1.0
+
+    def test_optimum_is_a_candidate(self):
+        """The brute-force optimal MHR must appear in H (Theorem 3.1)."""
+        ds = random_instance(2, n=10)
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=3)
+        best_val, _ = brute_force_fairhms(ds, c)
+        H = candidate_mhr_values(ds.points)
+        assert np.min(np.abs(H - best_val)) < 1e-7
+
+
+class TestIntCovOptimality:
+    @pytest.mark.parametrize("seed", [3, 4, 5, 6, 7])
+    def test_matches_brute_force_two_groups(self, seed):
+        ds = random_instance(seed, n=12, C=2)
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=3)
+        solution = intcov(ds, c)
+        brute_val, _ = brute_force_fairhms(ds, c)
+        assert solution.mhr_estimate == pytest.approx(brute_val, abs=1e-7)
+        assert c.satisfied_by(ds.labels, solution.indices)
+
+    @pytest.mark.parametrize("seed", [8, 9, 10])
+    def test_matches_brute_force_three_groups(self, seed):
+        ds = anticorrelated_dataset(12, 2, 3, seed=seed).normalized()
+        c = FairnessConstraint(lower=[1, 1, 1], upper=[2, 2, 2], k=4)
+        solution = intcov(ds, c)
+        brute_val, _ = brute_force_fairhms(ds, c)
+        assert solution.mhr_estimate == pytest.approx(brute_val, abs=1e-7)
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_matches_brute_force_tight_quota(self, seed):
+        ds = random_instance(seed, n=10, C=2)
+        c = FairnessConstraint.exact([2, 1])
+        solution = intcov(ds, c)
+        brute_val, _ = brute_force_fairhms(ds, c)
+        assert solution.mhr_estimate == pytest.approx(brute_val, abs=1e-7)
+
+    def test_unconstrained_matches_brute_force(self):
+        ds = random_instance(13, n=12)
+        single = ds.with_groups(np.zeros(ds.n, dtype=np.int64), names=("all",))
+        c = FairnessConstraint(lower=[0], upper=[3], k=3)
+        solution = intcov(single, c)
+        best = -1.0
+        for combo in itertools.combinations(range(ds.n), 3):
+            best = max(best, mhr_exact_2d(ds.points[list(combo)], ds.points))
+        assert solution.mhr_estimate == pytest.approx(best, abs=1e-7)
+
+
+class TestIntCovValidation:
+    def test_requires_2d(self):
+        ds = anticorrelated_dataset(10, 3, 2, seed=0).normalized()
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=2)
+        with pytest.raises(ValueError, match="d=2"):
+            intcov(ds, c)
+
+    def test_group_count_mismatch(self):
+        ds = random_instance(14)
+        c = FairnessConstraint(lower=[1], upper=[2], k=2)
+        with pytest.raises(ValueError, match="groups"):
+            intcov(ds, c)
+
+    def test_infeasible_constraint(self):
+        ds = random_instance(15, n=10, C=2)
+        sizes = ds.group_sizes
+        c = FairnessConstraint(
+            lower=[int(sizes[0]) + 1, 0], upper=[int(sizes[0]) + 2, 1], k=3
+        )
+        with pytest.raises(ValueError, match="infeasible"):
+            intcov(ds, c)
+
+
+class TestIntCovSolutionShape:
+    def test_solution_size_and_fairness(self):
+        ds = anticorrelated_dataset(60, 2, 3, seed=16).normalized()
+        c = FairnessConstraint.proportional(6, ds.group_sizes, alpha=0.1)
+        solution = intcov(ds, c)
+        assert solution.size == 6
+        assert solution.violations() == 0
+        assert solution.algorithm == "IntCov"
+
+    def test_mhr_estimate_is_exact(self):
+        ds = anticorrelated_dataset(40, 2, 2, seed=17).normalized()
+        c = FairnessConstraint(lower=[1, 1], upper=[3, 3], k=4)
+        solution = intcov(ds, c)
+        assert solution.mhr_estimate == pytest.approx(
+            mhr_exact_2d(solution.points, ds.points), abs=1e-12
+        )
+
+    def test_beats_or_matches_any_fair_sample(self):
+        rng = np.random.default_rng(18)
+        ds = anticorrelated_dataset(40, 2, 2, seed=19).normalized()
+        c = FairnessConstraint(lower=[1, 1], upper=[3, 3], k=4)
+        opt = intcov(ds, c).mhr_estimate
+        labels = ds.labels
+        for _ in range(50):
+            combo = rng.choice(ds.n, 4, replace=False)
+            if c.satisfied_by(labels, combo):
+                val = mhr_exact_2d(ds.points[combo], ds.points)
+                assert opt >= val - 1e-9
+
+    def test_skyline_input_equivalent(self):
+        """Running on the per-group skyline gives the same optimum."""
+        ds = anticorrelated_dataset(50, 2, 2, seed=20).normalized()
+        c = FairnessConstraint(lower=[1, 1], upper=[3, 3], k=3)
+        on_full = intcov(ds, c).mhr_estimate
+        on_sky = intcov(ds.skyline(per_group=True), c).mhr_estimate
+        assert on_sky == pytest.approx(on_full, abs=1e-9)

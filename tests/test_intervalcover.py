@@ -1,0 +1,164 @@
+"""Unit + property tests for the fair interval-cover DP (Algorithm 2)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervalcover import GroupIntervals, fair_interval_cover
+from repro.fairness.constraints import FairnessConstraint
+
+
+def covers_unit(intervals) -> bool:
+    """Check whether a set of (lo, hi) covers [0, 1] (eps tolerant)."""
+    ivs = sorted(intervals)
+    reach = 0.0
+    for lo, hi in ivs:
+        if lo > reach + 1e-9:
+            return False
+        reach = max(reach, hi)
+        if reach >= 1.0 - 1e-9:
+            return True
+    return reach >= 1.0 - 1e-9
+
+
+def brute_force_cover(intervals_by_group, constraint):
+    """Exhaustive reference for the fair-cover decision."""
+    flat = [
+        (lo, hi, point, c)
+        for c, group in enumerate(intervals_by_group)
+        for lo, hi, point in group
+    ]
+    k = constraint.k
+    for size in range(0, k + 1):
+        for combo in itertools.combinations(flat, size):
+            counts = np.zeros(constraint.num_groups, dtype=np.int64)
+            for _, _, _, c in combo:
+                counts[c] += 1
+            if (counts > constraint.upper).any():
+                continue
+            if int(np.maximum(counts, constraint.lower).sum()) > k:
+                continue
+            if covers_unit([(lo, hi) for lo, hi, _, _ in combo]):
+                return True
+    return False
+
+
+class TestGroupIntervals:
+    def test_query_best_right(self):
+        g = GroupIntervals.from_intervals([(0.0, 0.4, 1), (0.0, 0.6, 2), (0.5, 1.0, 3)])
+        assert g.query(0.0) == (0.6, 2)
+        assert g.query(0.55) == (1.0, 3)
+
+    def test_query_none_when_gap(self):
+        g = GroupIntervals.from_intervals([(0.5, 1.0, 1)])
+        assert g.query(0.2) is None
+
+    def test_empty_group(self):
+        g = GroupIntervals.from_intervals([])
+        assert g.size == 0
+        assert g.query(0.0) is None
+
+    def test_query_boundary_tolerance(self):
+        g = GroupIntervals.from_intervals([(0.5, 1.0, 1)])
+        assert g.query(0.5) == (1.0, 1)
+
+
+class TestFairIntervalCover:
+    def test_single_interval_covers(self):
+        c = FairnessConstraint(lower=[0], upper=[1], k=1)
+        result = fair_interval_cover([[(0.0, 1.0, 7)]], c)
+        assert result == [7]
+
+    def test_needs_two_groups(self):
+        c = FairnessConstraint(lower=[1, 1], upper=[1, 1], k=2)
+        result = fair_interval_cover(
+            [[(0.0, 0.6, 0)], [(0.5, 1.0, 1)]], c
+        )
+        assert sorted(result) == [0, 1]
+
+    def test_upper_bound_blocks_cover(self):
+        # Covering needs two group-0 intervals but h_0 = 1.
+        c = FairnessConstraint(lower=[0, 0], upper=[1, 1], k=2)
+        result = fair_interval_cover(
+            [[(0.0, 0.5, 0), (0.5, 1.0, 1)], [(0.2, 0.3, 2)]], c
+        )
+        assert result is None
+
+    def test_reservation_blocks_cover(self):
+        # Group 1 reserves one slot (l=1), so only one group-0 pick fits k=2,
+        # but covering [0,1] needs both group-0 intervals.
+        c = FairnessConstraint(lower=[0, 1], upper=[2, 1], k=2)
+        result = fair_interval_cover(
+            [[(0.0, 0.5, 0), (0.45, 1.0, 1)], [(0.9, 0.95, 2)]], c
+        )
+        assert result is None
+
+    def test_reservation_allows_padding_group(self):
+        # Same as above with k=3: two group-0 covers + reserved group-1 slot.
+        c = FairnessConstraint(lower=[0, 1], upper=[2, 1], k=3)
+        result = fair_interval_cover(
+            [[(0.0, 0.5, 0), (0.45, 1.0, 1)], [(0.9, 0.95, 2)]], c
+        )
+        assert result is not None
+        assert set(result) >= {0, 1}
+
+    def test_gap_means_no(self):
+        c = FairnessConstraint(lower=[0], upper=[3], k=3)
+        result = fair_interval_cover(
+            [[(0.0, 0.4, 0), (0.6, 1.0, 1)]], c
+        )
+        assert result is None
+
+    def test_wrong_group_count(self):
+        c = FairnessConstraint(lower=[0, 0], upper=[1, 1], k=2)
+        with pytest.raises(ValueError):
+            fair_interval_cover([[(0.0, 1.0, 0)]], c)
+
+    def test_returned_cover_actually_covers(self):
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=4)
+        groups = [
+            [(0.0, 0.3, 0), (0.25, 0.7, 1)],
+            [(0.6, 0.9, 2), (0.85, 1.0, 3)],
+        ]
+        result = fair_interval_cover(groups, c)
+        assert result is not None
+        flat = {p: (lo, hi) for g in groups for lo, hi, p in g}
+        assert covers_unit([flat[p] for p in result])
+
+
+@st.composite
+def cover_instances(draw):
+    C = draw(st.integers(1, 2))
+    groups = []
+    for _ in range(C):
+        size = draw(st.integers(0, 4))
+        group = []
+        for p in range(size):
+            lo = draw(st.floats(0, 1, width=16))
+            width = draw(st.floats(0, 1, width=16))
+            group.append((lo, min(1.0, lo + width), len(groups) * 10 + p))
+        groups.append(group)
+    lower = [draw(st.integers(0, 1)) for _ in range(C)]
+    upper = [l + draw(st.integers(0, 2)) for l in lower]
+    k = draw(st.integers(max(1, sum(lower)), sum(lower) + 3))
+    return groups, FairnessConstraint(lower=lower, upper=upper, k=k)
+
+
+class TestAgainstBruteForce:
+    @given(cover_instances())
+    def test_decision_matches_brute_force(self, instance):
+        groups, constraint = instance
+        result = fair_interval_cover(groups, constraint)
+        expected = brute_force_cover(groups, constraint)
+        assert (result is not None) == expected
+        if result is not None:
+            flat = {p: (lo, hi) for g in groups for lo, hi, p in g}
+            assert covers_unit([flat[p] for p in result])
+            counts = np.zeros(constraint.num_groups, dtype=np.int64)
+            for p in result:
+                counts[p // 10] += 1
+            assert (counts <= constraint.upper).all()
+            assert int(np.maximum(counts, constraint.lower).sum()) <= constraint.k

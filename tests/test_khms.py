@@ -1,0 +1,91 @@
+"""Tests for the fair k-HMS extension (ell-th best happiness)."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.khms import (
+    KHMSEngine,
+    bigreedy_khms,
+    khms_ratios,
+    kth_best_scores,
+    mhr_khms_on_net,
+)
+from repro.fairness.constraints import FairnessConstraint
+from repro.geometry.deltanet import sample_directions
+
+
+class TestKthBestScores:
+    def test_ell_one_is_max(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((20, 3)) + 0.01
+        dirs = sample_directions(10, 3, seed=1)
+        np.testing.assert_allclose(
+            kth_best_scores(pts, dirs, 1), (dirs @ pts.T).max(axis=1)
+        )
+
+    def test_monotone_decreasing_in_ell(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((20, 3)) + 0.01
+        dirs = sample_directions(10, 3, seed=3)
+        prev = kth_best_scores(pts, dirs, 1)
+        for ell in (2, 3, 5):
+            cur = kth_best_scores(pts, dirs, ell)
+            assert (cur <= prev + 1e-12).all()
+            prev = cur
+
+    def test_exact_small_instance(self):
+        pts = np.array([[1.0], [3.0], [2.0]])
+        dirs = np.array([[1.0]])
+        assert kth_best_scores(pts, dirs, 2)[0] == 2.0
+
+    def test_ell_clipped_to_n(self):
+        pts = np.array([[1.0], [3.0]])
+        dirs = np.array([[1.0]])
+        assert kth_best_scores(pts, dirs, 10)[0] == 1.0
+
+    def test_ell_validation(self):
+        with pytest.raises(ValueError):
+            kth_best_scores(np.ones((2, 2)), np.ones((1, 2)), 0)
+
+
+class TestKhmsRatios:
+    def test_capped_at_one(self):
+        rng = np.random.default_rng(4)
+        pts = rng.random((15, 3)) + 0.01
+        dirs = sample_directions(8, 3, seed=5)
+        ratios = khms_ratios(pts, dirs, 3)
+        assert ratios.max() <= 1.0 + 1e-12
+
+    def test_ell_one_matches_standard(self):
+        rng = np.random.default_rng(6)
+        pts = rng.random((15, 3)) + 0.01
+        dirs = sample_directions(8, 3, seed=7)
+        standard = (dirs @ pts.T) / (dirs @ pts.T).max(axis=1, keepdims=True)
+        np.testing.assert_allclose(khms_ratios(pts, dirs, 1), standard, atol=1e-12)
+
+
+class TestBigreedyKhms:
+    def test_solution_is_fair(self, small3d):
+        c = FairnessConstraint.proportional(5, small3d.group_sizes, alpha=0.1)
+        s = bigreedy_khms(small3d, c, ell=3, seed=0)
+        assert s.size == 5
+        assert s.violations() == 0
+        assert s.stats["ell"] == 3
+        assert s.algorithm == "BiGreedy-3HMS"
+
+    def test_larger_ell_is_easier_for_fixed_set(self, small3d):
+        """For a fixed set, the ell-th-best MHR is nondecreasing in ell."""
+        c = FairnessConstraint.proportional(5, small3d.group_sizes, alpha=0.1)
+        net = sample_directions(256, 3, seed=8)
+        s = bigreedy_khms(small3d, c, ell=1, seed=0)
+        values = [
+            mhr_khms_on_net(s.points, small3d.points, net, ell)
+            for ell in (1, 3, 8)
+        ]
+        assert values[0] <= values[1] + 1e-9 <= values[2] + 2e-9
+
+    def test_engine_ratio_semantics(self, small3d):
+        net = sample_directions(64, 3, seed=9)
+        engine = KHMSEngine(small3d.points, net, ell=2, dtype=np.float64)
+        expected = khms_ratios(small3d.points, net, 2)
+        np.testing.assert_allclose(engine.ratios, expected, atol=1e-12)

@@ -1,0 +1,94 @@
+"""Unit tests for the exact LP-based regret computation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.hull import maxima_candidates
+from repro.geometry.lp import max_regret_ratio_lp, worst_direction_lp
+from repro.hms.exact import mhr_exact_2d
+from repro.hms.ratios import happiness_ratio
+
+
+class TestMaxRegretRatio:
+    def test_full_set_has_zero_regret(self):
+        rng = np.random.default_rng(0)
+        D = rng.random((30, 3))
+        result = max_regret_ratio_lp(D, D)
+        assert result.value == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_selection(self):
+        D = np.random.default_rng(1).random((10, 3))
+        result = max_regret_ratio_lp(np.empty((0, 3)), D)
+        assert result.value == 1.0
+
+    def test_known_2d_instance(self):
+        """S = {(1,0)} against D = {(1,0), (0,1)}: worst case is u=(0,1)."""
+        D = np.array([[1.0, 0.0], [0.0, 1.0]])
+        S = D[:1]
+        result = max_regret_ratio_lp(S, D)
+        assert result.value == pytest.approx(1.0, abs=1e-9)
+
+    def test_matches_2d_sweep(self):
+        rng = np.random.default_rng(2)
+        D = rng.random((40, 2))
+        S = D[rng.choice(40, 5, replace=False)]
+        lp_mhr = 1.0 - max_regret_ratio_lp(S, D).value
+        sweep = mhr_exact_2d(S, D)
+        assert lp_mhr == pytest.approx(sweep, abs=1e-8)
+
+    def test_matches_direction_grid_3d(self):
+        rng = np.random.default_rng(3)
+        D = rng.random((25, 3))
+        S = D[:4]
+        result = max_regret_ratio_lp(S, D)
+        # Grid lower-bounds the true regret: LP must be >= any grid value.
+        from repro.geometry.deltanet import sample_directions
+        dirs = sample_directions(4000, 3, seed=5)
+        top_d = (dirs @ D.T).max(axis=1)
+        top_s = (dirs @ S.T).max(axis=1)
+        grid_regret = float((1 - top_s / top_d).max())
+        assert result.value >= grid_regret - 1e-6
+
+    def test_witness_direction_attains_value(self):
+        rng = np.random.default_rng(4)
+        D = rng.random((20, 3))
+        S = D[:3]
+        result = max_regret_ratio_lp(S, D)
+        if result.direction is not None:
+            hr = happiness_ratio(result.direction, S, D)
+            assert hr == pytest.approx(1.0 - result.value, abs=1e-6)
+
+    def test_candidate_restriction_is_exact(self):
+        rng = np.random.default_rng(5)
+        D = rng.random((30, 4))
+        S = D[:5]
+        full = max_regret_ratio_lp(S, D, candidates=np.arange(30))
+        restricted = max_regret_ratio_lp(S, D, candidates=maxima_candidates(D))
+        assert restricted.value == pytest.approx(full.value, abs=1e-8)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            max_regret_ratio_lp(np.zeros((2, 3)), np.random.random((5, 2)))
+
+    def test_value_clipped_to_unit(self):
+        D = np.array([[1.0, 1.0]])
+        result = max_regret_ratio_lp(D, D)
+        assert 0.0 <= result.value <= 1.0
+
+
+class TestWorstDirection:
+    def test_perfect_selection_fallback(self):
+        D = np.array([[1.0, 1.0], [0.5, 0.5]])
+        direction, mhr = worst_direction_lp(D[:1], D)
+        assert mhr == pytest.approx(1.0)
+        np.testing.assert_allclose(np.linalg.norm(direction), 1.0)
+
+    def test_direction_is_worst(self):
+        rng = np.random.default_rng(6)
+        D = rng.random((25, 3))
+        S = D[:3]
+        direction, mhr = worst_direction_lp(S, D)
+        # No sampled direction should be appreciably worse.
+        from repro.geometry.deltanet import sample_directions
+        for u in sample_directions(500, 3, seed=7):
+            assert happiness_ratio(u, S, D) >= mhr - 1e-6

@@ -1,0 +1,168 @@
+"""Unit + property tests for the fairness matroid (paper Section 2)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fairness.constraints import FairnessConstraint
+from repro.fairness.matroid import FairnessMatroid
+
+
+def brute_independent(matroid: FairnessMatroid, subset) -> bool:
+    counts = np.bincount(
+        matroid.labels[np.asarray(subset, dtype=np.int64)],
+        minlength=matroid.num_groups,
+    )
+    if (counts > matroid.constraint.upper).any():
+        return False
+    return int(np.maximum(counts, matroid.constraint.lower).sum()) <= matroid.k
+
+
+@st.composite
+def matroid_instances(draw):
+    """Random small fairness-matroid instances."""
+    C = draw(st.integers(1, 3))
+    sizes = [draw(st.integers(1, 4)) for _ in range(C)]
+    labels = np.repeat(np.arange(C), sizes)
+    lower = np.array([draw(st.integers(0, 2)) for _ in range(C)])
+    upper = np.array([l + draw(st.integers(0, 2)) for l in lower])
+    k = draw(st.integers(max(1, int(lower.sum())), int(lower.sum()) + 3))
+    constraint = FairnessConstraint(lower=lower, upper=upper, k=k)
+    return FairnessMatroid(constraint, labels)
+
+
+class TestIndependence:
+    def test_empty_set_is_independent(self):
+        m = FairnessMatroid(FairnessConstraint(lower=[1], upper=[2], k=2), [0, 0, 0])
+        assert m.is_independent([])
+
+    def test_upper_bound_enforced(self):
+        m = FairnessMatroid(FairnessConstraint(lower=[0], upper=[1], k=2), [0, 0, 0])
+        assert m.is_independent([0])
+        assert not m.is_independent([0, 1])
+
+    def test_reservation_enforced(self):
+        # Two groups, l=[2,0], k=2: any group-1 point forces reservation 3.
+        m = FairnessMatroid(
+            FairnessConstraint(lower=[2, 0], upper=[2, 2], k=2),
+            [0, 0, 1, 1],
+        )
+        assert m.is_independent([0, 1])
+        assert not m.is_independent([2])
+
+    def test_duplicates_rejected(self):
+        m = FairnessMatroid(FairnessConstraint(lower=[0], upper=[3], k=3), [0, 0])
+        assert not m.is_independent([0, 0])
+
+    def test_every_fair_set_is_independent(self):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=3)
+        m = FairnessMatroid(c, labels)
+        for subset in itertools.combinations(range(6), 3):
+            if c.satisfied_by(labels, list(subset)):
+                assert m.is_independent(list(subset))
+
+
+class TestMatroidAxioms:
+    @given(matroid_instances())
+    def test_hereditary(self, matroid):
+        """Every subset of an independent set is independent."""
+        n = matroid.labels.shape[0]
+        for size in range(min(n, matroid.k) + 1):
+            for subset in itertools.islice(
+                itertools.combinations(range(n), size), 30
+            ):
+                if matroid.is_independent(list(subset)):
+                    for element in subset:
+                        smaller = [e for e in subset if e != element]
+                        assert matroid.is_independent(smaller)
+
+    @given(matroid_instances())
+    def test_exchange(self, matroid):
+        """|S2| > |S1|, both independent => some p in S2\\S1 extends S1."""
+        n = matroid.labels.shape[0]
+        all_subsets = [
+            list(s)
+            for size in range(min(n, matroid.k) + 1)
+            for s in itertools.islice(itertools.combinations(range(n), size), 20)
+            if matroid.is_independent(list(s))
+        ]
+        for s1 in all_subsets[:12]:
+            for s2 in all_subsets[:12]:
+                if len(s2) > len(s1):
+                    extension = [
+                        p
+                        for p in s2
+                        if p not in s1 and matroid.is_independent(s1 + [p])
+                    ]
+                    assert extension, f"exchange fails: {s1} vs {s2}"
+
+
+class TestAddableGroups:
+    def test_matches_brute_force(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        c = FairnessConstraint(lower=[1, 0, 1], upper=[2, 1, 2], k=3)
+        m = FairnessMatroid(c, labels)
+        for counts in itertools.product(range(3), repeat=3):
+            counts = np.array(counts)
+            if not m.is_independent_counts(counts):
+                continue
+            addable = set(m.addable_groups(counts).tolist())
+            for g in range(3):
+                new_counts = counts.copy()
+                new_counts[g] += 1
+                expected = m.is_independent_counts(new_counts)
+                assert (g in addable) == expected
+                assert m.can_add(counts, g) == expected
+
+    def test_can_add_out_of_range(self):
+        m = FairnessMatroid(FairnessConstraint(lower=[0], upper=[1], k=1), [0])
+        with pytest.raises(ValueError):
+            m.can_add(np.zeros(1, dtype=np.int64), 5)
+
+
+class TestCompletion:
+    def test_completion_reaches_k(self):
+        labels = np.array([0, 0, 0, 1, 1])
+        c = FairnessConstraint(lower=[1, 1], upper=[3, 2], k=4)
+        m = FairnessMatroid(c, labels)
+        order = m.completion_groups(np.array([1, 0]))
+        assert len(order) == 3
+        final = np.array([1, 0])
+        for g in order:
+            final[g] += 1
+        assert final.sum() == 4
+        assert (final >= c.lower).all() and (final <= c.upper).all()
+
+    def test_completion_fills_lower_bounds_first(self):
+        labels = np.array([0, 0, 1, 1])
+        c = FairnessConstraint(lower=[0, 2], upper=[2, 2], k=2)
+        m = FairnessMatroid(c, labels)
+        order = m.completion_groups(np.array([0, 0]))
+        assert order == [1, 1]
+
+    def test_completion_rejects_dependent_counts(self):
+        labels = np.array([0, 0])
+        c = FairnessConstraint(lower=[0], upper=[1], k=1)
+        m = FairnessMatroid(c, labels)
+        with pytest.raises(ValueError):
+            m.completion_groups(np.array([2]))
+
+    def test_completion_respects_group_population(self):
+        labels = np.array([0, 1, 1])
+        c = FairnessConstraint(lower=[1, 0], upper=[2, 2], k=3)
+        m = FairnessMatroid(c, labels)
+        order = m.completion_groups(np.array([0, 0]))
+        # Only one point exists in group 0, so it can appear at most once.
+        assert order.count(0) <= 1
+
+
+class TestConstructionErrors:
+    def test_labels_exceed_groups(self):
+        with pytest.raises(ValueError):
+            FairnessMatroid(
+                FairnessConstraint(lower=[0], upper=[1], k=1), [0, 1]
+            )

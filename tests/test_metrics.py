@@ -1,0 +1,55 @@
+"""Unit tests for the fairness-violation metric (Eq. 3)."""
+
+import numpy as np
+
+from repro.fairness.constraints import FairnessConstraint
+from repro.fairness.metrics import fairness_violations, violation_breakdown
+
+
+class TestFairnessViolations:
+    def test_zero_for_fair_selection(self):
+        labels = np.array([0, 0, 1, 1])
+        c = FairnessConstraint(lower=[1, 1], upper=[2, 2], k=3)
+        assert fairness_violations(c, labels, [0, 1, 2]) == 0
+
+    def test_counts_overflow(self):
+        labels = np.array([0, 0, 0, 1])
+        c = FairnessConstraint(lower=[0, 0], upper=[1, 3], k=3)
+        # Three from group 0 with upper bound 1 -> err 2.
+        assert fairness_violations(c, labels, [0, 1, 2]) == 2
+
+    def test_counts_underflow(self):
+        labels = np.array([0, 0, 1, 1])
+        c = FairnessConstraint(lower=[0, 2], upper=[4, 4], k=2)
+        assert fairness_violations(c, labels, [0, 1]) == 2
+
+    def test_mixed_over_and_under(self):
+        labels = np.array([0, 0, 0, 1, 1])
+        c = FairnessConstraint(lower=[0, 1], upper=[1, 3], k=3)
+        # counts = [3, 0]: over by 2 on group 0, under by 1 on group 1.
+        assert fairness_violations(c, labels, [0, 1, 2]) == 3
+
+    def test_empty_selection(self):
+        labels = np.array([0, 1])
+        c = FairnessConstraint(lower=[1, 1], upper=[1, 1], k=2)
+        assert fairness_violations(c, labels, []) == 2
+
+
+class TestViolationBreakdown:
+    def test_rows_per_group(self):
+        labels = np.array([0, 0, 1])
+        c = FairnessConstraint(lower=[0, 1], upper=[1, 1], k=2)
+        rows = violation_breakdown(c, labels, [0, 1])
+        assert len(rows) == 2
+        assert rows[0]["count"] == 2
+        assert rows[0]["violation"] == 1  # over upper bound 1
+        assert rows[1]["violation"] == 1  # under lower bound 1
+
+    def test_sum_matches_metric(self):
+        labels = np.array([0, 1, 1, 2, 2, 2])
+        c = FairnessConstraint(lower=[1, 1, 1], upper=[1, 2, 2], k=4)
+        selection = [3, 4, 5]
+        total = sum(
+            row["violation"] for row in violation_breakdown(c, labels, selection)
+        )
+        assert total == fairness_violations(c, labels, selection)

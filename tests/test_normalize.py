@@ -1,0 +1,73 @@
+"""Unit tests for repro.data.normalize."""
+
+import numpy as np
+import pytest
+
+from repro.data.normalize import invert_preference, max_normalize, minmax_normalize
+
+
+class TestMaxNormalize:
+    def test_columns_peak_at_one(self):
+        arr = max_normalize([[2.0, 10.0], [1.0, 5.0]])
+        assert arr.max(axis=0).tolist() == [1.0, 1.0]
+
+    def test_preserves_ratios(self):
+        arr = max_normalize([[2.0, 10.0], [1.0, 5.0]])
+        assert arr[1, 0] == pytest.approx(0.5)
+        assert arr[1, 1] == pytest.approx(0.5)
+
+    def test_zero_column_untouched(self):
+        arr = max_normalize([[0.0, 4.0], [0.0, 2.0]])
+        assert arr[:, 0].tolist() == [0.0, 0.0]
+        assert arr[:, 1].max() == 1.0
+
+    def test_does_not_mutate_input(self):
+        data = np.array([[2.0, 4.0]])
+        max_normalize(data)
+        assert data[0, 0] == 2.0
+
+    def test_idempotent(self):
+        arr = max_normalize([[2.0, 10.0], [1.0, 5.0]])
+        again = max_normalize(arr)
+        np.testing.assert_allclose(arr, again)
+
+    def test_matches_paper_example(self):
+        """The Example 2.2 convention: divide by the column maximum."""
+        raw = np.array([[170.0, 2.79], [160.0, 3.83]])
+        arr = max_normalize(raw)
+        assert arr[0, 0] == pytest.approx(1.0)
+        assert arr[1, 0] == pytest.approx(160.0 / 170.0)
+        assert arr[0, 1] == pytest.approx(2.79 / 3.83)
+
+
+class TestMinmaxNormalize:
+    def test_range_is_unit(self):
+        arr = minmax_normalize([[2.0, 10.0], [1.0, 5.0], [1.5, 7.0]])
+        assert arr.min(axis=0).tolist() == [0.0, 0.0]
+        assert arr.max(axis=0).tolist() == [1.0, 1.0]
+
+    def test_constant_column_maps_to_one(self):
+        arr = minmax_normalize([[3.0, 1.0], [3.0, 2.0]])
+        assert arr[:, 0].tolist() == [1.0, 1.0]
+
+    def test_eps_floor(self):
+        arr = minmax_normalize([[0.0], [1.0]], eps=0.1)
+        assert arr.min() == pytest.approx(0.1)
+        assert arr.max() == pytest.approx(1.0)
+
+
+class TestInvertPreference:
+    def test_flips_order(self):
+        arr = invert_preference([[1.0, 5.0], [3.0, 2.0]], columns=[0])
+        # Smaller raw values become larger inverted values.
+        assert arr[0, 0] > arr[1, 0]
+        # Untouched column is preserved.
+        assert arr[:, 1].tolist() == [5.0, 2.0]
+
+    def test_out_of_range_column(self):
+        with pytest.raises(ValueError, match="out of range"):
+            invert_preference([[1.0, 2.0]], columns=[5])
+
+    def test_result_nonnegative(self):
+        arr = invert_preference([[1.0], [4.0], [2.0]], columns=[0])
+        assert (arr >= 0).all()

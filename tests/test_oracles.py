@@ -1,0 +1,86 @@
+"""Dedicated tests for the hybrid direction oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.oracles import DirectionOracle
+from repro.data.synthetic import anticorrelated_dataset
+from repro.hms.exact import mhr_exact
+from repro.hms.ratios import happiness_ratio
+
+
+@pytest.fixture(scope="module")
+def data3d():
+    return anticorrelated_dataset(120, 3, 2, seed=21).normalized().points
+
+
+@pytest.fixture(scope="module")
+def data2d():
+    return anticorrelated_dataset(120, 2, 2, seed=22).normalized().points
+
+
+class TestWorstDirection:
+    def test_2d_exact(self, data2d):
+        oracle = DirectionOracle(data2d)
+        S = data2d[:4]
+        direction, hr = oracle.worst_direction(S)
+        assert hr == pytest.approx(mhr_exact(S, data2d), abs=1e-9)
+        # The returned direction must realize that happiness ratio.
+        assert happiness_ratio(direction, S, data2d) == pytest.approx(hr, abs=1e-9)
+
+    def test_md_returns_achievable_direction(self, data3d):
+        oracle = DirectionOracle(data3d, net_size=512, refine=16, seed=1)
+        S = data3d[:5]
+        direction, hr = oracle.worst_direction(S)
+        assert happiness_ratio(direction, S, data3d) == pytest.approx(hr, abs=1e-6)
+
+    def test_md_upper_bounds_exact(self, data3d):
+        """The hybrid worst can only over-estimate the true minimum."""
+        oracle = DirectionOracle(data3d, net_size=1024, refine=24, seed=2)
+        S = data3d[:5]
+        _, hr = oracle.worst_direction(S)
+        assert hr >= mhr_exact(S, data3d) - 1e-9
+
+    def test_refinement_tightens(self, data3d):
+        S = data3d[:3]
+        coarse = DirectionOracle(data3d, net_size=64, refine=0, seed=3)
+        fine = DirectionOracle(data3d, net_size=64, refine=32, seed=3)
+        _, hr_coarse = coarse.worst_direction(S)
+        _, hr_fine = fine.worst_direction(S)
+        assert hr_fine <= hr_coarse + 1e-12
+
+
+class TestViolatedDirection:
+    def test_full_set_has_no_violation(self, data3d):
+        oracle = DirectionOracle(data3d, seed=4)
+        assert oracle.violated_direction(data3d, 0.01, certify=True) is None
+
+    def test_returned_direction_actually_violates(self, data3d):
+        oracle = DirectionOracle(data3d, seed=5)
+        S = data3d[:1]
+        eps = 0.1
+        direction = oracle.violated_direction(S, eps)
+        if direction is not None:
+            assert happiness_ratio(direction, S, data3d) < 1 - eps + 1e-6
+
+    def test_certified_none_is_sound(self, data3d):
+        """certify=True 'None' implies no direction violates (spot check)."""
+        oracle = DirectionOracle(data3d, seed=6)
+        S = data3d[:40]  # large selection: likely nearly perfect
+        eps = 0.5
+        if oracle.violated_direction(S, eps, certify=True) is None:
+            assert mhr_exact(S, data3d) >= 1 - eps - 1e-6
+
+    def test_2d_violation_via_sweep(self, data2d):
+        oracle = DirectionOracle(data2d)
+        S = data2d[:1]
+        direction = oracle.violated_direction(S, 0.05)
+        exact = mhr_exact(S, data2d)
+        if exact < 0.95:
+            assert direction is not None
+        else:
+            assert direction is None
+
+    def test_candidates_cached(self, data3d):
+        oracle = DirectionOracle(data3d, seed=7)
+        assert oracle.candidates is oracle.candidates

@@ -1,0 +1,134 @@
+"""Cross-cutting property-based tests for the paper's lemmas.
+
+Each class checks one theoretical statement from the paper on randomly
+generated instances: Lemma 2.3 (hr is monotone submodular), Lemma 4.1 (the
+delta-net sandwich), Lemma 4.4 (truncation equivalence), and the interval
+structure underlying IntCov.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.deltanet import sample_directions
+from repro.geometry.envelope import tau_interval, upper_envelope
+from repro.hms.exact import mhr_exact
+from repro.hms.ratios import happiness_ratio, mhr_on_net
+from repro.hms.truncated import TruncatedEngine
+
+
+@st.composite
+def instance(draw, max_n=16, max_d=4):
+    n = draw(st.integers(4, max_n))
+    d = draw(st.integers(2, max_d))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, d)) + 0.01
+    return points, seed
+
+
+class TestLemma23HrMonotoneSubmodular:
+    """hr(u, .) is monotone and submodular for every direction u."""
+
+    @given(instance())
+    def test_monotone(self, inst):
+        points, seed = inst
+        rng = np.random.default_rng(seed + 1)
+        u = np.abs(rng.standard_normal(points.shape[1])) + 1e-9
+        sizes = sorted(rng.choice(range(1, points.shape[0] + 1), 2, replace=True))
+        small = happiness_ratio(u, points[: sizes[0]], points)
+        large = happiness_ratio(u, points[: sizes[1]], points)
+        assert small <= large + 1e-12
+
+    @given(instance())
+    def test_submodular(self, inst):
+        """f(S1 + p) - f(S1) >= f(S2 + p) - f(S2) for S1 subset of S2."""
+        points, seed = inst
+        rng = np.random.default_rng(seed + 2)
+        u = np.abs(rng.standard_normal(points.shape[1])) + 1e-9
+        n = points.shape[0]
+        s1 = max(1, n // 3)
+        s2 = max(s1 + 1, 2 * n // 3)
+        p = points[n - 1 : n]
+        def f(S):
+            return happiness_ratio(u, S, points)
+        gain_small = f(np.vstack([points[:s1], p])) - f(points[:s1])
+        gain_large = f(np.vstack([points[:s2], p])) - f(points[:s2])
+        assert gain_small >= gain_large - 1e-12
+
+
+class TestLemma41NetSandwich:
+    """mhr(S) <= mhr(S|N) <= mhr(S) + 2 delta d / (1 + delta d)."""
+
+    @given(instance(max_d=3), st.integers(50, 400))
+    @settings(max_examples=15)
+    def test_net_upper_bounds_exact(self, inst, m):
+        points, seed = inst
+        S = points[: max(1, points.shape[0] // 2)]
+        net = sample_directions(m, points.shape[1], seed)
+        assert mhr_on_net(S, points, net) >= mhr_exact(S, points) - 1e-7
+
+    def test_gap_shrinks_with_net_size(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((25, 3)) + 0.01
+        S = points[:4]
+        exact = mhr_exact(S, points)
+        gaps = []
+        for m in (20, 200, 2_000):
+            net = sample_directions(m, 3, seed=1)
+            gaps.append(mhr_on_net(S, points, net) - exact)
+        assert gaps[0] >= gaps[1] >= gaps[2] >= -1e-9
+
+
+class TestLemma44Truncation:
+    """mhr(S|N) >= tau  <=>  mhr_tau(S|N) = tau, on random instances."""
+
+    @given(instance(max_d=3), st.floats(0.05, 0.99))
+    @settings(max_examples=25)
+    def test_equivalence(self, inst, tau):
+        points, seed = inst
+        net = sample_directions(64, points.shape[1], seed)
+        engine = TruncatedEngine(points, net, dtype=np.float64)
+        selection = list(range(max(1, points.shape[0] // 2)))
+        min_ratio = engine.min_ratio_of_selection(selection)
+        truncated = engine.value_of_selection(selection, tau)
+        if min_ratio >= tau + 1e-9:
+            assert truncated == pytest.approx(tau, abs=1e-9)
+        if truncated >= tau - 1e-12:
+            assert min_ratio >= tau - 1e-7
+
+
+class TestEnvelopeIntervalStructure:
+    """I_tau(p) is a single interval; envelope touches every maximizer."""
+
+    @given(instance(max_d=2), st.floats(0.1, 1.0))
+    @settings(max_examples=25)
+    def test_interval_contains_argmax_region_samples(self, inst, tau):
+        points, seed = inst
+        env = upper_envelope(points)
+        rng = np.random.default_rng(seed + 3)
+        p = points[rng.integers(points.shape[0])]
+        iv = tau_interval(p, env, tau)
+        for lam in rng.random(20):
+            value = p[1] + (p[0] - p[1]) * lam
+            ratio = value / env.value(float(lam))
+            if ratio > tau + 1e-7:
+                assert iv is not None
+                lo, hi = iv
+                assert lo - 1e-7 <= lam <= hi + 1e-7
+
+
+class TestSolutionInvariants:
+    """End-to-end invariants every solver must satisfy."""
+
+    @pytest.mark.parametrize("algo", ["IntCov", "BiGreedy", "BiGreedy+"])
+    def test_fairness_always_satisfied(self, algo, small2d):
+        from repro.core.solve import solve_fairhms
+        from repro.fairness.constraints import FairnessConstraint
+
+        c = FairnessConstraint.proportional(5, small2d.group_sizes, alpha=0.1)
+        kwargs = {} if algo == "IntCov" else {"seed": 0}
+        s = solve_fairhms(small2d, c, algorithm=algo, **kwargs)
+        assert c.satisfied_by(small2d.labels, s.indices)
+        assert 0.0 <= s.mhr() <= 1.0

@@ -1,0 +1,122 @@
+"""Unit + property tests for happiness-ratio primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.deltanet import sample_directions
+from repro.hms.ratios import (
+    happiness_ratio,
+    happiness_ratios,
+    mhr_on_net,
+    scores,
+    top_scores,
+)
+
+pts_strategy = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 20), st.integers(2, 4)),
+    elements=st.floats(0.01, 1.0),
+)
+
+
+class TestScores:
+    def test_inner_products(self):
+        pts = np.array([[1.0, 0.0], [0.0, 2.0]])
+        dirs = np.array([[1.0, 1.0]])
+        np.testing.assert_allclose(scores(pts, dirs), [[1.0, 2.0]])
+
+    def test_single_direction_vector(self):
+        pts = np.array([[1.0, 2.0]])
+        out = scores(pts, np.array([0.5, 0.5]))
+        assert out.shape == (1, 1)
+        assert out[0, 0] == pytest.approx(1.5)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            scores(np.ones((2, 3)), np.ones((1, 2)))
+
+    def test_negative_direction_rejected(self):
+        with pytest.raises(ValueError):
+            scores(np.ones((2, 2)), np.array([[1.0, -0.5]]))
+
+    def test_top_scores(self):
+        pts = np.array([[1.0, 0.0], [0.0, 2.0]])
+        dirs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose(top_scores(pts, dirs), [1.0, 2.0])
+
+
+class TestHappinessRatio:
+    def test_full_set_ratio_one(self):
+        pts = np.random.default_rng(0).random((10, 3)) + 0.01
+        u = np.array([0.3, 0.3, 0.4])
+        assert happiness_ratio(u, pts, pts) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        D = np.array([[1.0, 0.0], [0.0, 1.0]])
+        S = D[:1]
+        assert happiness_ratio(np.array([0.0, 1.0]), S, D) == pytest.approx(0.0)
+        assert happiness_ratio(np.array([1.0, 0.0]), S, D) == pytest.approx(1.0)
+        # Both database points score 0.5 at the diagonal, so S is perfect.
+        assert happiness_ratio(np.array([0.5, 0.5]), S, D) == pytest.approx(1.0)
+        D3 = np.array([[1.0, 0.0], [0.0, 1.0], [0.8, 0.8]])
+        assert happiness_ratio(
+            np.array([0.5, 0.5]), D3[:1], D3
+        ) == pytest.approx(0.5 / 0.8)
+
+    def test_zero_direction_rejected(self):
+        pts = np.array([[0.0, 0.0], [0.0, 0.0]])
+        with pytest.raises(ValueError):
+            happiness_ratio(np.array([1.0, 0.0]), pts, pts)
+
+    @given(pts_strategy)
+    def test_ratio_in_unit_interval(self, pts):
+        S = pts[: max(1, pts.shape[0] // 2)]
+        u = np.ones(pts.shape[1])
+        hr = happiness_ratio(u, S, pts)
+        assert 0.0 <= hr <= 1.0 + 1e-12
+
+    @given(pts_strategy)
+    def test_monotone_in_selection(self, pts):
+        """hr(u, S1) <= hr(u, S2) when S1 is a subset of S2."""
+        u = np.ones(pts.shape[1]) / pts.shape[1]
+        small = happiness_ratio(u, pts[:1], pts)
+        large = happiness_ratio(u, pts[:3], pts)
+        assert small <= large + 1e-12
+
+
+class TestHappinessRatiosVectorized:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        D = rng.random((15, 3)) + 0.01
+        S = D[:4]
+        dirs = sample_directions(20, 3, seed=2)
+        vec = happiness_ratios(S, D, dirs)
+        for j, u in enumerate(dirs):
+            assert vec[j] == pytest.approx(happiness_ratio(u, S, D))
+
+
+class TestMhrOnNet:
+    def test_upper_bounds_true_mhr(self):
+        """Lemma 4.1 direction: net MHR >= true MHR."""
+        from repro.hms.exact import mhr_exact
+        rng = np.random.default_rng(3)
+        D = rng.random((20, 3)) + 0.01
+        S = D[:4]
+        net = sample_directions(100, 3, seed=4)
+        assert mhr_on_net(S, D, net) >= mhr_exact(S, D) - 1e-9
+
+    def test_full_set_is_one(self):
+        D = np.random.default_rng(5).random((10, 2)) + 0.01
+        net = sample_directions(30, 2, seed=6)
+        assert mhr_on_net(D, D, net) == pytest.approx(1.0)
+
+    def test_net_subset_monotone(self):
+        """More directions can only lower the estimate."""
+        rng = np.random.default_rng(7)
+        D = rng.random((20, 3)) + 0.01
+        S = D[:3]
+        net = sample_directions(200, 3, seed=8)
+        assert mhr_on_net(S, D, net) <= mhr_on_net(S, D, net[:50]) + 1e-12

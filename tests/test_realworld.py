@@ -1,0 +1,133 @@
+"""Simulated real-world dataset tests (Table 2 structure)."""
+
+import numpy as np
+import pytest
+
+from repro.data.realworld import (
+    DATASET_GROUPS,
+    adult,
+    compas,
+    credit,
+    lawschs,
+    load_dataset,
+)
+
+EXPECTED_SHAPE = {
+    "Lawschs": (65_494, 2),
+    "Adult": (32_561, 5),
+    "Compas": (4_743, 9),
+    "Credit": (1_000, 7),
+}
+
+EXPECTED_GROUPS = {
+    ("Lawschs", "Gender"): 2,
+    ("Lawschs", "Race"): 5,
+    ("Adult", "Gender"): 2,
+    ("Adult", "Race"): 5,
+    ("Adult", "G+R"): 10,
+    ("Compas", "Gender"): 2,
+    ("Compas", "isRecid"): 2,
+    ("Compas", "G+iR"): 4,
+    ("Credit", "Housing"): 3,
+    ("Credit", "Job"): 4,
+    ("Credit", "WY"): 5,
+}
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SHAPE))
+    def test_paper_dimensions(self, name):
+        ds = load_dataset(name, n=2000)
+        assert ds.dim == EXPECTED_SHAPE[name][1]
+        assert ds.n == 2000  # explicit n overrides the published size
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SHAPE))
+    def test_default_sizes_match_paper(self, name):
+        if EXPECTED_SHAPE[name][0] > 40_000:
+            pytest.skip("full-size generation covered by Lawschs smoke run")
+        ds = load_dataset(name)
+        assert ds.n == EXPECTED_SHAPE[name][0]
+
+    @pytest.mark.parametrize(("name", "attr"), sorted(EXPECTED_GROUPS))
+    def test_group_counts(self, name, attr):
+        ds = load_dataset(name, attr, n=3000)
+        assert ds.num_groups == EXPECTED_GROUPS[(name, attr)]
+
+
+class TestSemantics:
+    def test_nonnegative_points(self):
+        for name in EXPECTED_SHAPE:
+            ds = load_dataset(name, n=1000)
+            assert (ds.points >= 0).all()
+
+    def test_reproducible_default_seed(self):
+        a = load_dataset("Adult", n=500)
+        b = load_dataset("Adult", n=500)
+        np.testing.assert_array_equal(a.points, b.points)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_seed_override_changes_data(self):
+        a = load_dataset("Adult", n=500)
+        b = load_dataset("Adult", n=500, seed=999)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_majority_groups(self):
+        law = lawschs(n=10_000, group_attribute="Race")
+        sizes = law.group_sizes
+        assert sizes[0] > sizes[1:].sum()  # White majority as in LSAC
+
+    def test_adult_gender_imbalance(self):
+        ds = adult(n=10_000, group_attribute="Gender")
+        sizes = ds.group_sizes
+        # Male (index 1) is the ~2/3 majority.
+        assert sizes[1] > 1.5 * sizes[0]
+
+    def test_combined_partition(self):
+        ds = adult(n=5_000, group_attribute="G+R")
+        assert ds.num_groups == 10
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("Mystery")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(ValueError, match="group attribute"):
+            load_dataset("Credit", "Gender")
+
+    def test_dataset_groups_registry(self):
+        for name, attrs in DATASET_GROUPS.items():
+            for attr in attrs:
+                assert load_dataset(name, attr, n=500).group_attribute == attr
+
+
+class TestSkylineScale:
+    """Per-group skylines land in the paper's order of magnitude."""
+
+    def test_lawschs_tiny_skyline(self):
+        sky = lawschs(n=20_000, group_attribute="Gender").normalized().skyline()
+        assert sky.n < 120  # paper: 19
+
+    def test_adult_skyline_hundreds(self):
+        sky = adult(n=8_000, group_attribute="Race").normalized().skyline()
+        assert 30 < sky.n < 2_000  # paper: 206 at full size
+
+    def test_compas_skyline_bounded(self):
+        sky = compas(group_attribute="Gender").normalized().skyline()
+        assert 50 < sky.n < 2_000  # paper: 195
+
+    def test_credit_skyline_bounded(self):
+        sky = credit(group_attribute="Job").normalized().skyline()
+        assert 40 < sky.n < 800  # paper: 126
+
+    def test_unfairness_pressure_exists(self):
+        """Unconstrained HMS under-represents the shifted group (Fig. 3)."""
+        from repro.baselines.greedy import rdp_greedy
+
+        sky = adult(n=6_000, group_attribute="Gender").normalized().skyline()
+        solution = rdp_greedy(sky, 12)
+        counts = np.bincount(
+            sky.labels[solution.indices], minlength=2
+        )
+        share_female = counts[0] / 12
+        population_share = sky.group_sizes[0] / sky.n
+        assert share_female < max(population_share, 0.33)

@@ -1,0 +1,35 @@
+"""Tests for the seeded RNG helpers."""
+
+import numpy as np
+
+from repro._rng import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+
+class TestSpawn:
+    def test_children_independent_of_count(self):
+        """The first child is the same no matter how many siblings follow."""
+        a = spawn(np.random.default_rng(7), 1)[0].random(3)
+        b = spawn(np.random.default_rng(7), 5)[0].random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_children_differ(self):
+        children = spawn(np.random.default_rng(8), 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_count(self):
+        assert len(spawn(np.random.default_rng(9), 4)) == 4

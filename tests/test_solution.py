@@ -1,0 +1,61 @@
+"""Solution container tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.solution import Solution
+from repro.fairness.constraints import FairnessConstraint
+
+
+class TestSolution:
+    def test_basic(self, tiny2d):
+        s = Solution(indices=[0, 1], dataset=tiny2d, algorithm="X")
+        assert s.size == 2
+        assert s.points.shape == (2, 2)
+
+    def test_out_of_range_indices(self, tiny2d):
+        with pytest.raises(ValueError, match="out of range"):
+            Solution(indices=[0, tiny2d.n], dataset=tiny2d, algorithm="X")
+
+    def test_duplicate_indices(self, tiny2d):
+        with pytest.raises(ValueError, match="duplicate"):
+            Solution(indices=[1, 1], dataset=tiny2d, algorithm="X")
+
+    def test_non_1d_indices(self, tiny2d):
+        with pytest.raises(ValueError, match="1-D"):
+            Solution(indices=[[1, 2]], dataset=tiny2d, algorithm="X")
+
+    def test_ids_map_through_subset(self, tiny2d):
+        sub = tiny2d.subset([5, 7, 9])
+        s = Solution(indices=[1], dataset=sub, algorithm="X")
+        assert s.ids.tolist() == [7]
+
+    def test_group_counts(self, tiny2d):
+        s = Solution(indices=list(range(6)), dataset=tiny2d, algorithm="X")
+        assert s.group_counts().sum() == 6
+
+    def test_violations_needs_constraint(self, tiny2d):
+        s = Solution(indices=[0], dataset=tiny2d, algorithm="X")
+        with pytest.raises(ValueError, match="constraint"):
+            s.violations()
+
+    def test_violations_with_explicit_constraint(self, tiny2d):
+        c = FairnessConstraint(lower=[1, 1], upper=[1, 1], k=2)
+        rows0 = tiny2d.group_indices(0)
+        rows1 = tiny2d.group_indices(1)
+        fair = Solution(
+            indices=[int(rows0[0]), int(rows1[0])], dataset=tiny2d, algorithm="X"
+        )
+        assert fair.violations(c) == 0
+        unfair = Solution(
+            indices=[int(rows0[0]), int(rows0[1])], dataset=tiny2d, algorithm="X"
+        )
+        assert unfair.violations(c) == 2
+
+    def test_mhr_matches_exact(self, tiny2d):
+        from repro.hms.exact import mhr_exact
+
+        s = Solution(indices=[0, 1, 2], dataset=tiny2d, algorithm="X")
+        assert s.mhr() == pytest.approx(
+            mhr_exact(tiny2d.points[[0, 1, 2]], tiny2d.points)
+        )

@@ -1,0 +1,71 @@
+"""Dispatcher + unconstrained-solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.solve import CORE_ALGORITHMS, solve_fairhms
+from repro.core.unconstrained import hms_exact_2d, hms_greedy
+from repro.fairness.constraints import FairnessConstraint
+from repro.hms.exact import mhr_exact_2d
+
+
+class TestSolveDispatch:
+    def test_auto_picks_intcov_for_2d(self, small2d):
+        c = FairnessConstraint.proportional(4, small2d.group_sizes, alpha=0.1)
+        s = solve_fairhms(small2d, c)
+        assert s.algorithm == "IntCov"
+
+    def test_auto_picks_bigreedy_plus_for_md(self, small3d):
+        c = FairnessConstraint.proportional(4, small3d.group_sizes, alpha=0.1)
+        s = solve_fairhms(small3d, c, seed=0)
+        assert s.algorithm == "BiGreedy+"
+
+    def test_explicit_algorithm(self, small3d):
+        c = FairnessConstraint.proportional(4, small3d.group_sizes, alpha=0.1)
+        s = solve_fairhms(small3d, c, algorithm="BiGreedy", seed=0)
+        assert s.algorithm == "BiGreedy"
+
+    def test_unknown_algorithm(self, small3d):
+        c = FairnessConstraint.proportional(4, small3d.group_sizes, alpha=0.1)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            solve_fairhms(small3d, c, algorithm="Magic")
+
+    def test_registry_contents(self):
+        assert set(CORE_ALGORITHMS) == {"IntCov", "BiGreedy", "BiGreedy+"}
+
+
+class TestUnconstrained2D:
+    def test_exact_is_optimal(self, tiny2d):
+        import itertools
+
+        s = hms_exact_2d(tiny2d, 3)
+        best = max(
+            mhr_exact_2d(tiny2d.points[list(combo)], tiny2d.points)
+            for combo in itertools.combinations(range(tiny2d.n), 3)
+        )
+        assert s.mhr_estimate == pytest.approx(best, abs=1e-7)
+
+    def test_size(self, tiny2d):
+        assert hms_exact_2d(tiny2d, 4).size == 4
+
+    def test_paper_example(self, lsac_sky):
+        s = hms_exact_2d(lsac_sky, 2)
+        assert sorted(s.ids.tolist()) == [3, 4]  # a4, a5
+        assert s.mhr_estimate == pytest.approx(0.9846, abs=5e-5)
+
+
+class TestHmsGreedy:
+    def test_size_and_no_constraint_violation_concept(self, small3d):
+        s = hms_greedy(small3d, 5, seed=0)
+        assert s.size == 5
+        assert s.algorithm == "HMS-Greedy"
+
+    def test_close_to_2d_optimum(self, small2d):
+        exact = hms_exact_2d(small2d, 4).mhr_estimate
+        greedy = hms_greedy(small2d, 4, seed=1)
+        assert greedy.mhr() >= exact - 0.1
+
+    def test_monotone_in_k(self, small3d):
+        small = hms_greedy(small3d, 3, seed=2).mhr()
+        large = hms_greedy(small3d, 8, seed=2).mhr()
+        assert large >= small - 0.02

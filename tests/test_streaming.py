@@ -1,0 +1,99 @@
+"""Tests for the streaming FairHMS extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.bigreedy import bigreedy
+from repro.data.synthetic import anticorrelated_dataset
+from repro.extensions.streaming import StreamingFairHMS
+from repro.fairness.constraints import FairnessConstraint
+from repro.hms.ratios import mhr_on_net
+
+
+def stream_dataset(sieve, dataset):
+    for idx in range(dataset.n):
+        sieve.observe(idx, dataset.points[idx], int(dataset.labels[idx]))
+
+
+class TestSieveMechanics:
+    def test_counts_observed(self):
+        sieve = StreamingFairHMS(3, 2, seed=0)
+        sieve.observe(0, [0.5, 0.5, 0.5], 0)
+        sieve.observe(1, [0.4, 0.4, 0.4], 1)
+        assert sieve.seen == 2
+
+    def test_buffer_bounded(self):
+        ds = anticorrelated_dataset(300, 3, 2, seed=1).normalized()
+        sieve = StreamingFairHMS(3, 2, buffer_per_group=16, seed=2)
+        stream_dataset(sieve, ds)
+        assert sieve.buffered() <= 2 * 16
+
+    def test_dominant_tuple_always_admitted(self):
+        sieve = StreamingFairHMS(2, 1, seed=3)
+        sieve.observe(0, [0.2, 0.2], 0)
+        assert sieve.observe(1, [0.9, 0.9], 0)  # new champion everywhere
+
+    def test_weak_tuple_rejected(self):
+        sieve = StreamingFairHMS(2, 1, slack=0.1, seed=4)
+        sieve.observe(0, [1.0, 1.0], 0)
+        assert not sieve.observe(1, [0.05, 0.05], 0)
+
+    def test_validation(self):
+        sieve = StreamingFairHMS(2, 2, seed=5)
+        with pytest.raises(ValueError):
+            sieve.observe(0, [0.5], 0)
+        with pytest.raises(ValueError):
+            sieve.observe(0, [0.5, 0.5], 7)
+        with pytest.raises(ValueError):
+            StreamingFairHMS(2, 2, slack=0.0)
+
+    def test_empty_finalize_raises(self):
+        sieve = StreamingFairHMS(2, 1, seed=6)
+        with pytest.raises(ValueError, match="buffered"):
+            sieve.buffer_dataset()
+
+
+class TestStreamingQuality:
+    def test_close_to_offline(self):
+        """Sieve + finalize lands near offline BiGreedy on the same net."""
+        ds = anticorrelated_dataset(400, 3, 2, seed=7).normalized()
+        k = 6
+        constraint = FairnessConstraint.proportional(k, ds.group_sizes, alpha=0.1)
+
+        sieve = StreamingFairHMS(3, 2, buffer_per_group=64, net_size=180, seed=8)
+        stream_dataset(sieve, ds)
+        streamed = sieve.finalize(constraint)
+        assert streamed.size == k
+
+        offline = bigreedy(ds.skyline(per_group=True), constraint, seed=8)
+        net = sieve.net
+        got = mhr_on_net(streamed.points, ds.points, net)
+        want = mhr_on_net(offline.points, ds.points, net)
+        assert got >= want - 0.05
+
+    def test_fairness_of_finalized(self):
+        ds = anticorrelated_dataset(300, 4, 3, seed=9).normalized()
+        constraint = FairnessConstraint.proportional(6, ds.group_sizes, alpha=0.1)
+        sieve = StreamingFairHMS(4, 3, buffer_per_group=48, seed=10)
+        stream_dataset(sieve, ds)
+        solution = sieve.finalize(constraint)
+        counts = solution.group_counts()
+        # Group ids survive the sieve re-indexing when all groups buffered.
+        assert counts.sum() == 6
+        assert solution.stats["stream_seen"] == 300
+        assert solution.stats["stream_buffered"] <= 3 * 48
+
+    def test_population_sizes_recorded(self):
+        ds = anticorrelated_dataset(200, 3, 2, seed=11).normalized()
+        sieve = StreamingFairHMS(3, 2, seed=12)
+        stream_dataset(sieve, ds)
+        buffered = sieve.buffer_dataset()
+        assert sum(buffered.meta["population_group_sizes"]) == 200
+
+    def test_ids_are_caller_keys(self):
+        ds = anticorrelated_dataset(100, 3, 2, seed=13).normalized()
+        sieve = StreamingFairHMS(3, 2, seed=14)
+        for idx in range(ds.n):
+            sieve.observe(1_000 + idx, ds.points[idx], int(ds.labels[idx]))
+        buffered = sieve.buffer_dataset()
+        assert buffered.ids.min() >= 1_000

@@ -1,0 +1,91 @@
+"""Synthetic generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    anticorrelated,
+    anticorrelated_dataset,
+    correlated,
+    independent,
+    synthetic_dataset,
+)
+from repro.geometry.dominance import skyline_indices
+
+
+class TestAnticorrelated:
+    def test_shape_and_range(self):
+        pts = anticorrelated(200, 4, seed=0)
+        assert pts.shape == (200, 4)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            anticorrelated(50, 3, seed=1), anticorrelated(50, 3, seed=1)
+        )
+
+    def test_negative_pairwise_correlation(self):
+        pts = anticorrelated(3000, 2, seed=2)
+        corr = np.corrcoef(pts[:, 0], pts[:, 1])[0, 1]
+        assert corr < -0.5
+
+    def test_skyline_is_large(self):
+        """Table 2's defining property: skylines are 0.9n-n."""
+        for n, d in ((500, 2), (2000, 2), (500, 6)):
+            pts = anticorrelated(n, d, seed=3)
+            sky = skyline_indices(pts)
+            assert sky.size >= 0.85 * n, f"n={n} d={d}: {sky.size}"
+
+    def test_sums_concentrated(self):
+        pts = anticorrelated(2000, 6, seed=4)
+        sums = pts.sum(axis=1)
+        assert abs(sums.mean() - 3.0) < 0.05
+        assert sums.std() < 0.05
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            anticorrelated(0, 2)
+        with pytest.raises(ValueError):
+            anticorrelated(10, 0)
+
+
+class TestIndependentAndCorrelated:
+    def test_independent_near_zero_correlation(self):
+        pts = independent(4000, 2, seed=5)
+        corr = np.corrcoef(pts[:, 0], pts[:, 1])[0, 1]
+        assert abs(corr) < 0.1
+
+    def test_correlated_positive(self):
+        pts = correlated(3000, 2, seed=6, strength=0.8)
+        corr = np.corrcoef(pts[:, 0], pts[:, 1])[0, 1]
+        assert corr > 0.5
+
+    def test_correlated_small_skyline(self):
+        pts = correlated(1000, 2, seed=7, strength=0.9)
+        assert skyline_indices(pts).size < 50
+
+    def test_strength_validation(self):
+        with pytest.raises(ValueError):
+            correlated(10, 2, strength=1.5)
+
+
+class TestDatasetWrappers:
+    def test_anticorrelated_dataset_groups(self):
+        ds = anticorrelated_dataset(120, 3, 4, seed=8)
+        assert ds.num_groups == 4
+        assert ds.group_sizes.tolist() == [30, 30, 30, 30]
+
+    def test_groups_ordered_by_sum(self):
+        ds = anticorrelated_dataset(100, 3, 2, seed=9)
+        sums = ds.points.sum(axis=1)
+        assert sums[ds.labels == 0].max() <= sums[ds.labels == 1].min() + 1e-12
+
+    def test_synthetic_dataset_kinds(self):
+        for kind in ("anticorrelated", "independent", "correlated"):
+            ds = synthetic_dataset(kind, 60, 3, 2, seed=10)
+            assert ds.n == 60
+            assert kind.capitalize() in ds.name
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown synthetic kind"):
+            synthetic_dataset("mystery", 10, 2, 2)

@@ -1,0 +1,179 @@
+"""Unit + property tests for the truncated-MHR engine (Lemmas 4.3/4.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.deltanet import sample_directions
+from repro.hms.truncated import TruncatedEngine
+
+
+def make_engine(n=20, d=3, m=30, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, d)) + 0.01
+    net = sample_directions(m, d, seed + 1)
+    return TruncatedEngine(pts, net, dtype=dtype), pts
+
+
+class TestEngineBasics:
+    def test_ratio_matrix_shape(self):
+        engine, _ = make_engine(n=12, d=3, m=20)
+        assert engine.ratios.shape == (20, 12)
+        assert engine.m == 20 and engine.n == 12
+
+    def test_ratios_in_unit_interval(self):
+        engine, _ = make_engine()
+        assert engine.ratios.min() >= 0.0
+        assert engine.ratios.max() <= 1.0 + 1e-6
+
+    def test_every_direction_has_a_top_point(self):
+        engine, _ = make_engine()
+        np.testing.assert_allclose(engine.ratios.max(axis=1), 1.0, atol=1e-6)
+
+    def test_net_dimension_mismatch(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            TruncatedEngine(rng.random((5, 3)), sample_directions(4, 2, 1))
+
+    def test_database_denominator(self):
+        """Ground set smaller than the database: tops from the database."""
+        rng = np.random.default_rng(1)
+        D = rng.random((30, 3)) + 0.01
+        ground = D[:10]
+        net = sample_directions(15, 3, seed=2)
+        engine = TruncatedEngine(ground, net, database=D)
+        # Ratios may now be < 1 for every ground point on some direction.
+        assert engine.ratios.max() <= 1.0 + 1e-6
+
+
+class TestStateAndValue:
+    def test_empty_state(self):
+        engine, _ = make_engine()
+        state = engine.new_state(0.8)
+        assert engine.value(state) == 0.0
+        assert engine.min_ratio(state) == 0.0
+
+    def test_invalid_tau(self):
+        engine, _ = make_engine()
+        with pytest.raises(ValueError):
+            engine.new_state(0.0)
+        with pytest.raises(ValueError):
+            engine.new_state(1.5)
+
+    def test_add_updates_value(self):
+        engine, _ = make_engine()
+        state = engine.new_state(0.9)
+        engine.add(state, 0)
+        expected = float(np.minimum(engine.ratios[:, 0], 0.9).mean())
+        assert engine.value(state) == pytest.approx(expected, abs=1e-6)
+
+    def test_add_out_of_range(self):
+        engine, _ = make_engine()
+        state = engine.new_state(0.5)
+        with pytest.raises(IndexError):
+            engine.add(state, 99)
+
+    def test_value_of_selection_matches_incremental(self):
+        engine, _ = make_engine()
+        state = engine.new_state(0.7)
+        for idx in (0, 3, 5):
+            engine.add(state, idx)
+        assert engine.value(state) == pytest.approx(
+            engine.value_of_selection([0, 3, 5], 0.7), abs=1e-6
+        )
+
+    def test_min_ratio_of_selection(self):
+        engine, _ = make_engine()
+        state = engine.new_state(0.7)
+        engine.add(state, 2)
+        assert engine.min_ratio(state) == pytest.approx(
+            engine.min_ratio_of_selection([2]), abs=1e-6
+        )
+
+    def test_copy_is_independent(self):
+        engine, _ = make_engine()
+        state = engine.new_state(0.7)
+        engine.add(state, 1)
+        clone = state.copy()
+        engine.add(clone, 2)
+        assert len(state.selected) == 1
+        assert len(clone.selected) == 2
+
+
+class TestGains:
+    def test_gain_matches_value_difference(self):
+        engine, _ = make_engine()
+        state = engine.new_state(0.8)
+        engine.add(state, 4)
+        for idx in (0, 1, 7):
+            before = engine.value(state)
+            gain = engine.gain_of(state, idx)
+            after = engine.value_of_selection(state.selected + [idx], 0.8)
+            assert gain == pytest.approx(after - before, abs=1e-6)
+
+    def test_gains_vector_matches_scalar(self):
+        engine, _ = make_engine()
+        state = engine.new_state(0.6)
+        engine.add(state, 0)
+        cand = np.array([1, 2, 3, 9])
+        vec = engine.gains(state, cand)
+        for i, idx in enumerate(cand):
+            assert vec[i] == pytest.approx(engine.gain_of(state, int(idx)), abs=1e-6)
+
+    def test_gains_masked_matches(self):
+        engine, _ = make_engine()
+        state = engine.new_state(0.6)
+        engine.add(state, 0)
+        mask = np.zeros(engine.n, dtype=bool)
+        mask[[1, 5, 6]] = True
+        out = engine.gains_masked(state, mask)
+        assert out[0] == -1.0  # masked out
+        for idx in (1, 5, 6):
+            assert out[idx] == pytest.approx(engine.gain_of(state, idx), abs=1e-6)
+
+    def test_gains_batch_matches(self):
+        engine, _ = make_engine()
+        state = engine.new_state(0.9)
+        engine.add(state, 3)
+        batch = np.array([0, 1, 2])
+        out = engine.gains_batch(state, batch)
+        for i, idx in enumerate(batch):
+            assert out[i] == pytest.approx(engine.gain_of(state, int(idx)), abs=1e-6)
+
+    def test_empty_candidates(self):
+        engine, _ = make_engine()
+        state = engine.new_state(0.5)
+        assert engine.gains(state, np.array([], dtype=np.int64)).size == 0
+
+    def test_mask_shape_check(self):
+        engine, _ = make_engine()
+        state = engine.new_state(0.5)
+        with pytest.raises(ValueError):
+            engine.gains_masked(state, np.ones(3, dtype=bool))
+
+    @given(st.integers(0, 19), st.integers(0, 19), st.floats(0.2, 1.0))
+    def test_submodularity(self, i, j, tau):
+        """Gains shrink as the selection grows (Lemma 4.3)."""
+        engine, _ = make_engine()
+        small = engine.new_state(tau)
+        engine.add(small, i)
+        large = small.copy()
+        engine.add(large, j)
+        for idx in range(0, engine.n, 4):
+            assert engine.gain_of(large, idx) <= engine.gain_of(small, idx) + 1e-9
+
+
+class TestTruncationLemma44:
+    """mhr(S|N) >= tau  <=>  mhr_tau(S|N) = tau."""
+
+    @given(st.floats(0.1, 0.95), st.integers(1, 8))
+    def test_equivalence(self, tau, size):
+        engine, _ = make_engine(n=15, d=3, m=25, seed=3)
+        selection = list(range(size))
+        value = engine.value_of_selection(selection, tau)
+        min_ratio = engine.min_ratio_of_selection(selection)
+        if min_ratio >= tau:
+            assert value == pytest.approx(tau, abs=1e-6)
+        else:
+            assert value < tau - 1e-12 or min_ratio == pytest.approx(tau, abs=1e-6)

@@ -1,0 +1,128 @@
+"""Unit tests for repro._validation."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_points,
+    check_dim,
+    check_group_labels,
+    check_positive_int,
+    check_unit_interval,
+)
+
+
+class TestAsPoints:
+    def test_accepts_lists(self):
+        arr = as_points([[1.0, 2.0], [3.0, 4.0]])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            as_points([1.0, 2.0])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            as_points(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty_rows(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            as_points(np.zeros((0, 3)))
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValueError, match="at least one attribute"):
+            as_points(np.zeros((3, 0)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            as_points([[np.nan, 1.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            as_points([[np.inf, 1.0]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            as_points([[-0.1, 1.0]])
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="database"):
+            as_points([-1.0], name="database")
+
+    def test_returns_copy_semantics_for_lists(self):
+        data = [[1.0, 2.0]]
+        arr = as_points(data)
+        arr[0, 0] = 9.0
+        assert data[0][0] == 1.0
+
+
+class TestCheckDim:
+    def test_accepts_matching(self):
+        check_dim(np.zeros((3, 2)), 2)
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_dim(np.zeros((3, 4)), 2)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_python_int(self):
+        assert check_positive_int(5, name="k") == 5
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(5), name="k") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int(0, name="k")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int(-3, name="k")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, name="k")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, name="k")
+
+
+class TestCheckUnitInterval:
+    def test_accepts_interior(self):
+        assert check_unit_interval(0.5, name="eps") == 0.5
+
+    def test_rejects_zero_when_open(self):
+        with pytest.raises(ValueError):
+            check_unit_interval(0.0, name="eps")
+
+    def test_accepts_zero_when_closed(self):
+        assert check_unit_interval(0.0, name="eps", open_left=False) == 0.0
+
+    def test_rejects_one(self):
+        with pytest.raises(ValueError):
+            check_unit_interval(1.0, name="eps")
+
+
+class TestCheckGroupLabels:
+    def test_accepts_contiguous(self):
+        out = check_group_labels([0, 1, 0, 2], 4)
+        assert out.dtype == np.int64
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="length"):
+            check_group_labels([0, 1], 3)
+
+    def test_rejects_floats(self):
+        with pytest.raises(ValueError, match="integers"):
+            check_group_labels(np.array([0.0, 1.0]), 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            check_group_labels([-1, 0], 2)
+
+    def test_rejects_gaps(self):
+        with pytest.raises(ValueError, match="missing groups"):
+            check_group_labels([0, 2], 2)

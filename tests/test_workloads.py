@@ -1,0 +1,80 @@
+"""Workload-builder and solver-registry tests."""
+
+import numpy as np
+
+from repro.baselines.adapted import FAIR_BASELINES
+from repro.experiments.workloads import (
+    CORE_SOLVERS,
+    FAIR_SOLVERS,
+    UNFAIR_SOLVERS,
+    anticor,
+    paper_constraint,
+    real_dataset,
+)
+
+
+class TestRegistries:
+    def test_core_names_match_paper(self):
+        assert set(CORE_SOLVERS) == {"IntCov", "BiGreedy", "BiGreedy+"}
+
+    def test_unfair_names_match_paper(self):
+        assert set(UNFAIR_SOLVERS) == {"Greedy", "DMM", "Sphere", "HS"}
+
+    def test_fair_roster_is_union(self):
+        assert set(FAIR_SOLVERS) == set(CORE_SOLVERS) | set(FAIR_BASELINES)
+
+    def test_fair_baseline_names(self):
+        assert set(FAIR_BASELINES) == {
+            "G-Greedy", "G-DMM", "G-Sphere", "G-HS", "F-Greedy",
+        }
+
+
+class TestBuilders:
+    def test_real_dataset_cached(self):
+        a = real_dataset("Credit", "Job")
+        b = real_dataset("Credit", "Job")
+        assert a is b
+
+    def test_real_dataset_is_normalized_skyline(self):
+        ds = real_dataset("Credit", "Housing")
+        assert ds.points.max() <= 1.0 + 1e-12
+        # Per-group skyline: within each group nobody dominates anybody.
+        for c in range(ds.num_groups):
+            pts = ds.points[ds.group_indices(c)]
+            for i in range(pts.shape[0]):
+                geq = (pts >= pts[i]).all(axis=1)
+                strict = (pts > pts[i]).any(axis=1)
+                assert not (geq & strict).any()
+
+    def test_population_sizes_propagated(self):
+        ds = real_dataset("Credit", "Job")
+        assert ds.population_group_sizes.sum() == 1_000
+        assert ds.group_sizes.sum() == ds.n
+
+    def test_anticor_distinct_keys_not_shared(self):
+        a = anticor(100, 2, 2)
+        b = anticor(100, 3, 2)
+        assert a is not b
+        assert a.dim == 2 and b.dim == 3
+
+
+class TestPaperConstraint:
+    def test_uses_population_shares(self):
+        ds = real_dataset("Adult", "Gender", n=3_000)
+        c = paper_constraint(ds, 12)
+        population = ds.population_group_sizes
+        # The male group (majority of the population) gets the larger
+        # share even if the skyline is more balanced.
+        majority = int(np.argmax(population))
+        assert c.upper[majority] >= c.upper[1 - majority]
+
+    def test_lower_capped_by_availability(self):
+        ds = real_dataset("Lawschs", "Race", n=6_000)
+        c = paper_constraint(ds, 6)
+        assert (c.lower <= ds.group_sizes).all()
+
+    def test_feasible_for_skyline(self):
+        for name, attr in (("Credit", "Job"), ("Adult", "Race")):
+            ds = real_dataset(name, attr, n=2_000 if name == "Adult" else None)
+            c = paper_constraint(ds, 10)
+            assert c.is_feasible_for(ds.group_sizes)
