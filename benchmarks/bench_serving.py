@@ -1,0 +1,110 @@
+"""Benchmark: serving layer — N repeated queries, index vs cold solves.
+
+The serving workload replays a ``k`` sweep several times against one
+dataset, the traffic shape the ``FairHMSIndex`` is built for: a stateless
+server redoes normalization, skyline extraction, delta-net sampling, and
+score-matrix construction per request, while the warm index does the
+dataset-level work once and memoizes repeated queries.
+
+Expected shape: warm (index build included) at least 2x faster than cold
+on the anti-correlated workloads; the gap widens with the repeat factor.
+``test_serving_amortized_speedup`` asserts the 2x floor directly.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.solve import resolve_algorithm, solve_fairhms
+from repro.data.synthetic import anticorrelated_dataset
+from repro.serving import FairHMSIndex, Query
+
+SEED = 7
+KS = (4, 6, 8)
+REPEAT = 3
+
+
+def workload():
+    """The k sweep replayed REPEAT times (9 queries, 3 distinct)."""
+    return [Query(k=k) for _ in range(REPEAT) for k in KS]
+
+
+def run_warm(data):
+    """Build an index and answer the whole workload through it."""
+    index = FairHMSIndex(data, default_seed=SEED)
+    return index, index.query_batch(workload())
+
+
+def run_cold(data, index):
+    """Answer the workload statelessly: full preprocessing per query."""
+    solutions = []
+    for q in workload():
+        sky = data.normalized().skyline(per_group=True)
+        constraint = index.constraint_for(q.k, alpha=q.alpha)
+        algorithm = resolve_algorithm(sky, constraint, q.algorithm)
+        kwargs = {} if algorithm == "IntCov" else {"epsilon": q.eps, "seed": SEED}
+        solutions.append(
+            solve_fairhms(sky, constraint, algorithm=algorithm, **kwargs)
+        )
+    return solutions
+
+
+@pytest.fixture(scope="module")
+def anticor2d_raw():
+    """AntiCor_2D serving input, pre-preprocessing (n = 2,000)."""
+    return anticorrelated_dataset(2_000, 2, 3, seed=42)
+
+
+@pytest.fixture(scope="module")
+def anticor6d_raw():
+    """AntiCor_6D serving input, pre-preprocessing (n = 1,500)."""
+    return anticorrelated_dataset(1_500, 6, 3, seed=42)
+
+
+def _bench_pair(benchmark, data, warm):
+    if warm:
+        index, solutions = benchmark.pedantic(
+            lambda: run_warm(data), rounds=3, iterations=1
+        )
+    else:
+        index = FairHMSIndex(data, default_seed=SEED)
+        solutions = benchmark.pedantic(
+            lambda: run_cold(data, index), rounds=3, iterations=1
+        )
+    assert len(solutions) == len(KS) * REPEAT
+    benchmark.extra_info["queries"] = len(KS) * REPEAT
+    benchmark.extra_info["distinct"] = len(KS)
+
+
+def test_bench_serving_cold_2d(benchmark, anticor2d_raw):
+    _bench_pair(benchmark, anticor2d_raw, warm=False)
+
+
+def test_bench_serving_warm_2d(benchmark, anticor2d_raw):
+    _bench_pair(benchmark, anticor2d_raw, warm=True)
+
+
+def test_bench_serving_cold_6d(benchmark, anticor6d_raw):
+    _bench_pair(benchmark, anticor6d_raw, warm=False)
+
+
+def test_bench_serving_warm_6d(benchmark, anticor6d_raw):
+    _bench_pair(benchmark, anticor6d_raw, warm=True)
+
+
+def test_serving_amortized_speedup(anticor2d_raw):
+    """Acceptance floor: warm serving (build included) >= 2x over cold."""
+    t0 = time.perf_counter()
+    index, warm_solutions = run_warm(anticor2d_raw)
+    warm = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cold_solutions = run_cold(anticor2d_raw, index)
+    cold = time.perf_counter() - t0
+
+    for w, c in zip(warm_solutions, cold_solutions):
+        np.testing.assert_array_equal(w.indices, c.indices)
+    speedup = cold / warm
+    print(f"\nserving speedup: {speedup:.1f}x (warm {warm:.3f}s, cold {cold:.3f}s)")
+    assert speedup >= 2.0

@@ -37,15 +37,19 @@ from .data import (
 from .extensions import DynamicFairHMS, StreamingFairHMS, bigreedy_khms
 from .fairness import FairnessConstraint, FairnessMatroid, fairness_violations
 from .hms import mhr_exact, mhr_on_net
+from .serving import FairHMSIndex, Query, SolverArtifacts
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Dataset",
     "DynamicFairHMS",
+    "FairHMSIndex",
     "FairnessConstraint",
     "FairnessMatroid",
+    "Query",
     "Solution",
+    "SolverArtifacts",
     "StreamingFairHMS",
     "__version__",
     "anticorrelated_dataset",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn"]
+__all__ = ["ensure_rng", "spawn", "spawn_seeds"]
 
 
 def ensure_rng(seed=None) -> np.random.Generator:
@@ -24,11 +24,21 @@ def ensure_rng(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_seeds(rng: np.random.Generator, count: int) -> list[int]:
+    """Derive ``count`` independent child seeds from ``rng``.
+
+    The integer form of :func:`spawn`: callers that need a *hashable* key
+    for each child stream (e.g. the serving layer's per-``(m, seed)``
+    delta-net cache) take the seeds and build generators themselves with
+    ``numpy.random.default_rng(seed)`` — bit-identical to :func:`spawn`.
+    """
+    return [int(s) for s in rng.integers(0, 2**63 - 1, size=count)]
+
+
 def spawn(rng: np.random.Generator, count: int) -> list:
     """Derive ``count`` independent child generators from ``rng``.
 
     Used by multi-stage experiments so that changing the number of draws in
     one stage does not perturb the randomness of later stages.
     """
-    seeds = rng.integers(0, 2**63 - 1, size=count)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, count)]

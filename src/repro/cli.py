@@ -4,6 +4,8 @@ Commands:
 
 * ``demo``        — reproduce the paper's Example 2.2 and print the result.
 * ``solve``       — run FairHMS on a named dataset with chosen parameters.
+* ``serve``       — build a ``FairHMSIndex`` and replay a query workload
+  against it, reporting the amortized speedup over stateless solves.
 * ``table2``      — print the dataset-statistics table.
 * ``experiments`` — forward to ``repro.experiments.run_all``.
 """
@@ -31,18 +33,24 @@ def _cmd_demo(_args) -> int:
     return 0
 
 
-def _cmd_solve(args) -> int:
-    from .core.solve import solve_fairhms
+def _load_cli_dataset(args):
+    """Raw (un-normalized) dataset named on the command line."""
     from .data.realworld import DATASET_GROUPS, load_dataset
     from .data.synthetic import anticorrelated_dataset
-    from .fairness.constraints import FairnessConstraint
 
     if args.dataset == "anticor":
-        data = anticorrelated_dataset(args.n or 2_000, args.d, args.groups, seed=args.seed)
-    else:
-        attribute = args.attribute or DATASET_GROUPS[args.dataset][0]
-        data = load_dataset(args.dataset, attribute, n=args.n)
-    data = data.normalized()
+        return anticorrelated_dataset(
+            args.n or 2_000, args.d, args.groups, seed=args.seed
+        )
+    attribute = args.attribute or DATASET_GROUPS[args.dataset][0]
+    return load_dataset(args.dataset, attribute, n=args.n)
+
+
+def _cmd_solve(args) -> int:
+    from .core.solve import solve_fairhms
+    from .fairness.constraints import FairnessConstraint
+
+    data = _load_cli_dataset(args).normalized()
     sky = data.skyline(per_group=True)
     print(f"{data} -> per-group skyline of {sky.n} tuples")
 
@@ -65,6 +73,90 @@ def _cmd_solve(args) -> int:
     print(f"selected ids: {solution.ids.tolist()}")
     print(f"group counts: {solution.group_counts().tolist()}")
     print(f"exact MHR: {solution.mhr():.4f}   violations: {solution.violations()}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Index a dataset once, replay a query workload, compare with cold solves.
+
+    The warm pass answers every query through one :class:`FairHMSIndex`;
+    the cold pass redoes normalization, skyline extraction, and the full
+    solve per query — what a stateless server would do.  Results are
+    checked to be identical before the speedup is reported.
+    """
+    import time
+
+    import numpy as np
+
+    from .core.solve import resolve_algorithm, solve_fairhms
+    from .serving import FairHMSIndex, Query
+
+    try:
+        ks = [int(v) for v in args.k.split(",") if v.strip()]
+    except ValueError:
+        print(f"error: --k must be comma-separated integers, got {args.k!r}")
+        return 2
+    if not ks or min(ks) < 1:
+        print(f"error: --k needs at least one positive size, got {args.k!r}")
+        return 2
+    if args.repeat < 1:
+        print(f"error: --repeat must be >= 1, got {args.repeat}")
+        return 2
+
+    data = _load_cli_dataset(args)
+    queries = [
+        Query(k=k, eps=args.eps, algorithm=args.algorithm, alpha=args.alpha)
+        for _ in range(args.repeat)
+        for k in ks
+    ]
+
+    t0 = time.perf_counter()
+    index = FairHMSIndex(data, default_seed=args.seed)
+    build = time.perf_counter() - t0
+    print(f"{index!r}  (built in {build:.3f}s)")
+
+    t0 = time.perf_counter()
+    warm_solutions = index.query_batch(queries)
+    warm = time.perf_counter() - t0
+    info = index.cache_info()
+    print(
+        f"warm: {len(queries)} queries in {warm:.3f}s "
+        f"({warm / len(queries):.4f}s/query; engines built: "
+        f"{info['engines_cached']}, result-cache hits: {info['result_hits']})"
+    )
+    for k, solution in zip(ks, warm_solutions[: len(ks)]):
+        est = solution.mhr_estimate
+        est_text = "n/a" if est is None else f"{est:.4f}"
+        print(
+            f"  k={k:3d} {solution.algorithm:9s} mhr~{est_text} "
+            f"violations={solution.violations()}"
+        )
+
+    if args.no_cold:
+        return 0
+
+    t0 = time.perf_counter()
+    cold_solutions = []
+    for q in queries:
+        sky = data.normalized().skyline(per_group=True)
+        constraint = index.constraint_for(q.k, alpha=q.alpha)
+        algorithm = resolve_algorithm(sky, constraint, q.algorithm)
+        kwargs = (
+            {} if algorithm == "IntCov" else {"epsilon": q.eps, "seed": args.seed}
+        )
+        cold_solutions.append(
+            solve_fairhms(sky, constraint, algorithm=algorithm, **kwargs)
+        )
+    cold = time.perf_counter() - t0
+    print(f"cold: {len(queries)} stateless solves in {cold:.3f}s "
+          f"({cold / len(queries):.4f}s/query)")
+
+    identical = all(
+        np.array_equal(w.indices, c.indices)
+        for w, c in zip(warm_solutions, cold_solutions)
+    )
+    print(f"results identical to cold solves: {'yes' if identical else 'NO'}")
+    print(f"amortized speedup (index build included): {cold / (build + warm):.1f}x")
     return 0
 
 
@@ -108,6 +200,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--seed", type=int, default=7)
 
+    serve = sub.add_parser(
+        "serve", help="index a dataset and replay a query workload against it"
+    )
+    serve.add_argument(
+        "dataset",
+        choices=["Lawschs", "Adult", "Compas", "Credit", "anticor"],
+    )
+    serve.add_argument("--attribute", default=None, help="group attribute")
+    serve.add_argument(
+        "--k", default="4,8,12", help="comma-separated solution sizes"
+    )
+    serve.add_argument(
+        "--repeat", type=int, default=3, help="times to replay the k sweep"
+    )
+    serve.add_argument("--alpha", type=float, default=0.1)
+    serve.add_argument("--eps", type=float, default=0.02)
+    serve.add_argument("--n", type=int, default=None, help="row-count override")
+    serve.add_argument("--d", type=int, default=6, help="dimension (anticor)")
+    serve.add_argument("--groups", type=int, default=3, help="groups (anticor)")
+    serve.add_argument(
+        "--algorithm",
+        default="auto",
+        choices=["auto", "IntCov", "BiGreedy", "BiGreedy+"],
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--no-cold",
+        action="store_true",
+        help="skip the cold-solve comparison pass",
+    )
+
     table2 = sub.add_parser("table2", help="print dataset statistics")
     table2.add_argument("--scale", type=float, default=0.25)
 
@@ -123,6 +246,7 @@ def main(argv=None) -> int:
     handlers = {
         "demo": _cmd_demo,
         "solve": _cmd_solve,
+        "serve": _cmd_serve,
         "table2": _cmd_table2,
         "experiments": _cmd_experiments,
     }

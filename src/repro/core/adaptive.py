@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._rng import ensure_rng, spawn
+from .._rng import ensure_rng, spawn_seeds
 from ..data.dataset import Dataset
 from ..fairness.constraints import FairnessConstraint
 from ..geometry.deltanet import sample_directions
@@ -35,6 +35,7 @@ def bigreedy_plus(
     mode: str = "feasible",
     extra_steps: int = 2,
     seed=None,
+    artifacts=None,
 ) -> Solution:
     """Run BiGreedy+ (paper Algorithm 4).
 
@@ -47,6 +48,10 @@ def bigreedy_plus(
         initial_size: ``m_0``; defaults to ``0.05 * M`` as in Section 5.1.
         max_size: ``M``; defaults to the paper's practical ``10 k d``.
         mode / extra_steps / seed: forwarded to :func:`bigreedy`.
+        artifacts: optional :class:`repro.serving.SolverArtifacts` bound to
+            ``dataset``; caches the per-iteration nets and engines across
+            calls keyed by ``(m_i, child_seed)``.  Results are bit-identical
+            to the inline path for any given ``seed``.
 
     Returns:
         The best solution across doubling iterations, with stats recording
@@ -67,14 +72,20 @@ def bigreedy_plus(
         if m >= M:
             break
         m = min(2 * m, M)
-    rngs = spawn(rng, len(sizes))
+    child_seeds = spawn_seeds(rng, len(sizes))
+    use_artifacts = artifacts is not None and artifacts.matches(dataset)
 
     solutions: list[Solution] = []
     taus: list[float] = []
     nets: list[np.ndarray] = []
     for i, m_i in enumerate(sizes):
-        net = sample_directions(m_i, dataset.dim, rngs[i])
-        engine = TruncatedEngine(dataset.points, net)
+        if use_artifacts:
+            engine = artifacts.engine(m_i, child_seeds[i])
+        else:
+            net = sample_directions(
+                m_i, dataset.dim, np.random.default_rng(child_seeds[i])
+            )
+            engine = TruncatedEngine(dataset.points, net)
         sol = bigreedy(
             dataset,
             constraint,
@@ -85,7 +96,7 @@ def bigreedy_plus(
             algorithm_name="BiGreedy+",
         )
         solutions.append(sol)
-        nets.append(net)
+        nets.append(engine.net)
         tau_i = sol.stats.get("tau_success") or 0.0
         taus.append(float(tau_i))
         if i > 0 and abs(taus[i - 1] - taus[i]) < lam:

@@ -203,6 +203,7 @@ def bigreedy(
     extra_steps: int = 2,
     seed=None,
     engine: TruncatedEngine | None = None,
+    artifacts=None,
     algorithm_name: str = "BiGreedy",
 ) -> Solution:
     """Run BiGreedy on a dataset (paper Algorithm 3).
@@ -222,6 +223,11 @@ def bigreedy(
         seed: RNG seed for net sampling.
         engine: prebuilt :class:`TruncatedEngine` to reuse across calls
             (e.g. by BiGreedy+); must match ``dataset``.
+        artifacts: optional :class:`repro.serving.SolverArtifacts` bound to
+            ``dataset``; when given (and no explicit ``net``/``engine``),
+            the delta-net and score-matrix engine are taken from its cache
+            instead of being rebuilt — results are bit-identical because
+            cache misses sample with the same seed-derived stream.
         algorithm_name: label recorded on the solution.
 
     Returns:
@@ -239,16 +245,20 @@ def bigreedy(
             "fairness constraint is infeasible for this dataset: "
             + constraint.describe(dataset.group_names)
         )
-    rng = ensure_rng(seed)
     if engine is None:
-        if net is None:
+        if net is not None:
+            engine = TruncatedEngine(dataset.points, net)
+        else:
             if delta is not None:
                 resolution = net_parameter_for_mhr_error(delta, dataset.dim)
                 m = delta_net_size(resolution, dataset.dim)
             else:
                 m = net_size or default_net_size(constraint.k, dataset.dim)
-            net = sample_directions(m, dataset.dim, rng)
-        engine = TruncatedEngine(dataset.points, net)
+            if artifacts is not None and artifacts.matches(dataset):
+                engine = artifacts.engine(m, seed)
+            else:
+                net = sample_directions(m, dataset.dim, ensure_rng(seed))
+                engine = TruncatedEngine(dataset.points, net)
     m = engine.m
     gamma = max(1, math.ceil(math.log2(2.0 * m / epsilon)))
     matroid = FairnessMatroid(constraint, dataset.labels)

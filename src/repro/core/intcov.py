@@ -124,13 +124,22 @@ def _pad_to_k(
     return result
 
 
-def intcov(dataset: Dataset, constraint: FairnessConstraint) -> Solution:
+def intcov(
+    dataset: Dataset,
+    constraint: FairnessConstraint,
+    *,
+    artifacts=None,
+) -> Solution:
     """Exact FairHMS on a two-dimensional dataset (paper Algorithm 1).
 
     Args:
         dataset: a 2-D :class:`Dataset` (typically ``dataset.skyline()``;
             correctness does not require it, speed benefits from it).
         constraint: group bounds with ``constraint.k`` the solution size.
+        artifacts: optional :class:`repro.serving.SolverArtifacts` bound to
+            ``dataset``; reuses the upper envelope and the ``O(n^2)``
+            candidate-MHR enumeration across calls — both depend only on
+            the points, not on ``constraint``, so results are unchanged.
 
     Returns:
         The optimal fair solution with ``mhr_estimate`` set to its exact
@@ -153,8 +162,12 @@ def intcov(dataset: Dataset, constraint: FairnessConstraint) -> Solution:
             + constraint.describe(dataset.group_names)
         )
     points = dataset.points
-    envelope = upper_envelope(points)
-    candidates = candidate_mhr_values(points, envelope)
+    if artifacts is not None and artifacts.matches(dataset):
+        envelope = artifacts.envelope()
+        candidates = artifacts.mhr_candidates()
+    else:
+        envelope = upper_envelope(points)
+        candidates = candidate_mhr_values(points, envelope)
 
     best_set: list[int] | None = None
     best_tau = 0.0

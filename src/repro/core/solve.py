@@ -3,7 +3,10 @@
 ``solve_fairhms`` picks the right algorithm for the input: the exact
 IntCov when the data is two-dimensional and the interval-cover DP state
 space is affordable, BiGreedy+ otherwise.  The explicit registry maps the
-paper's algorithm names to callables for the experiment harness.
+paper's algorithm names to callables for the experiment harness, and
+:func:`resolve_algorithm` exposes the dispatch rule itself so callers that
+need to know the choice up front (e.g. the serving layer, which forwards
+``seed``/``epsilon`` only to the randomized solvers) apply the same rule.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ from .bigreedy import bigreedy
 from .intcov import intcov
 from .solution import Solution
 
-__all__ = ["solve_fairhms", "CORE_ALGORITHMS"]
+__all__ = ["solve_fairhms", "resolve_algorithm", "CORE_ALGORITHMS"]
 
 # Beyond ~2e6 DP states IntCov stops being interactive; BiGreedy+ takes over.
 _DP_STATE_LIMIT = 2_000_000
@@ -36,11 +39,34 @@ def _dp_states(constraint: FairnessConstraint) -> int:
     return states
 
 
+def resolve_algorithm(
+    dataset: Dataset,
+    constraint: FairnessConstraint,
+    algorithm: str = "auto",
+) -> str:
+    """Resolve ``"auto"`` to a concrete algorithm name for this instance.
+
+    Raises:
+        ValueError: if ``algorithm`` names no registered algorithm.
+    """
+    if algorithm == "auto":
+        if dataset.dim == 2 and _dp_states(constraint) <= _DP_STATE_LIMIT:
+            return "IntCov"
+        return "BiGreedy+"
+    if algorithm not in CORE_ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{sorted(CORE_ALGORITHMS)} or 'auto'"
+        )
+    return algorithm
+
+
 def solve_fairhms(
     dataset: Dataset,
     constraint: FairnessConstraint,
     *,
     algorithm: str = "auto",
+    artifacts=None,
     **kwargs,
 ) -> Solution:
     """Solve a FairHMS instance.
@@ -52,22 +78,16 @@ def solve_fairhms(
         constraint: group bounds and solution size ``k``.
         algorithm: ``"auto"``, ``"IntCov"``, ``"BiGreedy"`` or
             ``"BiGreedy+"``.
+        artifacts: optional :class:`repro.serving.SolverArtifacts` bound to
+            ``dataset``, forwarded to the chosen algorithm so precomputed
+            nets / engines / envelopes are reused.
         **kwargs: forwarded to the chosen algorithm.
 
     Returns:
         A :class:`Solution`; exact and optimal when IntCov ran, a bicriteria
         approximation otherwise.
     """
-    if algorithm == "auto":
-        if dataset.dim == 2 and _dp_states(constraint) <= _DP_STATE_LIMIT:
-            algorithm = "IntCov"
-        else:
-            algorithm = "BiGreedy+"
-    try:
-        solver = CORE_ALGORITHMS[algorithm]
-    except KeyError:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected one of "
-            f"{sorted(CORE_ALGORITHMS)} or 'auto'"
-        ) from None
-    return solver(dataset, constraint, **kwargs)
+    algorithm = resolve_algorithm(dataset, constraint, algorithm)
+    if artifacts is not None:
+        kwargs["artifacts"] = artifacts
+    return CORE_ALGORITHMS[algorithm](dataset, constraint, **kwargs)

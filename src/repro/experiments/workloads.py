@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-import numpy as np
-
 from ..core.adaptive import bigreedy_plus
 from ..core.bigreedy import bigreedy
 from ..core.intcov import intcov
@@ -87,7 +85,4 @@ def paper_constraint(dataset: Dataset, k: int, *, alpha: float = 0.1) -> Fairnes
     constraint = FairnessConstraint.proportional(
         k, dataset.population_group_sizes, alpha=alpha, clamp=True
     )
-    available = dataset.group_sizes
-    lower = np.minimum(constraint.lower, available)
-    upper = np.maximum(constraint.upper, lower)
-    return FairnessConstraint(lower=lower, upper=upper, k=k)
+    return constraint.capped_by_availability(dataset.group_sizes)

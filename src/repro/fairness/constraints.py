@@ -125,6 +125,22 @@ class FairnessConstraint:
             k=k,
         )
 
+    def capped_by_availability(self, group_sizes) -> "FairnessConstraint":
+        """Bounds achievable on a dataset with these per-group sizes.
+
+        No algorithm can select tuples a group does not have (e.g. after
+        skyline extraction), so lower bounds are capped by availability;
+        upper bounds rise where needed to stay >= the lower bounds.  This
+        is the paper's Section 5.1 recipe as applied by the experiment
+        harness and the serving layer.
+        """
+        sizes = np.asarray(group_sizes, dtype=np.int64)
+        if sizes.shape != self.lower.shape:
+            raise ValueError("group_sizes must have one entry per group")
+        lower = np.minimum(self.lower, sizes)
+        upper = np.maximum(self.upper, lower)
+        return FairnessConstraint(lower=lower, upper=upper, k=self.k)
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #

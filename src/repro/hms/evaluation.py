@@ -55,13 +55,23 @@ class MhrEvaluator:
         net_size: int = 4096,
         refine: int = 128,
         seed: int = 20_22,
+        candidates: np.ndarray | None = None,
+        net: np.ndarray | None = None,
     ) -> None:
+        """``candidates`` / ``net`` pre-seed the lazy caches: ``candidates``
+        is an int array of maxima-candidate *point indices* into the
+        database (as returned by ``maxima_candidates`` or another
+        evaluator's ``.candidates`` — not IntCov's candidate-MHR values,
+        which are ratios), ``net`` an ``(m, d)`` direction matrix.  Both
+        skip the corresponding discovery/sampling work entirely."""
         self.database = np.asarray(database, dtype=np.float64)
         self.d = self.database.shape[1]
         self.exact_limit = exact_limit
         self.refine = refine
-        self._candidates = None
-        self._net = None
+        self._candidates = (
+            None if candidates is None else np.asarray(candidates, dtype=np.int64)
+        )
+        self._net = None if net is None else np.asarray(net, dtype=np.float64)
         self._net_size = net_size
         self._seed = seed
 

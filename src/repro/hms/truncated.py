@@ -76,6 +76,7 @@ class TruncatedEngine:
         if (top <= 0).any():
             raise ValueError("every net direction must score positively on the data")
         self.ratios = (raw / top[:, None]).astype(dtype)
+        self.net = net_arr  # kept so cached engines can hand the net back
         self.m = net_arr.shape[0]
         self.n = pts.shape[0]
         self._capped_tau: float | None = None

@@ -1,0 +1,12 @@
+"""Query-serving layer: precompute once, answer many FairHMS queries.
+
+:class:`FairHMSIndex` is the front door; :class:`SolverArtifacts` is the
+underlying per-dataset cache that the core solvers also accept directly
+via their ``artifacts=`` parameter.  See ``docs/SERVING.md`` for what is
+cached, under which keys, and the batch-query semantics.
+"""
+
+from .artifacts import SolverArtifacts
+from .index import FairHMSIndex, Query
+
+__all__ = ["FairHMSIndex", "Query", "SolverArtifacts"]

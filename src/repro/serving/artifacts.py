@@ -1,0 +1,181 @@
+"""Precomputed per-dataset solver artifacts.
+
+Every FairHMS solver starts from the same dataset-dependent (but
+constraint-independent) state: BiGreedy needs a delta-net and the
+``(m, n)`` score-ratio matrix of a :class:`~repro.hms.truncated.
+TruncatedEngine`; IntCov needs the upper score-line envelope and the
+``O(n^2)`` candidate-MHR enumeration.  :class:`SolverArtifacts` owns one
+dataset and lazily builds and caches each artifact on first use, so a
+query-serving layer (or any caller issuing many solves against one
+dataset) pays for each at most once.
+
+Cache keys and determinism:
+
+* nets and engines are keyed by ``(m, seed)`` where ``seed`` is an
+  integer — a cache miss samples ``sample_directions(m, d,
+  default_rng(seed))``, exactly the stream a cold solver call would draw,
+  so cached and cold results are bit-identical;
+* non-integer seeds (``None`` = fresh entropy, or a live ``Generator``)
+  are *bypassed*, not cached: freezing them would silently change the
+  caller's randomness semantics;
+* the envelope and candidate-MHR values depend only on the points and are
+  cached unconditionally (2-D datasets only).
+
+Artifacts are bound to one :class:`~repro.data.dataset.Dataset` *object*:
+datasets are immutable by convention, so object identity is the cache
+validity test (see :meth:`SolverArtifacts.matches`).  To serve a changed
+dataset, build new artifacts (or a new index).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_rng
+from ..core.intcov import candidate_mhr_values
+from ..data.dataset import Dataset
+from ..geometry.deltanet import sample_directions
+from ..geometry.envelope import Envelope, upper_envelope
+from ..hms.truncated import TruncatedEngine
+
+__all__ = ["SolverArtifacts"]
+
+
+def _seed_key(seed) -> int | None:
+    """Hashable cache key for a seed, or ``None`` when not cacheable.
+
+    Only plain integers (and numpy integers) reproduce the same stream on
+    every use; ``None`` means fresh entropy and a ``Generator`` is
+    stateful, so both bypass the cache.
+    """
+    if isinstance(seed, bool):  # bools are ints but almost surely a bug
+        return None
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    return None
+
+
+class SolverArtifacts:
+    """Lazily built, cached per-dataset state shared across solver calls.
+
+    Args:
+        dataset: the solver-input dataset (normally a per-group skyline).
+            All cached engines are built over ``dataset.points``.
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._dataset = dataset
+        self._nets: dict[tuple[int, int], np.ndarray] = {}
+        self._engines: dict[tuple[int, int], TruncatedEngine] = {}
+        self._envelope: Envelope | None = None
+        self._mhr_candidates: np.ndarray | None = None
+        self.counters = {
+            "net_hits": 0,
+            "net_misses": 0,
+            "net_bypasses": 0,
+            "engine_hits": 0,
+            "engine_misses": 0,
+        }
+
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    def matches(self, dataset: Dataset) -> bool:
+        """True iff these artifacts were built for exactly this dataset.
+
+        Identity, not equality: datasets are immutable by convention, so a
+        different object may hold different points and must not reuse
+        cached state.  Solvers call this before trusting the cache and
+        fall back to inline computation on a mismatch.
+        """
+        return dataset is self._dataset
+
+    # ------------------------------------------------------------------ #
+    # BiGreedy artifacts: delta-nets and truncated-MHR engines
+    # ------------------------------------------------------------------ #
+
+    def net(self, m: int, seed) -> np.ndarray:
+        """The ``(m, d)`` direction net for ``seed``, cached for int seeds."""
+        key = _seed_key(seed)
+        if key is None:
+            self.counters["net_bypasses"] += 1
+            return sample_directions(int(m), self._dataset.dim, ensure_rng(seed))
+        cache_key = (int(m), key)
+        net = self._nets.get(cache_key)
+        if net is None:
+            self.counters["net_misses"] += 1
+            net = sample_directions(int(m), self._dataset.dim, ensure_rng(key))
+            self._nets[cache_key] = net
+        else:
+            self.counters["net_hits"] += 1
+        return net
+
+    def engine(self, m: int, seed) -> TruncatedEngine:
+        """A :class:`TruncatedEngine` over the dataset for net ``(m, seed)``.
+
+        The engine's score-ratio matrix is the dominant precomputation of
+        BiGreedy; for integer seeds repeated queries with the same
+        ``(m, seed)`` share one engine object.
+        """
+        key = _seed_key(seed)
+        if key is None:
+            return TruncatedEngine(self._dataset.points, self.net(m, seed))
+        cache_key = (int(m), key)
+        engine = self._engines.get(cache_key)
+        if engine is None:
+            self.counters["engine_misses"] += 1
+            engine = TruncatedEngine(self._dataset.points, self.net(m, seed))
+            self._engines[cache_key] = engine
+        else:
+            self.counters["engine_hits"] += 1
+        return engine
+
+    # ------------------------------------------------------------------ #
+    # IntCov artifacts: envelope and candidate-MHR values (2-D only)
+    # ------------------------------------------------------------------ #
+
+    def envelope(self) -> Envelope:
+        """Upper score-line envelope of the dataset (2-D only)."""
+        if self._dataset.dim != 2:
+            raise ValueError("score-line envelopes exist only for 2-D datasets")
+        if self._envelope is None:
+            self._envelope = upper_envelope(self._dataset.points)
+        return self._envelope
+
+    def mhr_candidates(self) -> np.ndarray:
+        """IntCov's candidate optimal-MHR values ``H`` (2-D only)."""
+        if self._mhr_candidates is None:
+            self._mhr_candidates = candidate_mhr_values(
+                self._dataset.points, self.envelope()
+            )
+        return self._mhr_candidates
+
+    # ------------------------------------------------------------------ #
+
+    def clear(self) -> None:
+        """Drop every cached artifact (counters are kept).
+
+        Engines are the memory-heavy artifact (``(m, n)`` score matrices,
+        one per distinct ``(m, seed)``); callers serving adversarial or
+        per-client seeds should clear periodically.
+        """
+        self._nets.clear()
+        self._engines.clear()
+        self._envelope = None
+        self._mhr_candidates = None
+
+    def cache_info(self) -> dict:
+        """Hit/miss counters plus current cache occupancy."""
+        info = dict(self.counters)
+        info["nets_cached"] = len(self._nets)
+        info["engines_cached"] = len(self._engines)
+        info["envelope_cached"] = self._envelope is not None
+        info["mhr_candidates_cached"] = self._mhr_candidates is not None
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolverArtifacts({self._dataset.name!r}, n={self._dataset.n}, "
+            f"engines={len(self._engines)})"
+        )

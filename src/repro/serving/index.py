@@ -1,0 +1,339 @@
+"""``FairHMSIndex``: answer many FairHMS queries over one dataset fast.
+
+The one-shot API (``solve_fairhms``) redoes skyline extraction, delta-net
+sampling, and score-matrix construction on every call.  In a serving
+setting a single dataset is queried repeatedly with varying ``k``,
+fairness constraints, and ``eps``; the index performs the dataset-level
+work once at build time and shares the rest through a
+:class:`~repro.serving.artifacts.SolverArtifacts` cache:
+
+* **build time** — normalization and per-group skyline extraction;
+* **first use** — the 2-D envelope + candidate-MHR values (IntCov), and
+  one delta-net + truncated-MHR engine per distinct ``(m, seed)``
+  (BiGreedy / BiGreedy+);
+* **every repeat** — fully solved queries are memoized, so identical
+  queries (the common case under real traffic) are answered from the
+  result cache without running the solver at all.
+
+Warm answers are *bit-identical* to the corresponding cold
+``solve_fairhms`` call with the same seed: cache misses draw from exactly
+the seed-derived stream the cold path would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.solution import Solution
+from ..core.solve import resolve_algorithm, solve_fairhms
+from ..data.dataset import Dataset
+from ..fairness.constraints import FairnessConstraint
+from ..hms.evaluation import MhrEvaluation, MhrEvaluator
+from .artifacts import SolverArtifacts
+
+__all__ = ["FairHMSIndex", "Query"]
+
+_CONSTRAINT_SCHEMES = ("proportional", "balanced", "unconstrained")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One FairHMS query, for :meth:`FairHMSIndex.query_batch`.
+
+    Either ``constraint`` or ``k`` must be set; with only ``k`` the index
+    builds the constraint from ``scheme``/``alpha``.  ``seed=None`` means
+    the index default.  ``options`` is forwarded verbatim to the solver
+    (e.g. ``{"mode": "bicriteria"}``).
+    """
+
+    k: int | None = None
+    constraint: FairnessConstraint | None = None
+    eps: float = 0.02
+    algorithm: str = "auto"
+    seed: int | None = None
+    alpha: float = 0.1
+    scheme: str = "proportional"
+    options: dict = field(default_factory=dict)
+
+
+class FairHMSIndex:
+    """Reusable query-serving index over one dataset.
+
+    Args:
+        dataset: the raw database.  Normalization and per-group skyline
+            extraction (the paper's standard preprocessing) run once here;
+            disable with ``normalize=False`` / ``per_group_skyline=None``
+            if the dataset is already preprocessed.
+        normalize: max-normalize each attribute before indexing.
+        per_group_skyline: ``True`` for the union of per-group skylines
+            (the paper's setting), ``False`` for the global skyline,
+            ``None`` to index ``dataset`` as-is.
+        default_seed: seed used when a query does not specify one; an
+            integer so that default queries hit the deterministic caches.
+        cache_results: memoize fully solved queries (keyed by algorithm,
+            constraint, and solver options).  Cached hits return the same
+            :class:`Solution` object — treat solutions as read-only.
+        max_cached_results: bound on the result memo; the oldest entry is
+            evicted past it.  The artifact (net/engine) caches are not
+            auto-evicted — each distinct ``(m, seed)`` key holds an
+            ``(m, n)`` score matrix, so serve with a fixed seed policy
+            and call :meth:`clear_caches` if clients control seeds.
+
+    The index is not thread-safe: cached :class:`TruncatedEngine` objects
+    memoize per-``tau`` state in place, so concurrent queries must be
+    serialized (or use one index per worker).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        normalize: bool = True,
+        per_group_skyline: bool | None = True,
+        default_seed: int = 7,
+        cache_results: bool = True,
+        max_cached_results: int = 1024,
+    ) -> None:
+        data = dataset.normalized() if normalize else dataset
+        if per_group_skyline is None:
+            sky = data
+        else:
+            sky = data.skyline(per_group=per_group_skyline)
+        self._dataset = data
+        self._skyline = sky
+        self._artifacts = SolverArtifacts(sky)
+        self._default_seed = int(default_seed)
+        self._cache_results = bool(cache_results)
+        self._max_cached_results = max(1, int(max_cached_results))
+        self._results: dict[tuple, Solution] = {}
+        self._result_hits = 0
+        self._result_misses = 0
+        self._constraints: dict[tuple, FairnessConstraint] = {}
+        self._evaluator: MhrEvaluator | None = None
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dataset(self) -> Dataset:
+        """The (normalized) full database queries are answered about."""
+        return self._dataset
+
+    @property
+    def skyline(self) -> Dataset:
+        """The solver-input dataset all solutions index into."""
+        return self._skyline
+
+    @property
+    def artifacts(self) -> SolverArtifacts:
+        """The shared per-dataset artifact cache (nets, engines, envelope)."""
+        return self._artifacts
+
+    def cache_info(self) -> dict:
+        """Artifact hit/miss counters plus result-cache statistics."""
+        info = self._artifacts.cache_info()
+        info["result_hits"] = self._result_hits
+        info["result_misses"] = self._result_misses
+        info["results_cached"] = len(self._results)
+        return info
+
+    def clear_result_cache(self) -> None:
+        """Drop memoized solutions (artifact caches are kept)."""
+        self._results.clear()
+
+    def clear_caches(self) -> None:
+        """Drop memoized solutions AND the net/engine artifact caches.
+
+        For long-running servers whose clients control seeds: each
+        distinct ``(m, seed)`` engine holds an ``(m, n)`` score matrix,
+        so periodic clearing bounds memory at the cost of warm-up.
+        """
+        self._results.clear()
+        self._artifacts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FairHMSIndex({self._dataset.name!r}, n={self._dataset.n}, "
+            f"skyline={self._skyline.n}, d={self._dataset.dim}, "
+            f"C={self._dataset.num_groups})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # constraints
+    # ------------------------------------------------------------------ #
+
+    def constraint_for(
+        self, k: int, *, alpha: float = 0.1, scheme: str = "proportional"
+    ) -> FairnessConstraint:
+        """Standard constraint for solution size ``k``, cached per key.
+
+        ``proportional`` follows the paper's Section 5.1 recipe: shares of
+        the *population* group sizes (pre-skyline), clamped, with lower
+        bounds capped by per-group skyline availability.  ``balanced``
+        gives every group ~``k / C``; ``unconstrained`` turns FairHMS into
+        vanilla HMS.
+        """
+        if scheme not in _CONSTRAINT_SCHEMES:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; expected one of {_CONSTRAINT_SCHEMES}"
+            )
+        key = (scheme, int(k), float(alpha))
+        cached = self._constraints.get(key)
+        if cached is not None:
+            return cached
+        sky = self._skyline
+        if scheme == "proportional":
+            base = FairnessConstraint.proportional(
+                k, sky.population_group_sizes, alpha=alpha, clamp=True
+            )
+        elif scheme == "balanced":
+            base = FairnessConstraint.balanced(
+                k, sky.num_groups, alpha=alpha, clamp=True
+            )
+        else:
+            base = FairnessConstraint.unconstrained(k, sky.num_groups)
+        constraint = base.capped_by_availability(sky.group_sizes)
+        self._constraints[key] = constraint
+        return constraint
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        k: int | None = None,
+        *,
+        constraint: FairnessConstraint | None = None,
+        eps: float = 0.02,
+        algorithm: str = "auto",
+        seed: int | None = None,
+        alpha: float = 0.1,
+        scheme: str = "proportional",
+        **options,
+    ) -> Solution:
+        """Solve one FairHMS query against the index.
+
+        Equivalent to ``solve_fairhms(index.skyline, constraint,
+        algorithm=..., epsilon=eps, seed=seed, **options)`` — same
+        solution, bit for bit — but served from the index's caches.
+
+        Args:
+            k: solution size; builds a ``scheme`` constraint when no
+                explicit ``constraint`` is given.
+            constraint: explicit fairness bounds (overrides ``k``/``alpha``
+                /``scheme``).
+            eps: cap-search granularity for the BiGreedy family (ignored
+                by the exact IntCov).
+            algorithm: ``"auto"``, ``"IntCov"``, ``"BiGreedy"`` or
+                ``"BiGreedy+"``; auto resolves exactly as ``solve_fairhms``.
+            seed: RNG seed; ``None`` uses the index's ``default_seed``.
+                Pass a ``numpy.random.Generator`` for non-reproducible
+                draws (those bypass the caches).
+            alpha / scheme: constraint construction (see
+                :meth:`constraint_for`).
+            **options: forwarded to the solver (``mode=``, ``net_size=``,
+                ``extra_steps=``, ...).
+
+        Returns:
+            The solver's :class:`Solution` (possibly memoized — see
+            ``cache_results``).
+        """
+        if constraint is None:
+            if k is None:
+                raise ValueError("provide either k or an explicit constraint")
+            constraint = self.constraint_for(k, alpha=alpha, scheme=scheme)
+        algorithm = resolve_algorithm(self._skyline, constraint, algorithm)
+        if seed is None:
+            seed = self._default_seed
+        solver_kwargs = dict(options)
+        if algorithm != "IntCov":
+            solver_kwargs.setdefault("epsilon", float(eps))
+            solver_kwargs.setdefault("seed", seed)
+        key = self._result_key(algorithm, constraint, solver_kwargs)
+        if key is not None:
+            cached = self._results.get(key)
+            if cached is not None:
+                self._result_hits += 1
+                return cached
+        solution = solve_fairhms(
+            self._skyline,
+            constraint,
+            algorithm=algorithm,
+            artifacts=self._artifacts,
+            **solver_kwargs,
+        )
+        if key is not None:
+            self._result_misses += 1
+            while len(self._results) >= self._max_cached_results:
+                self._results.pop(next(iter(self._results)))  # oldest first
+            self._results[key] = solution
+        return solution
+
+    def query_batch(self, queries) -> list[Solution]:
+        """Answer a heterogeneous batch of queries in one call.
+
+        Accepts :class:`Query` objects or dicts of Query fields.  All
+        queries share the index's delta-net, engine, envelope, and result
+        caches, so a batch whose queries repeat an ``(m, seed)``
+        combination samples that net and builds its score matrix exactly
+        once, and duplicate queries are solved once.
+        """
+        specs = [q if isinstance(q, Query) else Query(**q) for q in queries]
+        return [
+            self.query(
+                q.k,
+                constraint=q.constraint,
+                eps=q.eps,
+                algorithm=q.algorithm,
+                seed=q.seed,
+                alpha=q.alpha,
+                scheme=q.scheme,
+                **q.options,
+            )
+            for q in specs
+        ]
+
+    def _result_key(self, algorithm, constraint, solver_kwargs) -> tuple | None:
+        """Memoization key, or ``None`` when the query must not be cached
+        (caching disabled, or an option is stateful/unhashable)."""
+        if not self._cache_results:
+            return None
+        items = []
+        for name, value in sorted(solver_kwargs.items()):
+            if isinstance(value, (bool, str, type(None))):
+                items.append((name, value))
+            elif isinstance(value, (int, np.integer)):
+                items.append((name, int(value)))
+            elif isinstance(value, (float, np.floating)):
+                items.append((name, float(value)))
+            else:
+                return None  # e.g. a Generator seed or explicit net array
+        return (
+            algorithm,
+            int(constraint.k),
+            tuple(int(v) for v in constraint.lower),
+            tuple(int(v) for v in constraint.upper),
+            tuple(items),
+        )
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def evaluator(self) -> MhrEvaluator:
+        """Shared :class:`MhrEvaluator` over the full database."""
+        if self._evaluator is None:
+            self._evaluator = MhrEvaluator(self._dataset.points)
+        return self._evaluator
+
+    def evaluate(self, solution: Solution) -> MhrEvaluation:
+        """Exact (or refined-net) MHR of a solution against the full
+        database; the evaluator's candidate set and direction net are
+        discovered once and reused across calls."""
+        points = solution.points if isinstance(solution, Solution) else solution
+        return self.evaluator.evaluate(np.asarray(points, dtype=np.float64))

@@ -19,6 +19,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "Mystery"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "Adult"])
+        assert args.k == "4,8,12"
+        assert args.repeat == 3
+        assert not args.no_cold
+
 
 class TestCommands:
     def test_demo(self, capsys):
@@ -43,6 +49,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "exact MHR" in out
         assert "violations: 0" in out
+
+    def test_serve_anticor(self, capsys):
+        code = main(
+            [
+                "serve", "anticor", "--n", "300", "--d", "3",
+                "--groups", "2", "--k", "4,5", "--repeat", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm: 4 queries" in out
+        assert "cold: 4 stateless solves" in out
+        assert "results identical to cold solves: yes" in out
+        assert "amortized speedup" in out
+
+    def test_serve_rejects_bad_workloads(self, capsys):
+        assert main(["serve", "anticor", "--k", "4,x"]) == 2
+        assert main(["serve", "anticor", "--k", ""]) == 2
+        assert main(["serve", "anticor", "--k", "4", "--repeat", "0"]) == 2
+        out = capsys.readouterr().out
+        assert out.count("error:") == 3
+
+    def test_serve_no_cold(self, capsys):
+        code = main(
+            [
+                "serve", "anticor", "--n", "200", "--d", "2",
+                "--groups", "2", "--k", "3", "--repeat", "1", "--no-cold",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm: 1 queries" in out
+        assert "cold:" not in out
 
     def test_solve_credit_auto(self, capsys):
         assert main(["solve", "Credit", "-k", "6"]) == 0

@@ -1,0 +1,363 @@
+"""Serving-layer tests: SolverArtifacts, FairHMSIndex, batch queries."""
+
+import numpy as np
+import pytest
+
+import repro.serving.artifacts as artifacts_module
+from repro.core.adaptive import bigreedy_plus
+from repro.core.bigreedy import bigreedy, default_net_size
+from repro.core.intcov import candidate_mhr_values, intcov
+from repro.core.solve import resolve_algorithm, solve_fairhms
+from repro.fairness.constraints import FairnessConstraint
+from repro.hms.evaluation import MhrEvaluator
+from repro.serving import FairHMSIndex, Query, SolverArtifacts
+
+
+def proportional(dataset, k, alpha=0.1):
+    constraint = FairnessConstraint.proportional(
+        k, dataset.population_group_sizes, alpha=alpha, clamp=True
+    )
+    lower = np.minimum(constraint.lower, dataset.group_sizes)
+    upper = np.maximum(constraint.upper, lower)
+    return FairnessConstraint(lower=lower, upper=upper, k=k)
+
+
+class TestResolveAlgorithm:
+    def test_auto_2d_is_intcov(self, small2d):
+        c = proportional(small2d, 4)
+        assert resolve_algorithm(small2d, c) == "IntCov"
+
+    def test_auto_md_is_bigreedy_plus(self, small3d):
+        c = proportional(small3d, 4)
+        assert resolve_algorithm(small3d, c) == "BiGreedy+"
+
+    def test_explicit_passthrough(self, small3d):
+        c = proportional(small3d, 4)
+        assert resolve_algorithm(small3d, c, "BiGreedy") == "BiGreedy"
+
+    def test_unknown_rejected(self, small3d):
+        c = proportional(small3d, 4)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            resolve_algorithm(small3d, c, "Magic")
+
+
+class TestSolverArtifacts:
+    def test_engine_cached_by_key(self, small3d):
+        sky = small3d.skyline()
+        art = SolverArtifacts(sky)
+        assert art.engine(40, 3) is art.engine(40, 3)
+        assert art.engine(40, 3) is not art.engine(40, 4)
+        assert art.engine(40, 3) is not art.engine(50, 3)
+        info = art.cache_info()
+        assert info["engines_cached"] == 3
+        assert info["engine_hits"] == 3  # the three repeated lookups above
+
+    def test_numpy_seed_hits_int_key(self, small3d):
+        sky = small3d.skyline()
+        art = SolverArtifacts(sky)
+        assert art.engine(24, np.int64(5)) is art.engine(24, 5)
+
+    def test_non_int_seed_bypasses_cache(self, small3d):
+        sky = small3d.skyline()
+        art = SolverArtifacts(sky)
+        assert art.engine(24, None) is not art.engine(24, None)
+        assert art.cache_info()["net_bypasses"] == 2
+        assert art.cache_info()["engines_cached"] == 0
+
+    def test_cached_net_matches_cold_stream(self, small3d):
+        from repro.geometry.deltanet import sample_directions
+
+        sky = small3d.skyline()
+        art = SolverArtifacts(sky)
+        expected = sample_directions(32, sky.dim, np.random.default_rng(9))
+        np.testing.assert_array_equal(art.net(32, 9), expected)
+
+    def test_matches_is_identity(self, small3d):
+        sky = small3d.skyline()
+        art = SolverArtifacts(sky)
+        assert art.matches(sky)
+        assert not art.matches(small3d)
+        assert not art.matches(small3d.skyline())  # equal content, new object
+
+    def test_envelope_requires_2d(self, small3d):
+        with pytest.raises(ValueError, match="2-D"):
+            SolverArtifacts(small3d.skyline()).envelope()
+
+    def test_mhr_candidates_match_direct(self, small2d):
+        sky = small2d.skyline()
+        art = SolverArtifacts(sky)
+        np.testing.assert_array_equal(
+            art.mhr_candidates(), candidate_mhr_values(sky.points)
+        )
+        assert art.mhr_candidates() is art.mhr_candidates()
+
+
+class TestSolversWithArtifacts:
+    """artifacts= must be a pure cache: results identical with or without."""
+
+    def test_bigreedy(self, small3d):
+        sky = small3d.skyline()
+        c = proportional(sky, 4)
+        art = SolverArtifacts(sky)
+        cold = bigreedy(sky, c, seed=3)
+        warm = bigreedy(sky, c, seed=3, artifacts=art)
+        np.testing.assert_array_equal(cold.indices, warm.indices)
+        assert cold.mhr_estimate == warm.mhr_estimate
+
+    def test_bigreedy_plus(self, small6d):
+        sky = small6d.skyline()
+        c = proportional(sky, 5)
+        art = SolverArtifacts(sky)
+        cold = bigreedy_plus(sky, c, seed=3)
+        warm = bigreedy_plus(sky, c, seed=3, artifacts=art)
+        np.testing.assert_array_equal(cold.indices, warm.indices)
+        assert cold.mhr_estimate == warm.mhr_estimate
+        assert cold.stats["net_sizes"] == warm.stats["net_sizes"]
+
+    def test_intcov(self, small2d):
+        sky = small2d.skyline()
+        c = proportional(sky, 4)
+        art = SolverArtifacts(sky)
+        cold = intcov(sky, c)
+        warm = intcov(sky, c, artifacts=art)
+        np.testing.assert_array_equal(cold.indices, warm.indices)
+        assert cold.stats["tau"] == warm.stats["tau"]
+
+    def test_mismatched_artifacts_fall_back(self, small3d, small6d):
+        sky = small3d.skyline()
+        c = proportional(sky, 4)
+        art = SolverArtifacts(small6d.skyline())  # wrong dataset
+        warm = bigreedy(sky, c, seed=3, artifacts=art)
+        cold = bigreedy(sky, c, seed=3)
+        np.testing.assert_array_equal(cold.indices, warm.indices)
+        assert art.cache_info()["engines_cached"] == 0
+
+
+class TestFairHMSIndex:
+    @pytest.mark.parametrize("algorithm", ["IntCov", "auto"])
+    def test_identity_2d(self, small2d, algorithm):
+        index = FairHMSIndex(small2d)
+        for k in (3, 5):
+            constraint = index.constraint_for(k)
+            cold = solve_fairhms(index.skyline, constraint, algorithm="IntCov")
+            warm = index.query(k, algorithm=algorithm)
+            np.testing.assert_array_equal(cold.indices, warm.indices)
+            assert cold.mhr_estimate == warm.mhr_estimate
+
+    @pytest.mark.parametrize("algorithm", ["BiGreedy", "BiGreedy+", "auto"])
+    def test_identity_md(self, small3d, algorithm):
+        index = FairHMSIndex(small3d)
+        for k, seed in ((4, 11), (5, 12)):
+            constraint = index.constraint_for(k)
+            cold = solve_fairhms(
+                index.skyline,
+                constraint,
+                algorithm="BiGreedy+" if algorithm == "auto" else algorithm,
+                seed=seed,
+            )
+            warm = index.query(k, algorithm=algorithm, seed=seed)
+            np.testing.assert_array_equal(cold.indices, warm.indices)
+            assert cold.mhr_estimate == warm.mhr_estimate
+
+    def test_result_cache_returns_same_object(self, small3d):
+        index = FairHMSIndex(small3d)
+        first = index.query(4, seed=5)
+        second = index.query(4, seed=5)
+        assert second is first
+        assert index.cache_info()["result_hits"] == 1
+
+    def test_result_cache_disabled(self, small3d):
+        index = FairHMSIndex(small3d, cache_results=False)
+        first = index.query(4, seed=5)
+        second = index.query(4, seed=5)
+        assert second is not first
+        np.testing.assert_array_equal(first.indices, second.indices)
+        assert index.cache_info()["result_hits"] == 0
+        # artifact (net/engine) caches still work with result caching off
+        assert index.cache_info()["engine_hits"] > 0
+
+    def test_engines_shared_across_eps(self, small3d):
+        index = FairHMSIndex(small3d)
+        index.query(4, algorithm="BiGreedy", seed=5, eps=0.02)
+        misses = index.cache_info()["engine_misses"]
+        index.query(4, algorithm="BiGreedy", seed=5, eps=0.1)
+        info = index.cache_info()
+        assert info["engine_misses"] == misses  # same (m, seed): no rebuild
+        assert info["engine_hits"] >= 1
+
+    def test_distinct_keys_get_distinct_engines(self, small3d):
+        index = FairHMSIndex(small3d)
+        index.query(4, algorithm="BiGreedy", seed=1)
+        index.query(4, algorithm="BiGreedy", seed=2)  # new seed -> new net
+        index.query(5, algorithm="BiGreedy", seed=1)  # new m -> new net
+        info = index.cache_info()
+        assert info["engines_cached"] == 3
+        assert info["net_misses"] == 3
+        d = index.skyline.dim
+        art = index.artifacts
+        assert (default_net_size(4, d), 1) in art._engines
+        assert (default_net_size(4, d), 2) in art._engines
+        assert (default_net_size(5, d), 1) in art._engines
+
+    def test_net_sampled_once_across_queries(self, small3d, monkeypatch):
+        calls = {"n": 0}
+        real = artifacts_module.sample_directions
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(artifacts_module, "sample_directions", counting)
+        index = FairHMSIndex(small3d)
+        index.query(4, algorithm="BiGreedy", seed=5, eps=0.02)
+        index.query(4, algorithm="BiGreedy", seed=5, eps=0.05)
+        index.query(4, algorithm="BiGreedy", seed=5, eps=0.1)
+        assert calls["n"] == 1
+
+    def test_query_requires_k_or_constraint(self, small3d):
+        with pytest.raises(ValueError, match="either k or an explicit"):
+            FairHMSIndex(small3d).query()
+
+    def test_unknown_scheme_rejected(self, small3d):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            FairHMSIndex(small3d).query(4, scheme="quotas")
+
+    def test_explicit_constraint_respected(self, small3d):
+        index = FairHMSIndex(small3d)
+        constraint = FairnessConstraint.exact([2, 2])
+        solution = index.query(constraint=constraint, seed=3)
+        assert solution.size == 4
+        assert constraint.satisfied_by(index.skyline.labels, solution.indices)
+
+    def test_constraint_for_cached_and_clamped(self, small3d):
+        index = FairHMSIndex(small3d)
+        c1 = index.constraint_for(4)
+        assert index.constraint_for(4) is c1
+        assert (c1.lower <= index.skyline.group_sizes).all()
+        assert index.constraint_for(4, scheme="balanced") is not c1
+
+    def test_clear_result_cache(self, small3d):
+        index = FairHMSIndex(small3d)
+        first = index.query(4, seed=5)
+        index.clear_result_cache()
+        second = index.query(4, seed=5)
+        assert second is not first
+        np.testing.assert_array_equal(first.indices, second.indices)
+
+    def test_result_cache_bounded(self, small3d):
+        index = FairHMSIndex(small3d, max_cached_results=2)
+        index.query(4, seed=1)
+        index.query(4, seed=2)
+        index.query(4, seed=3)  # evicts the seed=1 entry
+        assert index.cache_info()["results_cached"] == 2
+        first_again = index.query(4, seed=1)  # miss: re-solved
+        assert index.cache_info()["result_hits"] == 0
+        assert first_again.size == 4
+
+    def test_clear_caches_drops_engines_too(self, small3d):
+        index = FairHMSIndex(small3d)
+        index.query(4, seed=5)
+        assert index.cache_info()["engines_cached"] > 0
+        index.clear_caches()
+        info = index.cache_info()
+        assert info["engines_cached"] == 0
+        assert info["nets_cached"] == 0
+        assert info["results_cached"] == 0
+        # still serves correctly after clearing, identical answer
+        np.testing.assert_array_equal(
+            index.query(4, seed=5).indices, index.query(4, seed=5).indices
+        )
+
+    def test_constraint_for_matches_paper_constraint(self, small3d):
+        from repro.experiments.workloads import paper_constraint
+
+        index = FairHMSIndex(small3d)
+        ours = index.constraint_for(5, alpha=0.1)
+        harness = paper_constraint(index.skyline, 5, alpha=0.1)
+        np.testing.assert_array_equal(ours.lower, harness.lower)
+        np.testing.assert_array_equal(ours.upper, harness.upper)
+
+    def test_evaluate_matches_solution_mhr(self, small3d):
+        index = FairHMSIndex(small3d)
+        solution = index.query(4, seed=5)
+        evaluation = index.evaluate(solution)
+        assert evaluation.exact
+        assert evaluation.value == pytest.approx(solution.mhr(), abs=1e-9)
+
+    def test_generator_seed_bypasses_caches(self, small3d):
+        index = FairHMSIndex(small3d)
+        rng = np.random.default_rng(0)
+        first = index.query(4, algorithm="BiGreedy", seed=rng)
+        info = index.cache_info()
+        assert info["results_cached"] == 0
+        assert info["net_bypasses"] >= 1
+        assert first.size == 4
+
+
+class TestQueryBatch:
+    def test_batch_matches_sequential(self, small3d):
+        warm = FairHMSIndex(small3d)
+        sequential = FairHMSIndex(small3d)
+        queries = [
+            Query(k=4, seed=1),
+            Query(k=5, seed=1),
+            Query(k=4, seed=1),  # duplicate: served from the result cache
+            Query(k=4, seed=1, algorithm="BiGreedy"),
+        ]
+        batch = warm.query_batch(queries)
+        singles = [
+            sequential.query(
+                q.k, algorithm=q.algorithm, seed=q.seed, eps=q.eps, alpha=q.alpha
+            )
+            for q in queries
+        ]
+        for got, want in zip(batch, singles):
+            np.testing.assert_array_equal(got.indices, want.indices)
+        assert batch[2] is batch[0]
+
+    def test_batch_accepts_dicts(self, small3d):
+        index = FairHMSIndex(small3d)
+        batch = index.query_batch([{"k": 4, "seed": 2}, {"k": 4, "seed": 2}])
+        assert batch[1] is batch[0]
+
+    def test_batch_shares_net_across_heterogeneous_eps(self, small3d):
+        index = FairHMSIndex(small3d)
+        index.query_batch(
+            [
+                {"k": 4, "seed": 3, "algorithm": "BiGreedy", "eps": e}
+                for e in (0.02, 0.05, 0.1)
+            ]
+        )
+        info = index.cache_info()
+        assert info["net_misses"] == 1
+        assert info["engine_misses"] == 1
+        assert info["engine_hits"] == 2
+
+    def test_batch_with_options(self, small6d):
+        index = FairHMSIndex(small6d)
+        (solution,) = index.query_batch(
+            [Query(k=5, seed=4, algorithm="BiGreedy", options={"mode": "bicriteria"})]
+        )
+        assert solution.stats["mode"] == "bicriteria"
+
+
+class TestMhrEvaluatorPreseeding:
+    def test_preseeded_candidates_and_net_are_used(self, small6d):
+        base = MhrEvaluator(small6d.points, seed=1)
+        candidates = base.candidates
+        net = base.net
+        preseeded = MhrEvaluator(small6d.points, seed=999)  # different seed
+        assert preseeded._candidates is None
+        preseeded = MhrEvaluator(
+            small6d.points, seed=999, candidates=candidates, net=net
+        )
+        np.testing.assert_array_equal(preseeded.candidates, candidates)
+        np.testing.assert_array_equal(preseeded.net, net)
+
+    def test_preseeded_evaluation_matches(self, small6d):
+        S = small6d.points[:5]
+        base = MhrEvaluator(small6d.points)
+        preseeded = MhrEvaluator(
+            small6d.points, candidates=base.candidates, net=base.net
+        )
+        assert preseeded.evaluate(S).value == base.evaluate(S).value
