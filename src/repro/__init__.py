@@ -37,7 +37,7 @@ from .data import (
 from .extensions import DynamicFairHMS, StreamingFairHMS, bigreedy_khms
 from .fairness import FairnessConstraint, FairnessMatroid, fairness_violations
 from .hms import mhr_exact, mhr_on_net
-from .serving import FairHMSIndex, Query, SolverArtifacts
+from .serving import FairHMSIndex, LiveFairHMSIndex, Query, SolverArtifacts
 
 __version__ = "1.0.0"
 
@@ -47,6 +47,7 @@ __all__ = [
     "FairHMSIndex",
     "FairnessConstraint",
     "FairnessMatroid",
+    "LiveFairHMSIndex",
     "Query",
     "Solution",
     "SolverArtifacts",

@@ -6,6 +6,9 @@ Commands:
 * ``solve``       — run FairHMS on a named dataset with chosen parameters.
 * ``serve``       — build a ``FairHMSIndex`` and replay a query workload
   against it, reporting the amortized speedup over stateless solves.
+* ``live``        — replay a mixed read/write workload against a
+  ``LiveFairHMSIndex`` and the rebuild-per-update baseline, verifying
+  bit-identical answers and reporting the amortized speedup.
 * ``table2``      — print the dataset-statistics table.
 * ``experiments`` — forward to ``repro.experiments.run_all``.
 """
@@ -76,6 +79,19 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _parse_ks(text: str) -> tuple[int, ...] | None:
+    """Parse a comma-separated ``--k`` list; None (with a message) on error."""
+    try:
+        ks = tuple(int(v) for v in text.split(",") if v.strip())
+    except ValueError:
+        print(f"error: --k must be comma-separated integers, got {text!r}")
+        return None
+    if not ks or min(ks) < 1:
+        print(f"error: --k needs at least one positive size, got {text!r}")
+        return None
+    return ks
+
+
 def _cmd_serve(args) -> int:
     """Index a dataset once, replay a query workload, compare with cold solves.
 
@@ -91,13 +107,8 @@ def _cmd_serve(args) -> int:
     from .core.solve import resolve_algorithm, solve_fairhms
     from .serving import FairHMSIndex, Query
 
-    try:
-        ks = [int(v) for v in args.k.split(",") if v.strip()]
-    except ValueError:
-        print(f"error: --k must be comma-separated integers, got {args.k!r}")
-        return 2
-    if not ks or min(ks) < 1:
-        print(f"error: --k needs at least one positive size, got {args.k!r}")
+    ks = _parse_ks(args.k)
+    if ks is None:
         return 2
     if args.repeat < 1:
         print(f"error: --repeat must be >= 1, got {args.repeat}")
@@ -158,6 +169,56 @@ def _cmd_serve(args) -> int:
     print(f"results identical to cold solves: {'yes' if identical else 'NO'}")
     print(f"amortized speedup (index build included): {cold / (build + warm):.1f}x")
     return 0
+
+
+def _cmd_live(args) -> int:
+    """Mixed query/update workload: live index vs rebuild-per-update."""
+    from .serving.workload import run_mixed_workload
+
+    ks = _parse_ks(args.k)
+    if ks is None:
+        return 2
+    if not 0.0 <= args.write_frac <= 1.0:
+        print(f"error: --write-frac must lie in [0, 1], got {args.write_frac}")
+        return 2
+    if not 0.0 < args.initial_frac < 1.0:
+        print(
+            f"error: --initial-frac must lie in (0, 1), got {args.initial_frac}"
+        )
+        return 2
+
+    data = _load_cli_dataset(args)
+    print(f"{data}: {args.ops} ops, {args.write_frac:.0%} updates, k in {ks}")
+    report = run_mixed_workload(
+        data,
+        num_ops=args.ops,
+        write_frac=args.write_frac,
+        ks=ks,
+        initial_frac=args.initial_frac,
+        seed=args.workload_seed,
+        default_seed=args.seed,
+        eps=args.eps,
+        alpha=args.alpha,
+        algorithm=args.algorithm,
+        verify=not args.no_verify,
+    )
+    print(
+        f"replayed {report.num_queries} queries + {report.num_updates} "
+        f"updates ({report.epochs} serving epochs)"
+    )
+    print(
+        f"live:    build {report.live_build:.3f}s + serve "
+        f"{report.live_total:.3f}s"
+    )
+    print(
+        f"rebuild: build {report.rebuild_build:.3f}s + serve "
+        f"{report.rebuild_total:.3f}s"
+    )
+    if not args.no_verify:
+        status = "yes" if report.identical else "NO"
+        print(f"live answers bit-identical to rebuilds: {status}")
+    print(f"amortized speedup (builds included): {report.speedup:.1f}x")
+    return 0 if (args.no_verify or report.identical) else 1
 
 
 def _cmd_table2(args) -> int:
@@ -231,6 +292,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the cold-solve comparison pass",
     )
 
+    live = sub.add_parser(
+        "live",
+        help="mixed query/update workload: live index vs rebuild-per-update",
+    )
+    live.add_argument(
+        "dataset",
+        choices=["Lawschs", "Adult", "Compas", "Credit", "anticor"],
+    )
+    live.add_argument("--attribute", default=None, help="group attribute")
+    live.add_argument("--ops", type=int, default=200, help="operation count")
+    live.add_argument(
+        "--write-frac",
+        type=float,
+        default=0.2,
+        help="fraction of ops that are updates (default 0.2 = 80/20)",
+    )
+    live.add_argument(
+        "--k", default="4,6,8", help="comma-separated solution sizes"
+    )
+    live.add_argument(
+        "--initial-frac",
+        type=float,
+        default=0.75,
+        help="fraction of tuples loaded before the workload starts",
+    )
+    live.add_argument("--alpha", type=float, default=0.1)
+    live.add_argument("--eps", type=float, default=0.02)
+    live.add_argument("--n", type=int, default=None, help="row-count override")
+    live.add_argument("--d", type=int, default=2, help="dimension (anticor)")
+    live.add_argument("--groups", type=int, default=3, help="groups (anticor)")
+    live.add_argument(
+        "--algorithm",
+        default="auto",
+        choices=["auto", "IntCov", "BiGreedy", "BiGreedy+"],
+    )
+    live.add_argument("--seed", type=int, default=7, help="solver seed")
+    live.add_argument(
+        "--workload-seed", type=int, default=1, help="op-sequence seed"
+    )
+    live.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the bit-identity check against the rebuild baseline",
+    )
+
     table2 = sub.add_parser("table2", help="print dataset statistics")
     table2.add_argument("--scale", type=float, default=0.25)
 
@@ -247,6 +353,7 @@ def main(argv=None) -> int:
         "demo": _cmd_demo,
         "solve": _cmd_solve,
         "serve": _cmd_serve,
+        "live": _cmd_live,
         "table2": _cmd_table2,
         "experiments": _cmd_experiments,
     }

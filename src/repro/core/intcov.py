@@ -23,13 +23,16 @@ import numpy as np
 from ..data.dataset import Dataset
 from ..fairness.constraints import FairnessConstraint
 from ..fairness.matroid import FairnessMatroid
-from ..geometry.envelope import Envelope, tau_interval, upper_envelope
+from ..geometry.envelope import Envelope, tau_intervals_bulk, upper_envelope
 from .intervalcover import fair_interval_cover
 from .solution import Solution
 
 __all__ = ["intcov", "candidate_mhr_values"]
 
+# Shared with repro.serving.candidates, whose incrementally maintained
+# multiset must reproduce this enumeration bit for bit.
 _PAIR_BLOCK = 512  # pairwise candidate enumeration block size (memory bound)
+_VALUE_TOL = 1e-12  # candidate filter: keep values in [0, 1 + _VALUE_TOL]
 
 
 def candidate_mhr_values(points: np.ndarray, envelope: Envelope | None = None) -> np.ndarray:
@@ -67,7 +70,7 @@ def candidate_mhr_values(points: np.ndarray, envelope: Envelope | None = None) -
         tops = envelope.value(lam_vals)
         chunks.append(scores_at / np.asarray(tops))
     values = np.concatenate(chunks)
-    values = values[(values >= 0.0) & (values <= 1.0 + 1e-12)]
+    values = values[(values >= 0.0) & (values <= 1.0 + _VALUE_TOL)]
     return np.unique(np.clip(values, 0.0, 1.0))
 
 
@@ -80,10 +83,9 @@ def _intervals_by_group(
 ) -> list[list[tuple[float, float, int]]]:
     """Compute ``I_tau(p)`` for every point, bucketed by group."""
     buckets: list[list[tuple[float, float, int]]] = [[] for _ in range(num_groups)]
-    for i in range(points.shape[0]):
-        interval = tau_interval(points[i], envelope, tau)
-        if interval is not None:
-            buckets[int(labels[i])].append((interval[0], interval[1], i))
+    lo, hi, ok = tau_intervals_bulk(points, envelope, tau)
+    for i in np.nonzero(ok)[0]:
+        buckets[int(labels[i])].append((float(lo[i]), float(hi[i]), int(i)))
     return buckets
 
 
@@ -129,6 +131,7 @@ def intcov(
     constraint: FairnessConstraint,
     *,
     artifacts=None,
+    tau_hint: float | None = None,
 ) -> Solution:
     """Exact FairHMS on a two-dimensional dataset (paper Algorithm 1).
 
@@ -140,6 +143,13 @@ def intcov(
             ``dataset``; reuses the upper envelope and the ``O(n^2)``
             candidate-MHR enumeration across calls — both depend only on
             the points, not on ``constraint``, so results are unchanged.
+        tau_hint: optional guess for the optimal MHR (e.g. last epoch's
+            optimum from a live index).  If the hint is a current
+            candidate value, is feasible, and the next larger candidate is
+            not, the binary search collapses to two decision evaluations;
+            any mismatch falls back to the full search.  The returned
+            solution is identical either way — only the
+            ``decision_evaluations`` diagnostic differs.
 
     Returns:
         The optimal fair solution with ``mhr_estimate`` set to its exact
@@ -169,17 +179,48 @@ def intcov(
         envelope = upper_envelope(points)
         candidates = candidate_mhr_values(points, envelope)
 
-    best_set: list[int] | None = None
-    best_tau = 0.0
-    lo, hi = 0, candidates.shape[0] - 1
-    evaluations = 0
-    while lo <= hi:
-        mid = (lo + hi) // 2
-        tau = float(candidates[mid])
+    def decide(tau: float):
         buckets = _intervals_by_group(
             points, dataset.labels, envelope, tau, dataset.num_groups
         )
-        cover = fair_interval_cover(buckets, constraint)
+        return fair_interval_cover(buckets, constraint)
+
+    best_set: list[int] | None = None
+    best_tau = 0.0
+    evaluations = 0
+    solved = False
+    lo, hi = 0, candidates.shape[0] - 1
+    if tau_hint is not None and candidates.shape[0]:
+        # Warm start: feasibility is monotone in tau, so "hint feasible
+        # and the next larger candidate infeasible" certifies the hint as
+        # the optimum — the exact value the binary search would return.
+        # Either probe narrows [lo, hi] even when certification fails, so
+        # a stale hint still pays for itself.
+        after = int(np.searchsorted(candidates, tau_hint, side="right"))
+        if after > 0 and candidates[after - 1] == tau_hint:
+            cover = decide(float(tau_hint))
+            evaluations += 1
+            if cover is None:
+                # Optimum < hint: every candidate >= hint is out.
+                hi = int(np.searchsorted(candidates, tau_hint, side="left")) - 1
+            else:
+                best_set, best_tau = cover, float(tau_hint)
+                lo = after
+                if after == candidates.shape[0]:
+                    solved = True
+                else:
+                    cover = decide(float(candidates[after]))
+                    evaluations += 1
+                    if cover is None:
+                        solved = True
+                    else:
+                        best_set, best_tau = cover, float(candidates[after])
+                        lo = after + 1
+
+    while not solved and lo <= hi:
+        mid = (lo + hi) // 2
+        tau = float(candidates[mid])
+        cover = decide(tau)
         evaluations += 1
         if cover is None:
             hi = mid - 1

@@ -89,5 +89,12 @@ def solve_fairhms(
     """
     algorithm = resolve_algorithm(dataset, constraint, algorithm)
     if artifacts is not None:
+        # Epoch check: apply any invalidation staged by a live index's
+        # bump_epoch/rebind so a stale engine or envelope is never served,
+        # then stamp the solve with the epoch it answered for.
+        artifacts.flush_invalidations()
         kwargs["artifacts"] = artifacts
-    return CORE_ALGORITHMS[algorithm](dataset, constraint, **kwargs)
+    solution = CORE_ALGORITHMS[algorithm](dataset, constraint, **kwargs)
+    if artifacts is not None and artifacts.matches(dataset):
+        solution.stats["artifact_epoch"] = artifacts.epoch
+    return solution

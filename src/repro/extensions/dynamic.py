@@ -32,31 +32,59 @@ __all__ = ["DynamicFairHMS"]
 
 
 class _Group:
-    """Alive tuples and the maintained skyline of one group."""
+    """Alive tuples and the maintained skyline of one group.
 
-    __slots__ = ("alive", "skyline", "dirty")
+    The skyline member coordinates are additionally cached as one
+    ``(s, d)`` matrix so each insert is a single vectorized dominance
+    test against all members instead of a Python loop — the difference
+    between O(n * s) scalar work and O(n * s) numpy work when bulk
+    loading a live index.
+    """
+
+    __slots__ = ("alive", "skyline", "dirty", "_sky_keys", "_sky_pts")
 
     def __init__(self) -> None:
         self.alive: dict[int, np.ndarray] = {}
         self.skyline: set[int] = set()
         self.dirty = False
+        self._sky_keys: list[int] = []
+        self._sky_pts: np.ndarray | None = None
+
+    def _sky_matrix(self) -> np.ndarray:
+        if self._sky_pts is None:
+            self._sky_keys = list(self.skyline)
+            self._sky_pts = (
+                np.asarray([self.alive[k] for k in self._sky_keys])
+                if self._sky_keys
+                else np.empty((0, 0))
+            )
+        return self._sky_pts
 
     def insert(self, key: int, point: np.ndarray) -> None:
         self.alive[key] = point
         if self.dirty:
             return  # rebuilt wholesale on next query anyway
-        for member in self.skyline:
-            other = self.alive[member]
-            if (other >= point).all() and (other > point).any():
+        pts = self._sky_matrix()
+        if pts.shape[0]:
+            ge = pts >= point
+            gt = pts > point
+            if (ge.all(axis=1) & gt.any(axis=1)).any():
                 return  # dominated on arrival: never on the skyline
-        evicted = [
-            member
-            for member in self.skyline
-            if (point >= self.alive[member]).all()
-            and (point > self.alive[member]).any()
-        ]
-        self.skyline.difference_update(evicted)
+            evict = (point >= pts).all(axis=1) & (point > pts).any(axis=1)
+            if evict.any():
+                keep = ~evict
+                self.skyline.difference_update(
+                    k for k, out in zip(self._sky_keys, evict) if out
+                )
+                self._sky_keys = [
+                    k for k, ok in zip(self._sky_keys, keep) if ok
+                ]
+                pts = pts[keep]
         self.skyline.add(key)
+        self._sky_keys.append(key)
+        self._sky_pts = (
+            point[None, :] if pts.shape[0] == 0 else np.vstack([pts, point])
+        )
 
     def delete(self, key: int) -> None:
         if key not in self.alive:
@@ -65,6 +93,7 @@ class _Group:
         if key in self.skyline:
             self.skyline.discard(key)
             self.dirty = True  # dominated tuples may resurface
+            self._sky_pts = None
 
     def current_skyline(self) -> list[int]:
         if self.dirty:
@@ -75,6 +104,7 @@ class _Group:
             else:
                 self.skyline = set()
             self.dirty = False
+            self._sky_pts = None
         return sorted(self.skyline)
 
 
@@ -109,6 +139,25 @@ class DynamicFairHMS:
     def __len__(self) -> int:
         return len(self._keys)
 
+    @property
+    def version(self) -> int:
+        """Monotone update counter; bumped by every insert and delete.
+
+        The live serving layer compares this against the version it last
+        served to decide whether its epoch must advance.
+        """
+        return self._version
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._keys
+
+    def group_of(self, key: int) -> int:
+        """Group of an alive tuple."""
+        group = self._keys.get(key)
+        if group is None:
+            raise KeyError(f"tuple {key} is not alive")
+        return group
+
     def insert(self, key: int, point, group: int) -> None:
         """Insert tuple ``key`` with coordinates ``point`` into ``group``."""
         if key in self._keys:
@@ -121,6 +170,32 @@ class DynamicFairHMS:
         self._groups[group].insert(key, arr)
         self._keys[key] = group
         self._version += 1
+
+    def bulk_insert(self, keys, points, groups) -> None:
+        """Insert many tuples with one validation pass (bulk loading).
+
+        Equivalent to calling :meth:`insert` per tuple but validates the
+        point matrix once; the maintained skylines end up identical.
+        """
+        pts = as_points(np.asarray(points, dtype=np.float64))
+        keys = np.asarray(keys, dtype=np.int64)
+        groups = np.asarray(groups, dtype=np.int64)
+        if pts.shape[0] != keys.shape[0] or groups.shape[0] != keys.shape[0]:
+            raise ValueError("keys, points, and groups must align")
+        if pts.shape[1] != self.dim:
+            raise ValueError(f"points must have {self.dim} attributes")
+        if groups.size and (groups.min() < 0 or groups.max() >= self.num_groups):
+            raise ValueError("group out of range")
+        # Validate keys upfront so a duplicate leaves the store untouched.
+        seen: set[int] = set()
+        for key in keys.tolist():
+            if key in self._keys or key in seen:
+                raise KeyError(f"tuple {key} already present")
+            seen.add(key)
+        for key, point, group in zip(keys.tolist(), pts, groups.tolist()):
+            self._groups[group].insert(key, point)
+            self._keys[key] = group
+        self._version += keys.shape[0]
 
     def delete(self, key: int) -> None:
         """Delete tuple ``key``."""
@@ -142,6 +217,25 @@ class DynamicFairHMS:
             keys.extend(g.current_skyline())
         return sorted(keys)
 
+    def _as_dataset(self, keys, labels, points, name: str) -> Dataset:
+        """Package (group, key)-ordered rows with compact group remapping."""
+        if not points:
+            raise ValueError("no tuples alive")
+        present = sorted(set(labels))
+        remap = {c: i for i, c in enumerate(present)}
+        dataset = Dataset(
+            points=np.asarray(points),
+            labels=np.asarray([remap[c] for c in labels], dtype=np.int64),
+            name=name,
+            group_attribute="dynamic",
+            group_names=tuple(f"g{c}" for c in present),
+            ids=np.asarray(keys, dtype=np.int64),
+        )
+        dataset.meta["population_group_sizes"] = [
+            len(self._groups[c].alive) for c in present
+        ]
+        return dataset
+
     def skyline_dataset(self) -> Dataset:
         """The current per-group skyline as a solvable Dataset."""
         keys: list[int] = []
@@ -152,22 +246,26 @@ class DynamicFairHMS:
                 keys.append(key)
                 labels.append(c)
                 points.append(g.alive[key])
-        if not points:
-            raise ValueError("no tuples alive")
-        present = sorted(set(labels))
-        remap = {c: i for i, c in enumerate(present)}
-        dataset = Dataset(
-            points=np.asarray(points),
-            labels=np.asarray([remap[c] for c in labels], dtype=np.int64),
-            name="dynamic",
-            group_attribute="dynamic",
-            group_names=tuple(f"g{c}" for c in present),
-            ids=np.asarray(keys, dtype=np.int64),
-        )
-        dataset.meta["population_group_sizes"] = [
-            len(self._groups[c].alive) for c in present
-        ]
-        return dataset
+        return self._as_dataset(keys, labels, points, "dynamic")
+
+    def alive_dataset(self, name: str = "dynamic-alive") -> Dataset:
+        """Every alive tuple as a Dataset, rows ordered by (group, key).
+
+        The ordering matters for reproducibility: the per-group skyline of
+        this snapshot (``Dataset.skyline(per_group=True)``) lists the same
+        rows in the same order as :meth:`skyline_dataset`, so a batch
+        rebuild and the incrementally maintained skyline are bit-identical
+        solver inputs.
+        """
+        keys: list[int] = []
+        labels: list[int] = []
+        points: list[np.ndarray] = []
+        for c, g in enumerate(self._groups):
+            for key in sorted(g.alive):
+                keys.append(key)
+                labels.append(c)
+                points.append(g.alive[key])
+        return self._as_dataset(keys, labels, points, name)
 
     def solution(self, constraint: FairnessConstraint) -> Solution:
         """(Re-)solve on the current state; cached until the data changes."""

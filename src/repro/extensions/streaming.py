@@ -101,6 +101,21 @@ class StreamingFairHMS:
         """Tuples currently held in the sieve."""
         return sum(len(b) for b in self._buffers)
 
+    def buffered_keys(self) -> set:
+        """Keys of the tuples currently held in the sieve."""
+        return {member.key for buffer in self._buffers for member in buffer}
+
+    def buffered_items(self):
+        """Yield ``(key, point, group)`` for every buffered tuple.
+
+        Points are the arrays the sieve stores — treat them as read-only.
+        Used by the live index to sync its alive set with the sieve after
+        a batch of observations.
+        """
+        for group, buffer in enumerate(self._buffers):
+            for member in buffer:
+                yield member.key, member.point, group
+
     def observe(self, key: int, point, group: int) -> bool:
         """Feed one tuple; returns True if it entered the buffer."""
         if not 0 <= group < self.num_groups:

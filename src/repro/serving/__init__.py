@@ -1,12 +1,16 @@
 """Query-serving layer: precompute once, answer many FairHMS queries.
 
-:class:`FairHMSIndex` is the front door; :class:`SolverArtifacts` is the
+:class:`FairHMSIndex` is the front door for a frozen dataset;
+:class:`LiveFairHMSIndex` extends it with incremental inserts/deletes and
+a streaming ingestion front-end; :class:`SolverArtifacts` is the
 underlying per-dataset cache that the core solvers also accept directly
 via their ``artifacts=`` parameter.  See ``docs/SERVING.md`` for what is
-cached, under which keys, and the batch-query semantics.
+cached, under which keys, the epoch/invalidation semantics of live
+serving, and the batch-query semantics.
 """
 
 from .artifacts import SolverArtifacts
 from .index import FairHMSIndex, Query
+from .live import LiveFairHMSIndex
 
-__all__ = ["FairHMSIndex", "Query", "SolverArtifacts"]
+__all__ = ["FairHMSIndex", "LiveFairHMSIndex", "Query", "SolverArtifacts"]

@@ -23,8 +23,21 @@ Cache keys and determinism:
 
 Artifacts are bound to one :class:`~repro.data.dataset.Dataset` *object*:
 datasets are immutable by convention, so object identity is the cache
-validity test (see :meth:`SolverArtifacts.matches`).  To serve a changed
-dataset, build new artifacts (or a new index).
+validity test (see :meth:`SolverArtifacts.matches`).
+
+Epochs and staged invalidation (live serving):
+
+The all-or-nothing :meth:`clear` is too blunt for a live index whose
+dataset mutates between queries — most updates leave the solver-input
+skyline unchanged, and even a changed skyline invalidates only the
+*data-dependent* artifacts (engines, envelope, candidate MHRs) while the
+delta-nets, which depend on ``(m, d, seed)`` alone, stay valid.  So a
+data change is recorded with :meth:`bump_epoch` (same dataset object,
+e.g. population counts shifted) or :meth:`rebind` (new skyline dataset
+object), both of which only *stage* invalidation via per-component dirty
+flags; the flags are applied lazily by :meth:`flush_invalidations`,
+which every accessor (and ``solve_fairhms``) calls before trusting the
+cache.  Skyline-unchanged epochs therefore keep every artifact warm.
 """
 
 from __future__ import annotations
@@ -69,17 +82,27 @@ class SolverArtifacts:
         self._engines: dict[tuple[int, int], TruncatedEngine] = {}
         self._envelope: Envelope | None = None
         self._mhr_candidates: np.ndarray | None = None
+        self._epoch = 0
+        self._dirty_engines = False
+        self._dirty_geometry = False  # envelope + candidate-MHR values
         self.counters = {
             "net_hits": 0,
             "net_misses": 0,
             "net_bypasses": 0,
             "engine_hits": 0,
             "engine_misses": 0,
+            "epoch_bumps": 0,
+            "engine_invalidations": 0,
         }
 
     @property
     def dataset(self) -> Dataset:
         return self._dataset
+
+    @property
+    def epoch(self) -> int:
+        """Data version these artifacts serve; bumped on every data change."""
+        return self._epoch
 
     def matches(self, dataset: Dataset) -> bool:
         """True iff these artifacts were built for exactly this dataset.
@@ -90,6 +113,87 @@ class SolverArtifacts:
         fall back to inline computation on a mismatch.
         """
         return dataset is self._dataset
+
+    # ------------------------------------------------------------------ #
+    # epochs and staged invalidation
+    # ------------------------------------------------------------------ #
+
+    def bump_epoch(self, *, skyline_changed: bool = True) -> int:
+        """Advance the epoch; stage invalidation iff the data changed shape.
+
+        ``skyline_changed=False`` records a data version the solver input
+        is insensitive to (e.g. only population counts moved): every
+        cached artifact stays warm and valid.  ``skyline_changed=True``
+        marks the engines and the 2-D geometry (envelope + candidate
+        MHRs) dirty; they are dropped lazily at the next flush.  Nets are
+        never invalidated — they depend only on ``(m, d, seed)``.
+
+        Returns the new epoch.
+        """
+        self._epoch += 1
+        self.counters["epoch_bumps"] += 1
+        if skyline_changed:
+            self._dirty_engines = True
+            self._dirty_geometry = True
+        return self._epoch
+
+    def rebind(self, dataset: Dataset) -> int:
+        """Swap in a new dataset object and stage full data invalidation.
+
+        The live index calls this when the maintained skyline actually
+        changed (new :class:`Dataset` snapshot).  The dimension must
+        match so the cached delta-nets remain valid.  Returns the new
+        epoch; a no-op (epoch unchanged) when the object is already
+        bound.
+        """
+        if dataset is self._dataset:
+            return self._epoch
+        if dataset.dim != self._dataset.dim:
+            raise ValueError(
+                f"cannot rebind artifacts across dimensions "
+                f"({self._dataset.dim} -> {dataset.dim})"
+            )
+        self._dataset = dataset
+        return self.bump_epoch(skyline_changed=True)
+
+    def flush_invalidations(self) -> None:
+        """Apply staged invalidation: drop every dirty component.
+
+        Cheap when clean; called by every artifact accessor and by
+        ``solve_fairhms`` before a solve, so a stale engine or envelope
+        can never be served after a :meth:`rebind`.
+        """
+        if self._dirty_engines:
+            if self._engines:
+                self.counters["engine_invalidations"] += len(self._engines)
+            self._engines.clear()
+            self._dirty_engines = False
+        if self._dirty_geometry:
+            self._envelope = None
+            self._mhr_candidates = None
+            self._dirty_geometry = False
+
+    def prime_geometry(self, envelope: Envelope, mhr_candidates: np.ndarray) -> None:
+        """Install externally maintained 2-D geometry (live serving).
+
+        The live index maintains the envelope and the candidate-MHR
+        values incrementally across epochs; priming them here clears the
+        geometry dirty flag so the next solve uses them instead of
+        recomputing from scratch.  The candidate array may contain
+        duplicates — IntCov's binary search is insensitive to them.
+        """
+        self._envelope = envelope
+        self._mhr_candidates = mhr_candidates
+        self._dirty_geometry = False
+
+    def dirty_components(self) -> tuple[str, ...]:
+        """Names of components staged for invalidation (empty when clean)."""
+        dirty = []
+        if self._dirty_engines:
+            dirty.append("engines")
+        if self._dirty_geometry:
+            dirty.append("geometry")
+        return tuple(dirty)
 
     # ------------------------------------------------------------------ #
     # BiGreedy artifacts: delta-nets and truncated-MHR engines
@@ -118,6 +222,7 @@ class SolverArtifacts:
         BiGreedy; for integer seeds repeated queries with the same
         ``(m, seed)`` share one engine object.
         """
+        self.flush_invalidations()
         key = _seed_key(seed)
         if key is None:
             return TruncatedEngine(self._dataset.points, self.net(m, seed))
@@ -139,12 +244,14 @@ class SolverArtifacts:
         """Upper score-line envelope of the dataset (2-D only)."""
         if self._dataset.dim != 2:
             raise ValueError("score-line envelopes exist only for 2-D datasets")
+        self.flush_invalidations()
         if self._envelope is None:
             self._envelope = upper_envelope(self._dataset.points)
         return self._envelope
 
     def mhr_candidates(self) -> np.ndarray:
         """IntCov's candidate optimal-MHR values ``H`` (2-D only)."""
+        self.flush_invalidations()
         if self._mhr_candidates is None:
             self._mhr_candidates = candidate_mhr_values(
                 self._dataset.points, self.envelope()
@@ -164,14 +271,18 @@ class SolverArtifacts:
         self._engines.clear()
         self._envelope = None
         self._mhr_candidates = None
+        self._dirty_engines = False
+        self._dirty_geometry = False
 
     def cache_info(self) -> dict:
-        """Hit/miss counters plus current cache occupancy."""
+        """Hit/miss counters plus current cache occupancy and epoch."""
         info = dict(self.counters)
         info["nets_cached"] = len(self._nets)
         info["engines_cached"] = len(self._engines)
         info["envelope_cached"] = self._envelope is not None
         info["mhr_candidates_cached"] = self._mhr_candidates is not None
+        info["epoch"] = self._epoch
+        info["dirty_components"] = self.dirty_components()
         return info
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,375 @@
+"""Incrementally maintained IntCov candidate-MHR values (2-D live serving).
+
+IntCov binary-searches the set ``H`` of values the optimal MHR can take:
+per point its happiness ratio at the two axis directions, per point pair
+their common ratio at the direction where their score lines tie (see
+:func:`repro.core.intcov.candidate_mhr_values`).  Recomputing ``H`` is
+the dominant per-epoch cost of live 2-D serving — ``O(n^2)`` pair
+enumeration — yet a single insert or delete only adds or removes
+``O(n)`` values.  Every candidate is
+
+    ``value(pair) = score_at_tie / envelope(lam_at_tie)``
+
+where the tie direction ``lam`` and the numerator ``score`` depend only
+on the two points, while the denominator is the current upper envelope.
+:class:`LiveCandidateCache` therefore splits the state:
+
+* **envelope-independent**: per alive point (a *slot*), the matrices
+  ``lam[i, j]`` and ``score[i, j]`` over all pairs (``NaN`` = the tie
+  direction falls outside ``[0, 1]``), plus each point's coordinates for
+  the two axis candidates;
+* **envelope-dependent**: ``H``, a **sorted array with duplicates** of
+  the priced values under the current envelope.
+
+Inserting a point computes one ``O(n)`` row and merges its priced values
+into ``H``; deleting re-prices the stored row (bit-exact — same IEEE
+operations on the same stored inputs) and removes exactly those values;
+an envelope change (detected by exact comparison of the envelope's
+breaks and lines) re-prices all pairs and re-sorts — no ``O(n^2)`` tie
+re-enumeration — while the matrices stand.
+
+Bit-compatibility with the batch path: pair values depend on which
+endpoint's line is evaluated at the tie direction; the batch enumeration
+uses the lower *row*, and rows are ordered by ``(group, key)`` — an
+ordering stable across epochs — so the cache orients every pair by
+``(group, key)`` and reproduces the batch floats bit for bit.  ``H``
+differs from ``np.unique(candidate_mhr_values(...))`` only by containing
+duplicates; IntCov's binary search over a sorted array returns the
+largest *feasible value*, which duplicates cannot change, so served
+solutions are bit-identical to cold solves (only the ``num_candidates``
+/ ``decision_evaluations`` diagnostics differ).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# The cache must reproduce the batch enumeration bit for bit, so the
+# block size and value filter are the enumeration's own constants.
+from ..core.intcov import _PAIR_BLOCK, _VALUE_TOL
+from ..geometry.envelope import Envelope
+
+__all__ = ["LiveCandidateCache"]
+
+
+class LiveCandidateCache:
+    """Sorted candidate-MHR multiset under point inserts and deletes."""
+
+    def __init__(self) -> None:
+        self._cap = 0
+        self._next_slot = 0
+        self._slot_of: dict[int, int] = {}  # key -> slot
+        self._free: list[int] = []
+        self._x = np.empty(0)
+        self._y = np.empty(0)
+        self._slope = np.empty(0)
+        self._group = np.empty(0, dtype=np.int64)
+        self._key = np.empty(0, dtype=np.int64)
+        self._lam = np.empty((0, 0))  # tie direction per pair, NaN outside [0,1]
+        self._score = np.empty((0, 0))  # lower-(group,key) line value at the tie
+        self._values = np.empty(0)  # H: sorted, with duplicates
+        self._envelope: Envelope | None = None
+        self.rebuilds = 0
+        self.reprices = 0
+        self.incremental_inserts = 0
+        self.incremental_deletes = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Alive points tracked by the cache."""
+        return len(self._slot_of)
+
+    @property
+    def num_values(self) -> int:
+        """Current candidate count (duplicates included)."""
+        return int(self._values.shape[0])
+
+    def sync(self, points, keys, groups, envelope: Envelope) -> np.ndarray:
+        """Update to a new alive set; return the sorted candidate array.
+
+        Args:
+            points: ``(n, 2)`` coordinates of the alive (skyline) points.
+            keys: stable integer identity per row (caller keys).
+            groups: *original* group id per row.  A key re-appearing with
+                different coordinates or group is re-slotted (removed and
+                re-inserted), so reuse is safe; while a key is alive its
+                group must not change, keeping pair orientation stable.
+            envelope: the upper envelope of ``points``.
+
+        The returned array is freshly allocated each call (safe to hand
+        to a solver and keep across future syncs).
+        """
+        points = np.asarray(points, dtype=np.float64)
+        keys = [int(k) for k in np.asarray(keys)]
+        groups = [int(g) for g in np.asarray(groups)]
+        if self._envelope is None:
+            self._rebuild(points, keys, groups, envelope)
+            return self._values
+        if not (
+            np.array_equal(self._envelope.breaks, envelope.breaks)
+            and np.array_equal(self._envelope.lines, envelope.lines)
+        ):
+            # New denominators: re-price every stored pair, keep matrices.
+            self._envelope = envelope
+            self._values = self._price_all()
+            self.reprices += 1
+        new_keys = set(keys)
+        stale = [k for k in self._slot_of if k not in new_keys]
+        for row, key in enumerate(keys):
+            # A key re-inserted with different coordinates or group must be
+            # re-slotted, or its stored pair rows would price stale points.
+            slot = self._slot_of.get(key)
+            if slot is not None and (
+                self._x[slot] != points[row, 0]
+                or self._y[slot] != points[row, 1]
+                or self._group[slot] != groups[row]
+            ):
+                stale.append(key)
+        for key in stale:
+            self._remove(key)
+        known = self._slot_of
+        for row, key in enumerate(keys):
+            if key not in known:
+                self._insert(key, points[row], groups[row])
+        return self._values
+
+    # ------------------------------------------------------------------ #
+    # pricing: envelope-dependent values from the stored matrices
+    # ------------------------------------------------------------------ #
+
+    def _env_eval(self, lam: np.ndarray) -> np.ndarray:
+        """Lean ``Envelope.value`` for lams already known to lie in [0, 1].
+
+        Identical piece selection and arithmetic as the public method
+        (whose input validation and clip are identity here), so priced
+        values match the batch enumeration bit for bit.
+        """
+        env = self._envelope
+        piece = np.clip(
+            np.searchsorted(env.breaks, lam, side="right") - 1,
+            0,
+            env.num_pieces - 1,
+        )
+        return env.lines[piece, 0] * lam + env.lines[piece, 1]
+
+    def _price(self, lam: np.ndarray, score: np.ndarray) -> np.ndarray:
+        """values = score / envelope(lam), filtered to [0, 1] (NaN = none)."""
+        out = np.full(lam.shape, np.nan)
+        valid = ~np.isnan(lam)
+        if valid.any():
+            lam_v = lam[valid]
+            vals = score[valid] / self._env_eval(lam_v)
+            keep = (vals >= 0.0) & (vals <= 1.0 + _VALUE_TOL)
+            vals = np.clip(vals, 0.0, 1.0)
+            vals[~keep] = np.nan
+            out[valid] = vals
+        return out
+
+    def _axis_values(self, slot) -> np.ndarray:
+        """The slot's two axis candidates (vectorized over slot arrays)."""
+        top0 = self._envelope.value(0.0)
+        top1 = self._envelope.value(1.0)
+        vals = np.stack([self._y[slot] / top0, self._x[slot] / top1], axis=-1)
+        bad = ~((vals >= 0.0) & (vals <= 1.0 + _VALUE_TOL))
+        vals = np.clip(vals, 0.0, 1.0)
+        vals[bad] = np.nan
+        return vals
+
+    def _alive_slots(self) -> np.ndarray:
+        return np.fromiter(
+            self._slot_of.values(), dtype=np.int64, count=len(self._slot_of)
+        )
+
+    def _values_of(self, slot: int) -> np.ndarray:
+        """This point's candidate contributions (sorted): axis + pairs."""
+        alive = self._alive_slots()
+        others = alive[alive != slot]
+        vals = np.concatenate(
+            [
+                self._axis_values(np.array([slot])).ravel(),
+                self._price(self._lam[slot, others], self._score[slot, others]),
+            ]
+        )
+        return np.sort(vals[~np.isnan(vals)])
+
+    def _price_all(self) -> np.ndarray:
+        """Sorted H over all alive slots under the current envelope."""
+        alive = np.sort(self._alive_slots())
+        axis_vals = self._axis_values(alive).ravel()
+        chunks = [axis_vals[~np.isnan(axis_vals)]]
+        # Block over rows; price each pair once (later-position columns).
+        for start in range(0, alive.size, _PAIR_BLOCK):
+            stop = min(start + _PAIR_BLOCK, alive.size)
+            cols = alive[start + 1 :]
+            if cols.size == 0:
+                break
+            lam = self._lam[alive[start:stop, None], cols[None, :]]
+            score = self._score[alive[start:stop, None], cols[None, :]]
+            # Keep strictly-upper entries: column position > row position.
+            mask = np.arange(start + 1, alive.size)[None, :] > np.arange(
+                start, stop
+            )[:, None]
+            vals = self._price(lam[mask], score[mask])
+            chunks.append(vals[~np.isnan(vals)])
+        return np.sort(np.concatenate(chunks))
+
+    # ------------------------------------------------------------------ #
+    # incremental updates
+    # ------------------------------------------------------------------ #
+
+    def _remove(self, key: int) -> None:
+        slot = self._slot_of[key]
+        vals = self._values_of(slot)
+        self._values = _multiset_remove(self._values, vals)
+        del self._slot_of[key]
+        self._free.append(slot)
+        self._lam[slot, :] = np.nan
+        self._lam[:, slot] = np.nan
+        self._score[slot, :] = np.nan
+        self._score[:, slot] = np.nan
+        self.incremental_deletes += 1
+
+    def _insert(self, key: int, point: np.ndarray, group: int) -> None:
+        slot = self._take_slot()
+        self._x[slot] = point[0]
+        self._y[slot] = point[1]
+        self._slope[slot] = point[0] - point[1]
+        self._group[slot] = group
+        self._key[slot] = key
+        alive = self._alive_slots()
+        if alive.size:
+            lam, score = self._pair_rows(slot, alive)
+            self._lam[slot, alive] = lam
+            self._lam[alive, slot] = lam
+            self._score[slot, alive] = score
+            self._score[alive, slot] = score
+        self._slot_of[key] = slot
+        self._values = _multiset_insert(self._values, self._values_of(slot))
+        self.incremental_inserts += 1
+
+    def _pair_rows(self, slot: int, others: np.ndarray):
+        """Tie directions and numerators of the pairs (slot, other).
+
+        Bit-identical to the batch enumeration: the endpoint that sorts
+        first by ``(group, key)`` — i.e. would occupy the lower dataset
+        row — provides the line evaluated at the tie direction.
+        """
+        first = (self._group[others] < self._group[slot]) | (
+            (self._group[others] == self._group[slot])
+            & (self._key[others] < self._key[slot])
+        )
+        slope_f = np.where(first, self._slope[others], self._slope[slot])
+        y_f = np.where(first, self._y[others], self._y[slot])
+        slope_s = np.where(first, self._slope[slot], self._slope[others])
+        y_s = np.where(first, self._y[slot], self._y[others])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            lam = (y_s - y_f) / (slope_f - slope_s)
+        valid = np.isfinite(lam) & (lam >= 0.0) & (lam <= 1.0)
+        lam = np.where(valid, lam, np.nan)
+        score = np.where(valid, y_f + slope_f * lam, np.nan)
+        return lam, score
+
+    def _take_slot(self) -> int:
+        if self._free:
+            return self._free.pop()
+        slot = self._next_slot
+        if slot >= self._cap:
+            # Modest headroom: the matrices are O(cap^2) memory.
+            self._grow(max(64, self._cap + self._cap // 2, slot + 1))
+        self._next_slot += 1
+        return slot
+
+    def _grow(self, cap: int) -> None:
+        def bigger(arr, shape, fill):
+            out = np.full(shape, fill, dtype=arr.dtype)
+            if arr.size:
+                out[tuple(slice(0, s) for s in arr.shape)] = arr
+            return out
+
+        self._x = bigger(self._x, (cap,), 0.0)
+        self._y = bigger(self._y, (cap,), 0.0)
+        self._slope = bigger(self._slope, (cap,), 0.0)
+        self._group = bigger(self._group, (cap,), 0)
+        self._key = bigger(self._key, (cap,), 0)
+        self._lam = bigger(self._lam, (cap, cap), np.nan)
+        self._score = bigger(self._score, (cap, cap), np.nan)
+        self._cap = cap
+
+    # ------------------------------------------------------------------ #
+    # full rebuild (first sync only; later epochs stay incremental)
+    # ------------------------------------------------------------------ #
+
+    def _rebuild(self, points, keys, groups, envelope: Envelope) -> None:
+        n = points.shape[0]
+        # Discard all slot state so _grow starts from clean NaN matrices.
+        self._cap = 0
+        self._next_slot = 0
+        self._free = []
+        self._x = np.empty(0)
+        self._y = np.empty(0)
+        self._slope = np.empty(0)
+        self._group = np.empty(0, dtype=np.int64)
+        self._key = np.empty(0, dtype=np.int64)
+        self._lam = np.empty((0, 0))
+        self._score = np.empty((0, 0))
+        self._grow(max(64, n + max(64, n // 8)))
+        self._next_slot = n
+        self._slot_of = {key: row for row, key in enumerate(keys)}
+        self._x[:n] = points[:, 0]
+        self._y[:n] = points[:, 1]
+        self._slope[:n] = points[:, 0] - points[:, 1]
+        self._group[:n] = groups
+        self._key[:n] = keys
+        self._envelope = envelope
+        y = self._y[:n]
+        slope = self._slope[:n]
+        # Full (i, j) matrix per block, both orientations in one pass: lam
+        # is exactly symmetric (negating numerator and denominator is an
+        # exact float operation) and the evaluated line is the lower row's
+        # — rows arrive (group, key)-sorted, matching the batch order —
+        # so cell (i, j) == cell (j, i) bit for bit without a mirror pass.
+        for start in range(0, n, _PAIR_BLOCK):
+            stop = min(start + _PAIR_BLOCK, n)
+            slope_diff = slope[start:stop, None] - slope[None, :]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                lam = (y[None, :] - y[start:stop, None]) / slope_diff
+            valid = (lam >= 0.0) & (lam <= 1.0) & np.isfinite(lam)
+            lam = np.where(valid, lam, np.nan)
+            rows_abs = np.arange(start, stop)[:, None]
+            cols = np.arange(n)[None, :]
+            first_is_col = cols < rows_abs
+            y_f = np.where(first_is_col, y[None, :], y[start:stop, None])
+            slope_f = np.where(first_is_col, slope[None, :], slope[start:stop, None])
+            self._lam[start:stop, :n] = lam
+            self._score[start:stop, :n] = np.where(
+                valid, y_f + slope_f * lam, np.nan
+            )
+        self._values = self._price_all()
+        self.rebuilds += 1
+
+
+def _multiset_insert(sorted_values: np.ndarray, new_sorted: np.ndarray) -> np.ndarray:
+    """Merge ``new_sorted`` into ``sorted_values`` (both ascending)."""
+    if new_sorted.size == 0:
+        return sorted_values
+    positions = np.searchsorted(sorted_values, new_sorted)
+    return np.insert(sorted_values, positions, new_sorted)
+
+
+def _multiset_remove(sorted_values: np.ndarray, victims: np.ndarray) -> np.ndarray:
+    """Remove one occurrence per entry of ``victims`` (both ascending).
+
+    Every victim is guaranteed present (stored bits are re-priced through
+    the same operations, never recomputed differently); equal victims map
+    to consecutive occurrences.
+    """
+    if victims.size == 0:
+        return sorted_values
+    positions = np.searchsorted(sorted_values, victims, side="left")
+    if victims.size > 1:
+        run_start = np.r_[0, np.nonzero(victims[1:] != victims[:-1])[0] + 1]
+        run_id = np.cumsum(np.r_[0, victims[1:] != victims[:-1]])
+        positions = positions + (np.arange(victims.size) - run_start[run_id])
+    return np.delete(sorted_values, positions)

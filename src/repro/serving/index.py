@@ -84,7 +84,16 @@ class FairHMSIndex:
     The index is not thread-safe: cached :class:`TruncatedEngine` objects
     memoize per-``tau`` state in place, so concurrent queries must be
     serialized (or use one index per worker).
+
+    The static index is the *frozen* special case of live serving: its
+    dataset never changes, so :meth:`_refresh` is a no-op and the epoch
+    stays 0 forever.  ``repro.serving.LiveFairHMSIndex`` subclasses it to
+    accept inserts/deletes/streams between queries.
     """
+
+    #: Whether the indexed dataset is immutable.  The live subclass sets
+    #: this to False; everything keyed on it (epochs, refresh) is shared.
+    frozen = True
 
     def __init__(
         self,
@@ -101,9 +110,29 @@ class FairHMSIndex:
             sky = data
         else:
             sky = data.skyline(per_group=per_group_skyline)
-        self._dataset = data
-        self._skyline = sky
-        self._artifacts = SolverArtifacts(sky)
+        self._init_state(
+            data,
+            sky,
+            default_seed=default_seed,
+            cache_results=cache_results,
+            max_cached_results=max_cached_results,
+        )
+
+    def _init_state(
+        self,
+        dataset: Dataset | None,
+        skyline: Dataset | None,
+        *,
+        default_seed: int,
+        cache_results: bool,
+        max_cached_results: int,
+    ) -> None:
+        """Shared serving-state setup (also used by the live subclass,
+        which preprocesses its data through a ``DynamicFairHMS`` instead
+        of the one-shot normalize+skyline pipeline)."""
+        self._dataset = dataset
+        self._skyline = skyline
+        self._artifacts = SolverArtifacts(skyline) if skyline is not None else None
         self._default_seed = int(default_seed)
         self._cache_results = bool(cache_results)
         self._max_cached_results = max(1, int(max_cached_results))
@@ -112,6 +141,43 @@ class FairHMSIndex:
         self._result_misses = 0
         self._constraints: dict[tuple, FairnessConstraint] = {}
         self._evaluator: MhrEvaluator | None = None
+        # Last known optimal tau per IntCov query key.  Deliberately NOT
+        # dropped on epoch changes: a hint is only ever *verified* by the
+        # solver (two decision evaluations), so a stale hint costs a
+        # fallback to the full binary search, never a wrong answer.
+        self._tau_hints: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # refresh / epochs
+    # ------------------------------------------------------------------ #
+
+    def _refresh(self) -> None:
+        """Sync serving state with the underlying data (no-op: frozen).
+
+        The live subclass overrides this to apply pending inserts/deletes
+        — advancing the epoch, staging artifact invalidation, and
+        dropping the result memo — before any query is answered.
+        """
+
+    @property
+    def epoch(self) -> int:
+        """Data version being served (always 0 for a frozen index)."""
+        return 0 if self._artifacts is None else self._artifacts.epoch
+
+    def _start_epoch(self) -> None:
+        """Drop per-epoch serving state after a data change.
+
+        The result memo and the constraint cache go unconditionally: any
+        insert or delete moves the population group sizes that
+        proportional constraints (and therefore memoized answers) depend
+        on.  The evaluator is rebuilt lazily over the new database.
+        Artifact invalidation is staged separately by the caller
+        (``bump_epoch``/``rebind``) so skyline-unchanged epochs keep
+        nets, engines, and geometry warm.
+        """
+        self._results.clear()
+        self._constraints.clear()
+        self._evaluator = None
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -120,21 +186,28 @@ class FairHMSIndex:
     @property
     def dataset(self) -> Dataset:
         """The (normalized) full database queries are answered about."""
+        self._refresh()
         return self._dataset
 
     @property
     def skyline(self) -> Dataset:
         """The solver-input dataset all solutions index into."""
+        self._refresh()
         return self._skyline
 
     @property
     def artifacts(self) -> SolverArtifacts:
         """The shared per-dataset artifact cache (nets, engines, envelope)."""
+        self._refresh()
         return self._artifacts
 
     def cache_info(self) -> dict:
         """Artifact hit/miss counters plus result-cache statistics."""
-        info = self._artifacts.cache_info()
+        self._refresh()
+        if self._artifacts is None:  # empty live index: keep the shape stable
+            info = {"epoch": self.epoch, "dirty_components": ()}
+        else:
+            info = self._artifacts.cache_info()
         info["result_hits"] = self._result_hits
         info["result_misses"] = self._result_misses
         info["results_cached"] = len(self._results)
@@ -152,7 +225,9 @@ class FairHMSIndex:
         so periodic clearing bounds memory at the cost of warm-up.
         """
         self._results.clear()
-        self._artifacts.clear()
+        self._tau_hints.clear()
+        if self._artifacts is not None:
+            self._artifacts.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -180,6 +255,9 @@ class FairHMSIndex:
             raise ValueError(
                 f"unknown scheme {scheme!r}; expected one of {_CONSTRAINT_SCHEMES}"
             )
+        self._refresh()
+        if self._skyline is None:
+            raise ValueError("no tuples alive; insert data before querying")
         key = (scheme, int(k), float(alpha))
         cached = self._constraints.get(key)
         if cached is not None:
@@ -242,6 +320,9 @@ class FairHMSIndex:
             The solver's :class:`Solution` (possibly memoized — see
             ``cache_results``).
         """
+        self._refresh()
+        if self._skyline is None:
+            raise ValueError("no tuples alive; insert data before querying")
         if constraint is None:
             if k is None:
                 raise ValueError("provide either k or an explicit constraint")
@@ -259,6 +340,10 @@ class FairHMSIndex:
             if cached is not None:
                 self._result_hits += 1
                 return cached
+        if algorithm == "IntCov" and key is not None:
+            hint = self._tau_hints.get(key)
+            if hint is not None:
+                solver_kwargs["tau_hint"] = hint
         solution = solve_fairhms(
             self._skyline,
             constraint,
@@ -267,6 +352,10 @@ class FairHMSIndex:
             **solver_kwargs,
         )
         if key is not None:
+            if algorithm == "IntCov" and "tau" in solution.stats:
+                if len(self._tau_hints) >= 4 * self._max_cached_results:
+                    self._tau_hints.clear()
+                self._tau_hints[key] = float(solution.stats["tau"])
             self._result_misses += 1
             while len(self._results) >= self._max_cached_results:
                 self._results.pop(next(iter(self._results)))  # oldest first
@@ -326,9 +415,10 @@ class FairHMSIndex:
 
     @property
     def evaluator(self) -> MhrEvaluator:
-        """Shared :class:`MhrEvaluator` over the full database."""
+        """Shared :class:`MhrEvaluator` over the full (current) database."""
+        self._refresh()
         if self._evaluator is None:
-            self._evaluator = MhrEvaluator(self._dataset.points)
+            self._evaluator = MhrEvaluator(self.dataset.points)
         return self._evaluator
 
     def evaluate(self, solution: Solution) -> MhrEvaluation:

@@ -1,0 +1,293 @@
+"""Mixed read/write workload driver for live-serving benchmarks.
+
+Builds a seeded, reproducible operation sequence over a dataset — a
+fraction loaded upfront, the remainder held back as an insert pool, then
+``num_ops`` operations of which ``write_frac`` are updates (alternating
+inserts from the pool and deletes of random alive tuples) and the rest
+are queries cycling over a ``k`` sweep — and replays it against two
+deployments:
+
+* **live** — one :class:`~repro.serving.live.LiveFairHMSIndex` absorbing
+  the updates in place;
+* **rebuild-per-update** — what a stateless deployment does: every
+  update invalidates the index, and the next query pays a full
+  :class:`~repro.serving.index.FairHMSIndex` build over the surviving
+  tuples.
+
+Both sides answer every query from the same frozen normalization frame,
+so results must agree bit for bit; :func:`run_mixed_workload` verifies
+that before reporting the amortized speedup.  Used by
+``benchmarks/bench_live.py`` and the ``repro live`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .index import FairHMSIndex
+from .live import LiveFairHMSIndex
+
+__all__ = [
+    "Op",
+    "RebuildPerUpdateBaseline",
+    "build_mixed_workload",
+    "run_mixed_workload",
+]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One workload operation: a query, an insert, or a delete."""
+
+    kind: str  # "query" | "insert" | "delete"
+    key: int = -1
+    point: np.ndarray | None = None
+    group: int = -1
+    k: int = 0
+
+
+@dataclass
+class WorkloadReport:
+    """Timings and integrity results of one replayed workload."""
+
+    num_ops: int
+    num_queries: int
+    num_updates: int
+    live_build: float
+    live_total: float
+    rebuild_build: float
+    rebuild_total: float
+    identical: bool
+    epochs: int
+    mismatches: list = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Amortized speedup, initial index builds included."""
+        return (self.rebuild_build + self.rebuild_total) / max(
+            self.live_build + self.live_total, 1e-12
+        )
+
+
+def build_mixed_workload(
+    dataset: Dataset,
+    *,
+    num_ops: int = 200,
+    write_frac: float = 0.2,
+    ks=(4, 6, 8),
+    initial_frac: float = 0.75,
+    seed: int = 0,
+) -> tuple[Dataset, list[Op]]:
+    """Split ``dataset`` into an initial load and a pool; generate ops.
+
+    Deletes never shrink a group below ``max(ks) + 2`` tuples so every
+    query stays feasible; inserts stop when the pool is exhausted (the
+    op becomes a delete instead, and vice versa).
+    """
+    if not 0.0 <= write_frac <= 1.0:
+        raise ValueError(f"write_frac must lie in [0, 1], got {write_frac}")
+    if not 0.0 < initial_frac < 1.0:
+        raise ValueError(f"initial_frac must lie in (0, 1), got {initial_frac}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(dataset.n)
+    cut = max(1, int(round(initial_frac * dataset.n)))
+    initial_idx = order[:cut].tolist()
+    pool_idx = order[cut:].tolist()
+    # Every group must appear in the initial load: Dataset.subset would
+    # otherwise compactly remap labels, and pool ops (which carry the
+    # original group ids) would target the wrong — or a nonexistent —
+    # group on both the live and baseline sides.
+    present = {int(dataset.labels[i]) for i in initial_idx}
+    for c in range(dataset.num_groups):
+        if c in present:
+            continue
+        for pos, idx in enumerate(pool_idx):
+            if int(dataset.labels[idx]) == c:
+                initial_idx.append(pool_idx.pop(pos))
+                break
+    initial = dataset.subset(np.sort(np.asarray(initial_idx, dtype=np.int64)))
+    pool = [
+        (int(dataset.ids[i]), dataset.points[i], int(dataset.labels[i]))
+        for i in pool_idx
+    ]
+    min_group = max(ks) + 2
+    group_sizes = {
+        c: int(s) for c, s in enumerate(initial.group_sizes)
+    }
+    alive_by_group: dict[int, list[int]] = {
+        c: [int(k) for k, lab in zip(initial.ids, initial.labels) if lab == c]
+        for c in range(initial.num_groups)
+    }
+    ops: list[Op] = []
+    pool_pos = 0
+    k_cycle = 0
+    for _ in range(int(num_ops)):
+        if rng.random() < write_frac:
+            do_insert = rng.random() < 0.5
+            deletable = [
+                c for c, size in group_sizes.items() if size > min_group
+            ]
+            if do_insert and pool_pos >= len(pool):
+                do_insert = False
+            if not do_insert and not deletable:
+                do_insert = pool_pos < len(pool)
+                if not do_insert:
+                    continue  # nothing mutable; skip this op
+            if do_insert:
+                key, point, group = pool[pool_pos]
+                pool_pos += 1
+                ops.append(Op("insert", key=key, point=point, group=group))
+                group_sizes[group] = group_sizes.get(group, 0) + 1
+                alive_by_group.setdefault(group, []).append(key)
+            else:
+                group = int(deletable[int(rng.integers(0, len(deletable)))])
+                members = alive_by_group[group]
+                pick = int(rng.integers(0, len(members)))
+                key = members.pop(pick)
+                group_sizes[group] -= 1
+                ops.append(Op("delete", key=key, group=group))
+        else:
+            ops.append(Op("query", k=int(ks[k_cycle % len(ks)])))
+            k_cycle += 1
+    return initial, ops
+
+
+class RebuildPerUpdateBaseline:
+    """The stateless deployment: any update throws the whole index away.
+
+    Holds the alive tuples in a :class:`DynamicFairHMS` used purely as a
+    keyed store — only :meth:`~repro.extensions.dynamic.DynamicFairHMS.
+    alive_dataset` is consumed, so snapshots share the live index's
+    ``(group, key)`` row order (making answers comparable bit for bit)
+    while the skyline is still batch-extracted from scratch inside every
+    :class:`FairHMSIndex` rebuild.
+    """
+
+    def __init__(self, initial: Dataset, scale: np.ndarray, **index_kwargs) -> None:
+        from ..extensions.dynamic import DynamicFairHMS
+
+        self._scale = scale
+        self._store = DynamicFairHMS(initial.dim, initial.num_groups)
+        self._store.bulk_insert(
+            initial.ids, initial.points / scale, initial.labels
+        )
+        self._index_kwargs = index_kwargs
+        self._index: FairHMSIndex | None = None
+        self.rebuilds = 0
+
+    def insert(self, key: int, point, group: int) -> None:
+        self._store.insert(
+            int(key), np.asarray(point, dtype=np.float64) / self._scale, int(group)
+        )
+        self._index = None
+
+    def delete(self, key: int) -> None:
+        self._store.delete(int(key))
+        self._index = None
+
+    @property
+    def index(self) -> FairHMSIndex:
+        if self._index is None:
+            self._index = FairHMSIndex(
+                self._store.alive_dataset("rebuild"),
+                normalize=False,
+                **self._index_kwargs,
+            )
+            self.rebuilds += 1
+        return self._index
+
+    def query(self, k: int, **kwargs):
+        return self.index.query(k, **kwargs)
+
+
+def run_mixed_workload(
+    dataset: Dataset,
+    *,
+    num_ops: int = 200,
+    write_frac: float = 0.2,
+    ks=(4, 6, 8),
+    initial_frac: float = 0.75,
+    seed: int = 0,
+    default_seed: int = 7,
+    eps: float = 0.02,
+    alpha: float = 0.1,
+    algorithm: str = "auto",
+    verify: bool = True,
+) -> WorkloadReport:
+    """Replay one mixed workload on both deployments and compare.
+
+    Returns a :class:`WorkloadReport`; ``report.identical`` is the
+    bit-identity check over every query answered (compared by selected
+    ``ids`` and the solver's own MHR estimate at the matching epoch).
+    """
+    initial, ops = build_mixed_workload(
+        dataset,
+        num_ops=num_ops,
+        write_frac=write_frac,
+        ks=ks,
+        initial_frac=initial_frac,
+        seed=seed,
+    )
+    num_queries = sum(1 for op in ops if op.kind == "query")
+    num_updates = len(ops) - num_queries
+    query_kwargs = dict(eps=eps, algorithm=algorithm, alpha=alpha)
+
+    t0 = time.perf_counter()
+    live = LiveFairHMSIndex(initial, default_seed=default_seed)
+    live_build = time.perf_counter() - t0
+    live_results = []
+    t0 = time.perf_counter()
+    for op in ops:
+        if op.kind == "insert":
+            live.insert(op.key, op.point, op.group)
+        elif op.kind == "delete":
+            live.delete(op.key)
+        else:
+            live_results.append(live.query(op.k, **query_kwargs))
+    live_total = time.perf_counter() - t0
+    epochs = live.epoch
+
+    scale = live.scale
+    t0 = time.perf_counter()
+    baseline = RebuildPerUpdateBaseline(
+        initial, scale, default_seed=default_seed
+    )
+    baseline.index  # build the initial index eagerly, like the live side
+    rebuild_build = time.perf_counter() - t0
+    rebuild_results = []
+    t0 = time.perf_counter()
+    for op in ops:
+        if op.kind == "insert":
+            baseline.insert(op.key, op.point, op.group)
+        elif op.kind == "delete":
+            baseline.delete(op.key)
+        else:
+            rebuild_results.append(baseline.query(op.k, **query_kwargs))
+    rebuild_total = time.perf_counter() - t0
+
+    identical = True
+    mismatches = []
+    if verify:
+        for i, (w, c) in enumerate(zip(live_results, rebuild_results)):
+            same = np.array_equal(w.ids, c.ids) and (
+                w.mhr_estimate == c.mhr_estimate
+            )
+            if not same:
+                identical = False
+                mismatches.append(i)
+    return WorkloadReport(
+        num_ops=len(ops),
+        num_queries=num_queries,
+        num_updates=num_updates,
+        live_build=live_build,
+        live_total=live_total,
+        rebuild_build=rebuild_build,
+        rebuild_total=rebuild_total,
+        identical=identical,
+        epochs=epochs,
+        mismatches=mismatches,
+    )

@@ -92,6 +92,117 @@ class TestSolverArtifacts:
         assert art.mhr_candidates() is art.mhr_candidates()
 
 
+class TestArtifactEpochs:
+    """bump_epoch / rebind / flush: staged, per-component invalidation."""
+
+    def test_bump_epoch_counts_and_reports(self, small3d):
+        art = SolverArtifacts(small3d.skyline())
+        art.engine(24, 3)
+        info = art.cache_info()
+        assert info["epoch"] == 0
+        assert info["dirty_components"] == ()
+        assert art.bump_epoch(skyline_changed=True) == 1
+        info = art.cache_info()
+        assert info["epoch"] == 1
+        assert info["epoch_bumps"] == 1
+        assert info["dirty_components"] == ("engines", "geometry")
+        # Staged, not applied: the engine is still cached until a flush.
+        assert info["engines_cached"] == 1
+        assert info["engine_misses"] == 1  # counters survive the bump
+
+    def test_skyline_unchanged_bump_keeps_engines(self, small3d):
+        art = SolverArtifacts(small3d.skyline())
+        engine = art.engine(24, 3)
+        net = art.net(24, 3)
+        art.bump_epoch(skyline_changed=False)
+        assert art.dirty_components() == ()
+        assert art.engine(24, 3) is engine  # object identity: no rebuild
+        assert art.net(24, 3) is net
+
+    def test_flush_drops_engines_keeps_nets(self, small3d):
+        art = SolverArtifacts(small3d.skyline())
+        engine = art.engine(24, 3)
+        net = art.net(24, 3)
+        art.bump_epoch(skyline_changed=True)
+        art.flush_invalidations()
+        assert art.cache_info()["engines_cached"] == 0
+        assert art.cache_info()["engine_invalidations"] == 1
+        assert art.net(24, 3) is net  # nets depend on (m, d, seed) only
+        assert art.engine(24, 3) is not engine
+
+    def test_accessors_self_flush(self, small2d):
+        sky = small2d.skyline()
+        art = SolverArtifacts(sky)
+        envelope = art.envelope()
+        candidates = art.mhr_candidates()
+        art.bump_epoch(skyline_changed=True)
+        assert art.envelope() is not envelope
+        assert art.mhr_candidates() is not candidates
+
+    def test_rebind_swaps_dataset_and_stages(self, small3d):
+        sky = small3d.skyline()
+        art = SolverArtifacts(sky)
+        art.engine(24, 3)
+        other = small3d.subset(np.arange(50)).skyline()
+        assert art.rebind(other) == 1
+        assert art.matches(other) and not art.matches(sky)
+        assert art.dirty_components() == ("engines", "geometry")
+        assert art.rebind(other) == 1  # same object: no-op
+
+    def test_rebind_rejects_dimension_change(self, small3d, small2d):
+        art = SolverArtifacts(small3d.skyline())
+        with pytest.raises(ValueError, match="dimensions"):
+            art.rebind(small2d.skyline())
+
+    def test_prime_geometry_clears_dirty(self, small2d):
+        sky = small2d.skyline()
+        art = SolverArtifacts(sky)
+        envelope = art.envelope()
+        candidates = art.mhr_candidates()
+        art.bump_epoch(skyline_changed=True)
+        art.prime_geometry(envelope, candidates)
+        assert "geometry" not in art.dirty_components()
+        assert art.envelope() is envelope
+        assert art.mhr_candidates() is candidates
+
+    def test_clear_resets_staged_invalidation(self, small3d):
+        art = SolverArtifacts(small3d.skyline())
+        art.engine(24, 3)
+        art.bump_epoch(skyline_changed=True)
+        art.clear()
+        assert art.dirty_components() == ()
+        assert art.cache_info()["engines_cached"] == 0
+
+
+class TestResultMemoBoundary:
+    """max_cached_results: exactly-full memo, then one more."""
+
+    def test_exactly_full_then_one_more(self, small3d):
+        index = FairHMSIndex(small3d, max_cached_results=2)
+        first = index.query(4, seed=1)
+        second = index.query(4, seed=2)
+        # Exactly full: both entries must still be served from the memo.
+        assert index.cache_info()["results_cached"] == 2
+        assert index.query(4, seed=1) is first
+        assert index.query(4, seed=2) is second
+        assert index.cache_info()["result_hits"] == 2
+        # One more distinct query evicts exactly the oldest entry.
+        third = index.query(4, seed=3)
+        assert index.cache_info()["results_cached"] == 2
+        assert index.query(4, seed=2) is second
+        assert index.query(4, seed=3) is third
+        assert index.query(4, seed=1) is not first  # evicted: re-solved
+        np.testing.assert_array_equal(index.query(4, seed=1).indices, first.indices)
+
+    def test_memo_of_one(self, small3d):
+        index = FairHMSIndex(small3d, max_cached_results=1)
+        first = index.query(4, seed=1)
+        assert index.query(4, seed=1) is first
+        index.query(4, seed=2)
+        assert index.cache_info()["results_cached"] == 1
+        assert index.query(4, seed=1) is not first
+
+
 class TestSolversWithArtifacts:
     """artifacts= must be a pure cache: results identical with or without."""
 
