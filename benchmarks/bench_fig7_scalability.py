@@ -36,7 +36,7 @@ def test_bench_fig7_vary_C(benchmark, C):
 def test_bench_fig7_vary_n(benchmark, n):
     data = anticor(n, 6, 3)
     constraint = paper_constraint(data, _K)
-    solution = benchmark(bigreedy_plus, data, constraint, seed=7)
+    benchmark(bigreedy_plus, data, constraint, seed=7)
     benchmark.extra_info["n"] = n
     benchmark.extra_info["skyline"] = data.n
     benchmark.extra_info["paper_shape"] = "time near-linear in n"

@@ -17,6 +17,10 @@ is small; the live side still wins on update latency.
 Run as a script for a quick smoke check (used by CI)::
 
     PYTHONPATH=src python benchmarks/bench_live.py --tiny
+
+Script mode writes a machine-readable ``BENCH_live.json`` (timings,
+speedup, workload parameters, git SHA) next to the working directory —
+see ``repro.benchio``.
 """
 
 import argparse
@@ -24,6 +28,7 @@ import sys
 
 import pytest
 
+from repro.benchio import write_bench_json
 from repro.data.synthetic import anticorrelated_dataset
 from repro.serving.workload import run_mixed_workload
 
@@ -142,6 +147,34 @@ def main(argv=None) -> int:
     )
     name = f"AntiCor-{args.d}D n={args.n} ops={args.ops}"
     print(_report_line(name, report))
+    out = write_bench_json(
+        "live",
+        {
+            "workload": {
+                "dataset": f"AntiCor-{args.d}D",
+                "n": args.n,
+                "d": args.d,
+                "groups": args.groups,
+                "num_ops": args.ops,
+                "write_frac": args.write_frac,
+                "ks": list(KS),
+                "seed": args.seed,
+                "tiny": args.tiny,
+            },
+            "timings": {
+                "live_build_s": report.live_build,
+                "live_serve_s": report.live_total,
+                "rebuild_build_s": report.rebuild_build,
+                "rebuild_serve_s": report.rebuild_total,
+            },
+            "speedup": report.speedup,
+            "num_queries": report.num_queries,
+            "num_updates": report.num_updates,
+            "epochs": report.epochs,
+            "identical": report.identical,
+        },
+    )
+    print(f"wrote {out}")
     if not report.identical:
         print(f"FAIL: live answers diverged at queries {report.mismatches}")
         return 1

@@ -1,0 +1,225 @@
+"""Benchmark: service gateway + sharded parallel builds.
+
+Two claims are measured, mirroring the service subsystem's design:
+
+* **gateway throughput** — a seeded multi-tenant workload (Zipf tenant
+  skew, hot-set query redundancy) replayed through the coalescing
+  ``Gateway`` versus a naive one-query-at-a-time stateless loop.  Every
+  gateway answer (coalesced or not) is verified bit-identical to the
+  naive loop's independently computed answer before any speedup is
+  reported.  Floor: >= 3x on the default workload.
+* **sharded cold builds** — ``build_index_sharded`` versus the
+  sequential ``FairHMSIndex`` build on AntiCor n >= 50k, d = 4 (where
+  skyline extraction dominates).  The sharded result is bit-identical
+  (ids + answers); the >= 2x speedup floor applies with >= 4 workers,
+  so it is asserted only on machines that actually have 4 cores — the
+  single-core overhead factor is reported either way.
+
+Run as a script for a smoke check that also writes a machine-readable
+``BENCH_service.json`` (timings, speedups, workload params, git SHA)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --tiny
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.benchio import write_bench_json
+from repro.data.synthetic import anticorrelated_dataset
+from repro.serving import FairHMSIndex
+from repro.service import build_index_sharded, run_service_benchmark
+from repro.service.shard import parallel_preprocess, resolve_workers
+
+NUM_TENANTS = 3
+NUM_REQUESTS = 36
+KS = (4, 6, 8)
+SEED = 3
+GATEWAY_FLOOR = 3.0
+BUILD_FLOOR = 2.0
+
+
+def tenant_datasets(n, d=2, groups=3, tenants=NUM_TENANTS):
+    """Independent anti-correlated tenants (distinct seeds)."""
+    return {
+        f"tenant{i}": anticorrelated_dataset(
+            n, d, groups, seed=40 + i, name=f"tenant{i}"
+        )
+        for i in range(tenants)
+    }
+
+
+@pytest.fixture(scope="module")
+def tenants2d():
+    """Multi-tenant gateway input: 3 x AntiCor-2D (n = 1,500)."""
+    return tenant_datasets(1_500)
+
+
+def test_bench_service_gateway(benchmark, tenants2d):
+    report = benchmark.pedantic(
+        lambda: run_service_benchmark(
+            tenants2d, num_requests=NUM_REQUESTS, ks=KS, seed=SEED, naive=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["requests"] = report.num_requests
+    benchmark.extra_info["solves"] = report.solves
+    benchmark.extra_info["coalesced"] = report.coalesced
+
+
+def test_service_gateway_speedup(tenants2d):
+    """Acceptance floor: gateway >= 3x over the naive serial loop, with
+    every (coalesced) answer bit-identical to an uncoalesced solve."""
+    report = run_service_benchmark(
+        tenants2d, num_requests=NUM_REQUESTS, ks=KS, seed=SEED
+    )
+    print(
+        f"\ngateway: {report.num_requests} req in {report.gateway_total:.2f}s "
+        f"({report.solves} solves, {report.coalesced} coalesced) vs naive "
+        f"{report.naive_total:.2f}s = {report.speedup:.1f}x"
+    )
+    assert report.identical, f"mismatches at {report.mismatches}"
+    assert report.coalesced > 0, "workload produced no coalescible duplicates"
+    assert report.speedup >= GATEWAY_FLOOR
+
+
+def test_sharded_build_bit_identity():
+    """Pool-built index == sequential index: skyline ids and answers."""
+    data = anticorrelated_dataset(1_000, 3, 3, seed=5)
+    seq = FairHMSIndex(data, default_seed=7)
+    par = build_index_sharded(data, num_shards=4, max_workers=2, default_seed=7)
+    np.testing.assert_array_equal(seq.skyline.ids, par.skyline.ids)
+    for k in KS:
+        a, b = seq.query(k), par.query(k)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        assert a.mhr_estimate == b.mhr_estimate
+
+
+@pytest.mark.skipif(
+    resolve_workers(None) < 4,
+    reason="sharded-build floor applies at >= 4 workers",
+)
+def test_sharded_build_speedup_50k():
+    """Acceptance floor: sharded cold build >= 2x at n=50k/4 workers."""
+    seq_s, par_s, identical = _measure_build(50_000, 4, workers=4)
+    assert identical
+    assert seq_s / par_s >= BUILD_FLOOR
+
+
+def _measure_build(n, d, *, workers, groups=3):
+    """Time sequential vs sharded preprocessing; verify identity."""
+    data = anticorrelated_dataset(n, d, groups, seed=42)
+    t0 = time.perf_counter()
+    seq_sky = data.normalized().skyline(per_group=True)
+    seq_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _, par_sky = parallel_preprocess(data, max_workers=workers)
+    par_s = time.perf_counter() - t0
+    identical = np.array_equal(seq_sky.ids, par_sky.ids) and np.array_equal(
+        seq_sky.points, par_sky.points
+    )
+    return seq_s, par_s, identical
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="small smoke workload (n=350 tenants, n=1200 build) for CI",
+    )
+    parser.add_argument("--n", type=int, default=1_500, help="tenant size")
+    parser.add_argument("--tenants", type=int, default=NUM_TENANTS)
+    parser.add_argument("--requests", type=int, default=NUM_REQUESTS)
+    parser.add_argument(
+        "--build-n", type=int, default=50_000, help="sharded-build dataset size"
+    )
+    parser.add_argument("--build-d", type=int, default=4)
+    parser.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: all cores)"
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+    if args.tiny:
+        args.n, args.requests, args.build_n, args.build_d = 350, 24, 1_200, 3
+    workers = resolve_workers(args.workers)
+
+    datasets = tenant_datasets(args.n, tenants=args.tenants)
+    report = run_service_benchmark(
+        datasets, num_requests=args.requests, ks=KS, seed=args.seed
+    )
+    print(
+        f"gateway: {report.num_requests} req over {report.num_datasets} tenants "
+        f"in {report.gateway_total:.2f}s ({report.throughput:.1f} req/s, "
+        f"{report.solves} solves, {report.coalesced} coalesced, "
+        f"{report.result_hits} memo hits)"
+    )
+    print(
+        f"naive:   {report.naive_total:.2f}s serial -> speedup "
+        f"{report.speedup:.1f}x, identical={report.identical}"
+    )
+
+    seq_s, par_s, build_identical = _measure_build(
+        args.build_n, args.build_d, workers=workers
+    )
+    build_speedup = seq_s / max(par_s, 1e-12)
+    print(
+        f"build:   AntiCor-{args.build_d}D n={args.build_n} sequential "
+        f"{seq_s:.2f}s vs sharded({workers}w) {par_s:.2f}s = "
+        f"{build_speedup:.2f}x, identical={build_identical}"
+    )
+
+    # The perf floors require real parallel hardware and the full-size
+    # workload; identity must hold everywhere.
+    check_floors = not args.tiny
+    gateway_ok = (not check_floors) or report.speedup >= GATEWAY_FLOOR
+    build_ok = (not check_floors) or workers < 4 or build_speedup >= BUILD_FLOOR
+    if check_floors and workers < 4:
+        print(f"note: {workers} worker(s) available; 2x build floor needs >= 4")
+
+    out = write_bench_json(
+        "service",
+        {
+            "workload": {
+                "tenants": args.tenants,
+                "tenant_n": args.n,
+                "num_requests": args.requests,
+                "ks": list(KS),
+                "seed": args.seed,
+                "build_n": args.build_n,
+                "build_d": args.build_d,
+                "workers": workers,
+                "tiny": args.tiny,
+            },
+            "timings": {
+                "gateway_s": report.gateway_total,
+                "naive_s": report.naive_total,
+                "build_sequential_s": seq_s,
+                "build_sharded_s": par_s,
+            },
+            "gateway_speedup": report.speedup,
+            "throughput_rps": report.throughput,
+            "solves": report.solves,
+            "coalesced": report.coalesced,
+            "result_hits": report.result_hits,
+            "build_speedup": build_speedup,
+            "identical": report.identical and build_identical,
+            "floors_checked": check_floors,
+        },
+    )
+    print(f"wrote {out}")
+    if not (report.identical and build_identical):
+        print("FAIL: answers diverged")
+        return 1
+    if not (gateway_ok and build_ok):
+        print("FAIL: speedup floor not met")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

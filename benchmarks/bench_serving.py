@@ -9,13 +9,21 @@ dataset-level work once and memoizes repeated queries.
 Expected shape: warm (index build included) at least 2x faster than cold
 on the anti-correlated workloads; the gap widens with the repeat factor.
 ``test_serving_amortized_speedup`` asserts the 2x floor directly.
+
+Run as a script for a smoke check that also writes a machine-readable
+``BENCH_serving.json`` (timings, speedup, workload params, git SHA)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --tiny
 """
 
+import argparse
+import sys
 import time
 
 import numpy as np
 import pytest
 
+from repro.benchio import write_bench_json
 from repro.core.solve import resolve_algorithm, solve_fairhms
 from repro.data.synthetic import anticorrelated_dataset
 from repro.serving import FairHMSIndex, Query
@@ -108,3 +116,61 @@ def test_serving_amortized_speedup(anticor2d_raw):
     speedup = cold / warm
     print(f"\nserving speedup: {speedup:.1f}x (warm {warm:.3f}s, cold {cold:.3f}s)")
     assert speedup >= 2.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="small smoke workload (n=400) for CI",
+    )
+    parser.add_argument("--n", type=int, default=2_000)
+    parser.add_argument("--d", type=int, default=2)
+    parser.add_argument("--groups", type=int, default=3)
+    args = parser.parse_args(argv)
+    if args.tiny:
+        args.n = 400
+    data = anticorrelated_dataset(args.n, args.d, args.groups, seed=42)
+
+    t0 = time.perf_counter()
+    index, warm_solutions = run_warm(data)
+    warm = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cold_solutions = run_cold(data, index)
+    cold = time.perf_counter() - t0
+
+    identical = all(
+        np.array_equal(w.indices, c.indices)
+        for w, c in zip(warm_solutions, cold_solutions)
+    )
+    speedup = cold / max(warm, 1e-12)
+    print(
+        f"AntiCor-{args.d}D n={args.n}: {len(warm_solutions)} queries "
+        f"warm={warm:.3f}s cold={cold:.3f}s speedup={speedup:.1f}x "
+        f"identical={identical}"
+    )
+    out = write_bench_json(
+        "serving",
+        {
+            "workload": {
+                "dataset": f"AntiCor-{args.d}D",
+                "n": args.n,
+                "d": args.d,
+                "groups": args.groups,
+                "ks": list(KS),
+                "repeat": REPEAT,
+                "seed": SEED,
+                "tiny": args.tiny,
+            },
+            "timings": {"warm_s": warm, "cold_s": cold},
+            "speedup": speedup,
+            "identical": identical,
+        },
+    )
+    print(f"wrote {out}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

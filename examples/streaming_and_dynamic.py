@@ -42,7 +42,6 @@ def streaming_demo() -> None:
 
 def dynamic_demo() -> None:
     print("== Dynamic: inserts and deletes on a live 2-D database ==")
-    rng = np.random.default_rng(4)
     dyn = DynamicFairHMS(dim=2, num_groups=2, algorithm="IntCov")
     data = repro.anticorrelated_dataset(500, 2, 2, seed=5).normalized()
     for idx in range(data.n):

@@ -37,16 +37,19 @@ from .data import (
 from .extensions import DynamicFairHMS, StreamingFairHMS, bigreedy_khms
 from .fairness import FairnessConstraint, FairnessMatroid, fairness_violations
 from .hms import mhr_exact, mhr_on_net
+from .service import DatasetRegistry, Gateway, build_index_sharded
 from .serving import FairHMSIndex, LiveFairHMSIndex, Query, SolverArtifacts
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Dataset",
+    "DatasetRegistry",
     "DynamicFairHMS",
     "FairHMSIndex",
     "FairnessConstraint",
     "FairnessMatroid",
+    "Gateway",
     "LiveFairHMSIndex",
     "Query",
     "Solution",
@@ -57,6 +60,7 @@ __all__ = [
     "bigreedy",
     "bigreedy_khms",
     "bigreedy_plus",
+    "build_index_sharded",
     "fairness_violations",
     "hms_exact_2d",
     "hms_greedy",

@@ -14,8 +14,6 @@ direction sampling the rest of the library uses (seeded, so deterministic).
 
 from __future__ import annotations
 
-import numpy as np
-
 from .._validation import check_positive_int
 from ..core.solution import Solution
 from ..data.dataset import Dataset

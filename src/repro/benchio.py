@@ -1,0 +1,90 @@
+"""Machine-readable benchmark reports: ``BENCH_<name>.json``.
+
+Every benchmark script (``benchmarks/bench_serving.py``, ``bench_live.py``,
+``bench_service.py``) emits one JSON file per run so the performance
+trajectory is tracked across PRs instead of living in terminal
+scrollback.  The payload always carries the workload parameters, the
+measured timings/speedups, the git SHA the numbers belong to, and a
+wall-clock timestamp.
+
+Files land in the current working directory by default; set
+``REPRO_BENCH_DIR`` to collect them elsewhere (CI artifacts, a results
+repo).  Numpy scalars and arrays are converted to plain JSON types.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["bench_json_path", "git_sha", "write_bench_json"]
+
+
+def git_sha() -> str | None:
+    """The repository HEAD these numbers were measured at, if available."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def bench_json_path(name: str, directory=None) -> Path:
+    """Where ``write_bench_json`` puts the report for ``name``."""
+    base = directory if directory is not None else os.environ.get(
+        "REPRO_BENCH_DIR", "."
+    )
+    return Path(base) / f"BENCH_{name}.json"
+
+
+def _jsonable(value):
+    """Recursively convert numpy/paths to plain JSON-serializable types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, Path):
+        return str(value)
+    return value
+
+
+def write_bench_json(name: str, payload: dict, *, directory=None) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``payload`` is augmented with the bench name, the current git SHA,
+    and a unix timestamp; existing files are overwritten (one report per
+    bench per checkout — history lives in version control / CI
+    artifacts).
+    """
+    record = {
+        "bench": str(name),
+        "git_sha": git_sha(),
+        "timestamp": time.time(),
+    }
+    record.update(_jsonable(payload))
+    path = bench_json_path(name, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

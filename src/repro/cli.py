@@ -9,6 +9,10 @@ Commands:
 * ``live``        — replay a mixed read/write workload against a
   ``LiveFairHMSIndex`` and the rebuild-per-update baseline, verifying
   bit-identical answers and reporting the amortized speedup.
+* ``service``     — run a seeded multi-tenant workload through the
+  concurrent ``Gateway`` (registry + coalescing + micro-batching) and
+  the naive one-query-at-a-time loop, verifying bit-identical answers
+  and printing throughput plus the metrics snapshot.
 * ``table2``      — print the dataset-statistics table.
 * ``experiments`` — forward to ``repro.experiments.run_all``.
 """
@@ -221,6 +225,79 @@ def _cmd_live(args) -> int:
     return 0 if (args.no_verify or report.identical) else 1
 
 
+def _cmd_service(args) -> int:
+    """Multi-tenant gateway workload vs the naive stateless loop."""
+    from .data.synthetic import anticorrelated_dataset
+    from .service import run_service_benchmark
+
+    ks = _parse_ks(args.k)
+    if ks is None:
+        return 2
+    if args.tenants < 1:
+        print(f"error: --tenants must be >= 1, got {args.tenants}")
+        return 2
+    if not 0.0 <= args.hot_frac <= 1.0:
+        print(f"error: --hot-frac must lie in [0, 1], got {args.hot_frac}")
+        return 2
+
+    datasets = {
+        f"tenant{i}": anticorrelated_dataset(
+            args.n or 1_500, args.d, args.groups, seed=40 + i, name=f"tenant{i}"
+        )
+        for i in range(args.tenants)
+    }
+    max_bytes = None if args.budget_mb is None else int(args.budget_mb * 2**20)
+    print(
+        f"{args.tenants} tenants (AntiCor-{args.d}D n={args.n or 1500}), "
+        f"{args.requests} requests, k in {ks}, "
+        f"budget={'unbounded' if max_bytes is None else f'{args.budget_mb}MiB'}"
+    )
+    report = run_service_benchmark(
+        datasets,
+        num_requests=args.requests,
+        ks=ks,
+        eps=args.eps,
+        algorithm=args.algorithm,
+        alpha=args.alpha,
+        hot_frac=args.hot_frac,
+        seed=args.workload_seed,
+        default_seed=args.seed,
+        batch_window=args.window,
+        max_bytes=max_bytes,
+        build_workers=args.build_workers,
+        naive=not args.no_naive,
+    )
+    print(
+        f"gateway: {report.num_requests} requests in {report.gateway_total:.2f}s "
+        f"({report.throughput:.1f} req/s; {report.solves} solves, "
+        f"{report.coalesced} coalesced, {report.result_hits} memo hits)"
+    )
+    if not args.no_naive:
+        print(
+            f"naive:   {report.naive_total:.2f}s serial -> speedup "
+            f"{report.speedup:.1f}x"
+        )
+        status = "yes" if report.identical else "NO"
+        print(f"gateway answers bit-identical to uncoalesced solves: {status}")
+    totals = report.metrics["totals"]
+    for name, block in sorted(report.metrics["datasets"].items()):
+        lat = block["request_latency"]
+        p50 = lat.get("p50_s", 0.0)
+        p99 = lat.get("p99_s", 0.0)
+        print(
+            f"  {name}: {block['requests']} req, {block['solves']} solves, "
+            f"{block['coalesced']} coalesced, {block['builds']} builds, "
+            f"{block['evictions']} evictions, "
+            f"p50={p50 * 1e3:.1f}ms p99={p99 * 1e3:.1f}ms"
+        )
+    print(
+        f"totals: {totals.get('solves', 0)} solves for "
+        f"{totals.get('requests', 0)} requests, "
+        f"{totals.get('fence_violations', 0)} fence violations"
+    )
+    return 0 if report.identical else 1
+
+
 def _cmd_table2(args) -> int:
     from .experiments.table2 import render_table2, run_table2
 
@@ -337,6 +414,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the bit-identity check against the rebuild baseline",
     )
 
+    service = sub.add_parser(
+        "service",
+        help="multi-tenant gateway workload vs the naive stateless loop",
+    )
+    service.add_argument(
+        "--tenants", type=int, default=3, help="number of hosted datasets"
+    )
+    service.add_argument(
+        "--requests", type=int, default=36, help="workload request count"
+    )
+    service.add_argument(
+        "--k", default="4,6,8", help="comma-separated solution sizes"
+    )
+    service.add_argument(
+        "--hot-frac",
+        type=float,
+        default=0.7,
+        help="fraction of requests drawn from each tenant's hot query set",
+    )
+    service.add_argument("--alpha", type=float, default=0.1)
+    service.add_argument("--eps", type=float, default=0.02)
+    service.add_argument("--n", type=int, default=None, help="tenant size")
+    service.add_argument("--d", type=int, default=2, help="tenant dimension")
+    service.add_argument("--groups", type=int, default=3)
+    service.add_argument(
+        "--algorithm",
+        default="auto",
+        choices=["auto", "IntCov", "BiGreedy", "BiGreedy+"],
+    )
+    service.add_argument(
+        "--window",
+        type=float,
+        default=0.005,
+        help="micro-batch window in seconds",
+    )
+    service.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        help="registry cache budget in MiB (LRU eviction past it)",
+    )
+    service.add_argument(
+        "--build-workers",
+        type=int,
+        default=0,
+        help="process-pool workers for sharded cold builds (0 = sequential)",
+    )
+    service.add_argument("--seed", type=int, default=7, help="solver seed")
+    service.add_argument(
+        "--workload-seed", type=int, default=3, help="request-stream seed"
+    )
+    service.add_argument(
+        "--no-naive",
+        action="store_true",
+        help="skip the naive serial loop (no speedup / identity check)",
+    )
+
     table2 = sub.add_parser("table2", help="print dataset statistics")
     table2.add_argument("--scale", type=float, default=0.25)
 
@@ -354,6 +488,7 @@ def main(argv=None) -> int:
         "solve": _cmd_solve,
         "serve": _cmd_serve,
         "live": _cmd_live,
+        "service": _cmd_service,
         "table2": _cmd_table2,
         "experiments": _cmd_experiments,
     }

@@ -8,7 +8,12 @@ from .groups import (
     quantile_partition,
 )
 from .lsac import LSAC_APPLICANTS, lsac_example
-from .normalize import invert_preference, max_normalize, minmax_normalize
+from .normalize import (
+    column_scale,
+    invert_preference,
+    max_normalize,
+    minmax_normalize,
+)
 from .realworld import (
     DATASET_GROUPS,
     adult,
@@ -32,6 +37,7 @@ __all__ = [
     "adult",
     "anticorrelated",
     "anticorrelated_dataset",
+    "column_scale",
     "combine_partitions",
     "compas",
     "correlated",

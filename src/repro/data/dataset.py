@@ -17,7 +17,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from .._validation import as_points, check_group_labels
-from ..geometry.dominance import skyline_indices
+from ..geometry.dominance import grouped_skyline_indices, skyline_indices
 from .groups import group_counts
 from .normalize import max_normalize
 
@@ -155,11 +155,7 @@ class Dataset:
         skyline.
         """
         if per_group:
-            keep: list[np.ndarray] = []
-            for c in range(self.num_groups):
-                rows = self.group_indices(c)
-                keep.append(rows[skyline_indices(self.points[rows])])
-            idx = np.sort(np.concatenate(keep))
+            idx = grouped_skyline_indices(self.points, self.labels, self.num_groups)
         else:
             idx = skyline_indices(self.points)
         result = self.subset(idx)

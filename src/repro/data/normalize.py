@@ -14,18 +14,45 @@ import numpy as np
 
 from .._validation import as_points
 
-__all__ = ["max_normalize", "minmax_normalize", "invert_preference"]
+__all__ = [
+    "column_scale",
+    "max_normalize",
+    "minmax_normalize",
+    "invert_preference",
+]
 
 
-def max_normalize(points) -> np.ndarray:
+def column_scale(points) -> np.ndarray:
+    """The per-column divisors :func:`max_normalize` uses (column maxima).
+
+    Exposed separately so distributed pipelines can normalize row shards
+    independently: per-shard maxima merged with ``np.maximum`` equal the
+    global maxima exactly (max is exact in floating point), and dividing
+    each shard by the same scale reproduces ``max_normalize`` of the full
+    matrix bit for bit.
+    """
+    return as_points(points).max(axis=0)
+
+
+def max_normalize(points, *, scale=None) -> np.ndarray:
     """Scale each attribute by its maximum so each column peaks at 1.
 
     This is the paper's normalization (verified against Example 2.2).
     Columns that are identically zero are left untouched (they carry no
     preference information and dividing by zero would poison the data).
+
+    ``scale`` substitutes precomputed column maxima (see
+    :func:`column_scale`) so a row shard can be normalized exactly as it
+    would be inside the full matrix.
     """
     arr = as_points(points).copy()
-    col_max = arr.max(axis=0)
+    col_max = column_scale(arr) if scale is None else np.asarray(
+        scale, dtype=np.float64
+    )
+    if col_max.shape != (arr.shape[1],):
+        raise ValueError(
+            f"scale must have one entry per column, got shape {col_max.shape}"
+        )
     positive = col_max > 0
     arr[:, positive] /= col_max[positive]
     return arr

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..fairness.metrics import fairness_violations
 from .common import Record, Series, timed
 from .runner import evaluator_for, run_fair_solvers
 from .workloads import UNFAIR_SOLVERS, anticor, paper_constraint, real_dataset

@@ -8,7 +8,14 @@ from .deltanet import (
     net_parameter_for_mhr_error,
     sample_directions,
 )
-from .dominance import dominates, is_skyline_point, skyline_indices, skyline_mask
+from .dominance import (
+    dominated_chunk_mask,
+    dominates,
+    grouped_skyline_indices,
+    is_skyline_point,
+    skyline_indices,
+    skyline_mask,
+)
 from .envelope import Envelope, tau_interval, tau_intervals, upper_envelope
 from .hull import maxima_candidates
 from .lp import RegretResult, max_regret_ratio_lp, worst_direction_lp
@@ -19,8 +26,10 @@ __all__ = [
     "coverage_angle",
     "delta_net",
     "delta_net_size",
+    "dominated_chunk_mask",
     "dominates",
     "grid_directions_2d",
+    "grouped_skyline_indices",
     "is_skyline_point",
     "maxima_candidates",
     "max_regret_ratio_lp",

@@ -14,7 +14,14 @@ import numpy as np
 
 from .._validation import as_points
 
-__all__ = ["dominates", "skyline_mask", "skyline_indices", "is_skyline_point"]
+__all__ = [
+    "dominates",
+    "dominated_chunk_mask",
+    "grouped_skyline_indices",
+    "skyline_mask",
+    "skyline_indices",
+    "is_skyline_point",
+]
 
 
 def dominates(p, q, *, strict_all: bool = False) -> bool:
@@ -103,6 +110,60 @@ def skyline_mask(points) -> np.ndarray:
 def skyline_indices(points) -> np.ndarray:
     """Indices of skyline points, in original order."""
     return np.nonzero(skyline_mask(points))[0]
+
+
+def grouped_skyline_indices(points, labels, num_groups: int) -> np.ndarray:
+    """Sorted union of per-group skyline indices (the paper's solver input).
+
+    Groups absent from ``labels`` are skipped, so the function also works
+    on row *shards* of a partitioned dataset — the property the sharded
+    parallel builder relies on: the per-group skyline of a union is the
+    per-group skyline of the union of per-shard per-group skylines.
+    """
+    arr = as_points(points)
+    labs = np.asarray(labels, dtype=np.int64)
+    keep: list[np.ndarray] = []
+    for c in range(int(num_groups)):
+        rows = np.nonzero(labs == c)[0]
+        if rows.size:
+            keep.append(rows[skyline_indices(arr[rows])])
+    if not keep:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(keep))
+
+
+def dominated_chunk_mask(
+    sorted_points, start: int, stop: int, prefix_lengths
+) -> np.ndarray:
+    """Dominance filter for rows ``[start, stop)`` of a sum-sorted matrix.
+
+    ``sorted_points`` must be ordered by non-increasing coordinate sum: a
+    componentwise dominator always has a coordinate sum >= its victim's
+    (monotonicity holds in floating point too, since IEEE addition is
+    monotone), so row ``i`` only needs testing against the leading
+    ``prefix_lengths[i - start]`` rows — computed by the caller with a
+    ``searchsorted`` over the sorted sums, *ties included*.  A row never
+    dominates itself (or an exact duplicate), so the prefix may include
+    the row under test.
+
+    Returns a boolean mask over the chunk, True where the row is
+    dominated.  Disjoint chunks partition the full filter, which is what
+    makes skyline *merging* parallelizable: unlike the sequential SFS
+    scan (whose pruning prefix is the skyline found *so far*), every
+    chunk's work depends only on the immutable sorted input.
+    """
+    arr = as_points(sorted_points)
+    lengths = np.asarray(prefix_lengths, dtype=np.int64)
+    if lengths.shape[0] != stop - start:
+        raise ValueError("prefix_lengths must cover exactly the chunk rows")
+    out = np.zeros(stop - start, dtype=bool)
+    for pos in range(start, stop):
+        p = arr[pos]
+        prefix = arr[: lengths[pos - start]]
+        geq = (prefix >= p).all(axis=1)
+        if geq.any() and (prefix[geq] > p).any():
+            out[pos - start] = True
+    return out
 
 
 def is_skyline_point(points, index: int) -> bool:

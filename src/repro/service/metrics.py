@@ -1,0 +1,167 @@
+"""Service observability: latency histograms and per-dataset counters.
+
+The gateway and the registry both report into one
+:class:`ServiceMetrics` sink: request/solve latencies as log-scaled
+histograms, and counts of solves, coalesced requests, result-cache hits,
+builds, evictions, updates, errors, and fence violations — per dataset,
+with totals.  Everything is exported by :meth:`ServiceMetrics.snapshot`
+as one plain dict (JSON-ready), which is what the ``repro service`` CLI
+and ``benchmarks/bench_service.py`` print.
+
+All sinks are thread-safe (one lock around counter updates); recording a
+sample is a few dict operations, far below solve cost.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+# Powers of two from 1 microsecond to ~67 seconds; the final bucket is
+# open-ended.  Log-scaled buckets keep quantile error proportional.
+_BUCKET_EDGES = tuple(1e-6 * 2.0**i for i in range(27))
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scaled latency histogram (seconds).
+
+    Quantiles are bucket upper bounds — at most one power of two above
+    the true value, which is plenty to tell a 2 ms solve from a 2 s one.
+    """
+
+    __slots__ = ("_counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(_BUCKET_EDGES) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        value = max(0.0, float(seconds))
+        lo, hi = 0, len(_BUCKET_EDGES)
+        while lo < hi:  # first bucket whose edge bounds the value
+            mid = (lo + hi) // 2
+            if value <= _BUCKET_EDGES[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self._counts[lo] += 1
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile sample."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self._counts):
+            seen += c
+            if seen >= target:
+                return _BUCKET_EDGES[min(i, len(_BUCKET_EDGES) - 1)]
+        return self.max
+
+    def snapshot(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "total_s": 0.0}
+        return {
+            "count": self.count,
+            "total_s": round(self.total, 6),
+            "mean_s": round(self.total / self.count, 6),
+            "min_s": round(self.min, 6),
+            "max_s": round(self.max, 6),
+            "p50_s": self.quantile(0.50),
+            "p90_s": self.quantile(0.90),
+            "p99_s": self.quantile(0.99),
+        }
+
+
+class _DatasetStats:
+    """Mutable per-dataset counter block (guarded by the parent lock)."""
+
+    __slots__ = ("counters", "request_latency", "solve_latency")
+
+    def __init__(self) -> None:
+        self.counters = {
+            "requests": 0,
+            "solves": 0,
+            "coalesced": 0,
+            "updates": 0,
+            "errors": 0,
+            "builds": 0,
+            "evictions": 0,
+            "fence_violations": 0,
+        }
+        self.request_latency = LatencyHistogram()
+        self.solve_latency = LatencyHistogram()
+
+    def snapshot(self) -> dict:
+        out = dict(self.counters)
+        out["request_latency"] = self.request_latency.snapshot()
+        out["solve_latency"] = self.solve_latency.snapshot()
+        return out
+
+
+class ServiceMetrics:
+    """Thread-safe per-dataset counters + latency histograms.
+
+    ``incr(dataset, name, n)`` bumps one of the fixed counters;
+    ``observe_request`` / ``observe_solve`` record latencies.  The
+    gateway records ``requests`` on submit, ``solves`` per actual solver
+    run, and ``coalesced`` for every request answered by a solve it
+    shared; the registry records ``builds`` and ``evictions``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._datasets: dict[str, _DatasetStats] = {}
+        self._batches = 0
+        self._batched_requests = 0
+
+    def _stats(self, dataset: str) -> _DatasetStats:
+        stats = self._datasets.get(dataset)
+        if stats is None:
+            stats = self._datasets.setdefault(dataset, _DatasetStats())
+        return stats
+
+    def incr(self, dataset: str, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._stats(dataset).counters[name] += n
+
+    def observe_request(self, dataset: str, seconds: float) -> None:
+        """End-to-end latency of one request (enqueue -> result set)."""
+        with self._lock:
+            self._stats(dataset).request_latency.observe(seconds)
+
+    def observe_solve(self, dataset: str, seconds: float) -> None:
+        """Wall time of one actual solver run (coalesced peers pay 0)."""
+        with self._lock:
+            self._stats(dataset).solve_latency.observe(seconds)
+
+    def record_batch(self, num_requests: int) -> None:
+        """One gateway dispatch cycle covering ``num_requests`` requests."""
+        with self._lock:
+            self._batches += 1
+            self._batched_requests += int(num_requests)
+
+    def snapshot(self) -> dict:
+        """Plain-dict export: per-dataset blocks plus cross-dataset totals."""
+        with self._lock:
+            datasets = {
+                name: stats.snapshot() for name, stats in self._datasets.items()
+            }
+            totals: dict[str, int] = {}
+            for stats in self._datasets.values():
+                for name, value in stats.counters.items():
+                    totals[name] = totals.get(name, 0) + value
+            return {
+                "datasets": datasets,
+                "totals": totals,
+                "batches": self._batches,
+                "batched_requests": self._batched_requests,
+            }

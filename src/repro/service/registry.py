@@ -1,0 +1,334 @@
+"""``DatasetRegistry``: many named indexes under one byte budget.
+
+A serving process that hosts many datasets cannot keep every
+``FairHMSIndex`` fully warm: each index pins its normalized database,
+skyline, and — the dominant term — one ``(m, n)`` engine score matrix
+per distinct ``(m, seed)``.  The registry manages named index *specs*
+(a dataset or a zero-argument factory), builds indexes lazily on first
+access, and enforces an optional byte budget with LRU eviction:
+
+* byte accounting uses the indexes' own
+  :meth:`~repro.serving.index.FairHMSIndex.cache_bytes` (surfaced in
+  ``cache_info()``), so the budget tracks what is actually resident;
+* eviction calls :meth:`~repro.serving.index.FairHMSIndex.clear_caches`
+  — releasing engines, geometry, memoized results, and the evaluator —
+  and then drops the index object itself; the spec stays registered;
+* a later :meth:`get` rebuilds from the spec, and because every build is
+  deterministic the rebuilt index answers **bit-identically** to the
+  evicted one (eviction costs warm-up, never correctness).
+
+The most recently touched index is never evicted, so a single index
+larger than the whole budget still serves (the budget is then best
+effort — it bounds *extra* residency, not the working set).  **Live**
+indexes are never auto-evicted at all: the inserts/deletes applied to
+them exist nowhere else, so a rebuild from the spec would silently lose
+them; budget pressure only clears their caches (see :meth:`evict`).
+
+All operations are thread-safe; per-dataset serialization of queries
+against updates is the gateway's job (see
+:meth:`DatasetRegistry.lock_for`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..data.dataset import Dataset
+from ..serving.index import FairHMSIndex
+from ..serving.live import LiveFairHMSIndex
+from .metrics import ServiceMetrics
+from .shard import build_index_sharded
+
+__all__ = ["DatasetRegistry"]
+
+
+@dataclass
+class _Spec:
+    """How to (re)build one named index."""
+
+    name: str
+    dataset: Dataset | None
+    factory: object | None  # zero-argument callable -> Dataset
+    live: bool
+    build_workers: int
+    build_shards: int | None
+    index_kwargs: dict
+    lock: threading.RLock = field(default_factory=threading.RLock)
+
+    def load_dataset(self) -> Dataset:
+        return self.dataset if self.dataset is not None else self.factory()
+
+
+class DatasetRegistry:
+    """Named, lazily built, byte-budgeted collection of serving indexes.
+
+    Args:
+        max_bytes: total :meth:`cache_bytes` budget across resident
+            indexes; ``None`` disables eviction.
+        metrics: shared :class:`ServiceMetrics` sink (one is created if
+            omitted); builds and evictions are recorded per dataset.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_bytes: int | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._lock = threading.RLock()
+        self._specs: dict[str, _Spec] = {}
+        self._resident: OrderedDict[str, FairHMSIndex] = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self,
+        name: str,
+        dataset: Dataset | None = None,
+        *,
+        factory=None,
+        live: bool = False,
+        build_workers: int = 0,
+        build_shards: int | None = None,
+        **index_kwargs,
+    ) -> None:
+        """Register a named dataset; the index is built on first access.
+
+        Args:
+            name: registry key used by :meth:`get` and the gateway.
+            dataset: the raw database (kept for deterministic rebuilds).
+            factory: zero-argument callable returning the dataset —
+                alternative to ``dataset`` when keeping raw data resident
+                is itself too expensive.  Must be deterministic for
+                rebuild-after-eviction to be bit-identical.
+            live: build a :class:`LiveFairHMSIndex` (accepts gateway
+                updates).  Live indexes build sequentially — they own
+                their preprocessing pipeline.
+            build_workers: with > 1 (and ``live=False``), cold builds run
+                through the sharded parallel builder with this many
+                process-pool workers.
+            build_shards: shard count for the parallel builder
+                (default: twice the workers).
+            **index_kwargs: forwarded to the index constructor
+                (``default_seed``, ``cache_results``, ...).
+        """
+        if (dataset is None) == (factory is None):
+            raise ValueError("provide exactly one of dataset or factory")
+        if live and build_workers > 1:
+            raise ValueError("live indexes build sequentially; drop build_workers")
+        with self._lock:
+            if name in self._specs:
+                raise ValueError(f"dataset {name!r} is already registered")
+            self._specs[name] = _Spec(
+                name=name,
+                dataset=dataset,
+                factory=factory,
+                live=bool(live),
+                build_workers=int(build_workers),
+                build_shards=build_shards,
+                index_kwargs=dict(index_kwargs),
+            )
+
+    def unregister(self, name: str) -> None:
+        """Drop the spec and any resident index for ``name``.
+
+        For a live index this discards its applied writes.
+        """
+        with self._lock:
+            self.evict(name, force=True)
+            self._specs.pop(name, None)
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+
+    def get(self, name: str) -> FairHMSIndex:
+        """The serving index for ``name``, built now if not resident.
+
+        Touches the LRU order and re-enforces the byte budget (the
+        returned index itself is never the eviction victim).  Builds run
+        *outside* the registry lock — one slow cold build never blocks
+        other datasets — serialized per dataset on the spec lock (the
+        same lock the gateway drains that dataset's mailbox under).
+        """
+        with self._lock:
+            spec = self._specs.get(name)
+            if spec is None:
+                raise KeyError(f"unknown dataset {name!r}")
+            index = self._resident.get(name)
+            if index is not None:
+                self._resident.move_to_end(name)
+        if index is None:
+            with spec.lock:  # serialize concurrent builders per dataset
+                with self._lock:
+                    index = self._resident.get(name)
+                if index is None:
+                    index = self._build(spec)
+                with self._lock:
+                    if name in self._specs:
+                        # A racing builder (direct get() calls around the
+                        # spec lock) wins; keep one.  An unregistered-
+                        # mid-build name is served but not retained.
+                        index = self._resident.setdefault(name, index)
+                        self._resident.move_to_end(name)
+        self.enforce_budget()
+        return index
+
+    def _build(self, spec: _Spec) -> FairHMSIndex:
+        data = spec.load_dataset()
+        if spec.live:
+            index: FairHMSIndex = LiveFairHMSIndex(data, **spec.index_kwargs)
+        elif spec.build_workers > 1:
+            index = build_index_sharded(
+                data,
+                num_shards=spec.build_shards,
+                max_workers=spec.build_workers,
+                **spec.index_kwargs,
+            )
+        else:
+            index = FairHMSIndex(data, **spec.index_kwargs)
+        self.metrics.incr(spec.name, "builds")
+        return index
+
+    def peek(self, name: str) -> FairHMSIndex | None:
+        """The resident index, or ``None`` — no build, no LRU touch."""
+        with self._lock:
+            return self._resident.get(name)
+
+    def lock_for(self, name: str) -> threading.RLock:
+        """Per-dataset scheduling lock (survives eviction and rebuild).
+
+        The gateway serializes each dataset's writes and query batches on
+        this lock, which outlives the index object itself — so a rebuild
+        after eviction cannot interleave with an in-flight batch.
+        """
+        with self._lock:
+            spec = self._specs.get(name)
+            if spec is None:
+                raise KeyError(f"unknown dataset {name!r}")
+            return spec.lock
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._specs)
+
+    def resident_names(self) -> tuple[str, ...]:
+        """Resident indexes, least-recently-used first."""
+        with self._lock:
+            return tuple(self._resident)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._specs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._specs)
+
+    # ------------------------------------------------------------------ #
+    # memory budget
+    # ------------------------------------------------------------------ #
+
+    def total_cache_bytes(self) -> int:
+        """Sum of :meth:`cache_bytes` over resident indexes.
+
+        Byte accounting runs on a snapshot, *outside* the registry lock:
+        ``cache_bytes`` serializes on each index's own serve lock, and
+        waiting on a busy index while holding the registry lock would
+        stall every other dataset.
+        """
+        with self._lock:
+            indexes = list(self._resident.values())
+        return sum(ix.cache_bytes() for ix in indexes)
+
+    def evict(self, name: str, *, force: bool = False) -> bool:
+        """Release ``name``'s caches and drop its index; keep the spec.
+
+        Returns True if an index was dropped.  Callers holding a
+        reference to the evicted index can keep using it (answers stay
+        correct — caches only went cold); the registry will rebuild a
+        fresh, bit-identical index on the next :meth:`get`.
+
+        **Live indexes are pinned**: they are the system of record for
+        the inserts/deletes applied to them, so dropping one would
+        silently rebuild from the original registered dataset and lose
+        every write.  Without ``force``, evicting a live index only
+        clears its caches (reclaiming engines and memos, keeping the
+        data) and returns False; ``force=True`` really drops it —
+        :meth:`unregister` uses that, accepting the data loss.
+        """
+        with self._lock:
+            index = self._resident.get(name)
+            if index is None:
+                return False
+            spec = self._specs.get(name)
+            pinned = spec is not None and spec.live and not force
+            if not pinned:
+                self._resident.pop(name)
+        # clear_caches serializes on the index's serve lock; never wait
+        # for a busy index while holding the registry lock.
+        index.clear_caches()
+        self.metrics.incr(name, "evictions")
+        return not pinned
+
+    def enforce_budget(self) -> int:
+        """Reclaim LRU indexes until under ``max_bytes``.
+
+        Returns the number of *dropped* indexes.  The most recently
+        touched index always stays (a lone index above budget cannot be
+        evicted out of serving); frozen victims are dropped, live
+        victims only have their caches cleared — their applied writes
+        exist nowhere else (see :meth:`evict`).
+        """
+        if self.max_bytes is None:
+            return 0
+        with self._lock:
+            names = list(self._resident)
+            indexes = dict(self._resident)
+        # Account and evict outside the registry lock (see
+        # total_cache_bytes); each index is measured once per pass and
+        # the reclaimed bytes subtracted as it goes.  Victims are taken
+        # in LRU order, never the most recently used; evict() itself
+        # decides whether a victim is dropped (frozen) or only
+        # cache-cleared (live — pinned, but its engines and memos are
+        # still reclaimable).
+        sizes = {n: ix.cache_bytes() for n, ix in indexes.items()}
+        total = sum(sizes.values())
+        evicted = 0
+        for victim in names[:-1]:
+            if total <= self.max_bytes:
+                break
+            if self.evict(victim):
+                total -= sizes[victim]
+                evicted += 1
+            else:
+                total -= sizes[victim] - indexes[victim].cache_bytes()
+        return evicted
+
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """Registry state: budget, residency, and per-dataset bytes."""
+        with self._lock:
+            registered = list(self._specs)
+            indexes = dict(self._resident)
+        resident = {name: ix.cache_bytes() for name, ix in indexes.items()}
+        return {
+            "max_bytes": self.max_bytes,
+            "registered": registered,
+            "resident": resident,
+            "total_cache_bytes": sum(resident.values()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"DatasetRegistry(registered={len(self._specs)}, "
+                f"resident={len(self._resident)})"
+            )

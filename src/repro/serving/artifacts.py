@@ -274,6 +274,35 @@ class SolverArtifacts:
         self._dirty_engines = False
         self._dirty_geometry = False
 
+    def cache_bytes(self) -> int:
+        """Estimated resident bytes of the cached artifacts.
+
+        Sums every numpy array reachable from the caches — nets, engine
+        score matrices (the dominant term: one ``(m, n)`` matrix per
+        distinct ``(m, seed)``), the 2-D envelope, and the candidate-MHR
+        values.  Used by the service registry's byte-budgeted eviction;
+        safe to call while another thread fills the caches (snapshots,
+        partial counts on a race — an estimate, never corruption).
+        """
+        total = 0
+        try:
+            total += sum(net.nbytes for net in list(self._nets.values()))
+            for engine in list(self._engines.values()):
+                for value in list(vars(engine).values()):
+                    if isinstance(value, np.ndarray):
+                        total += value.nbytes
+        except RuntimeError:  # cache resized mid-snapshot
+            pass
+        envelope = self._envelope
+        if envelope is not None:
+            for value in list(vars(envelope).values()):
+                if isinstance(value, np.ndarray):
+                    total += value.nbytes
+        candidates = self._mhr_candidates
+        if candidates is not None:
+            total += candidates.nbytes
+        return int(total)
+
     def cache_info(self) -> dict:
         """Hit/miss counters plus current cache occupancy and epoch."""
         info = dict(self.counters)
@@ -281,6 +310,7 @@ class SolverArtifacts:
         info["engines_cached"] = len(self._engines)
         info["envelope_cached"] = self._envelope is not None
         info["mhr_candidates_cached"] = self._mhr_candidates is not None
+        info["cache_bytes"] = self.cache_bytes()
         info["epoch"] = self._epoch
         info["dirty_components"] = self.dirty_components()
         return info

@@ -22,6 +22,7 @@ the seed-derived stream the cold path would use.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -81,9 +82,15 @@ class FairHMSIndex:
             ``(m, n)`` score matrix, so serve with a fixed seed policy
             and call :meth:`clear_caches` if clients control seeds.
 
-    The index is not thread-safe: cached :class:`TruncatedEngine` objects
-    memoize per-``tau`` state in place, so concurrent queries must be
-    serialized (or use one index per worker).
+    Concurrency model: every public entry point (queries, cache
+    management, evaluation — and, on the live subclass, mutations)
+    serializes on one internal reentrant lock (:attr:`lock`), because
+    cached :class:`TruncatedEngine` objects memoize per-``tau`` state in
+    place.  Concurrent callers are therefore *safe* but see serialized
+    throughput on a single index; for cross-dataset parallelism and
+    request coalescing put ``repro.service.Gateway`` in front (it fences
+    reads and writes per dataset), or give each worker its own index —
+    indexes over the same dataset return identical answers.
 
     The static index is the *frozen* special case of live serving: its
     dataset never changes, so :meth:`_refresh` is a no-op and the epoch
@@ -130,6 +137,9 @@ class FairHMSIndex:
         """Shared serving-state setup (also used by the live subclass,
         which preprocesses its data through a ``DynamicFairHMS`` instead
         of the one-shot normalize+skyline pipeline)."""
+        # Reentrant so internal calls (query -> constraint_for) nest; see
+        # the class docstring for the concurrency model.
+        self._serve_lock = threading.RLock()
         self._dataset = dataset
         self._skyline = skyline
         self._artifacts = SolverArtifacts(skyline) if skyline is not None else None
@@ -146,6 +156,49 @@ class FairHMSIndex:
         # solver (two decision evaluations), so a stale hint costs a
         # fallback to the full binary search, never a wrong answer.
         self._tau_hints: dict[tuple, float] = {}
+
+    @classmethod
+    def from_preprocessed(
+        cls,
+        dataset: Dataset,
+        skyline: Dataset,
+        *,
+        default_seed: int = 7,
+        cache_results: bool = True,
+        max_cached_results: int = 1024,
+    ) -> "FairHMSIndex":
+        """Index over an already normalized dataset and extracted skyline.
+
+        The entry point of the sharded parallel builder
+        (``repro.service.build_index_sharded``), which computes exactly
+        what ``FairHMSIndex(dataset)`` would — the max-normalized
+        database and its per-group skyline — across a process pool, then
+        hands both here.  No validation beyond a dimension check is done:
+        the caller guarantees ``skyline`` is the per-group skyline of
+        ``dataset`` (answers are wrong, not just slow, otherwise).
+
+        Only meaningful for the frozen index; the live subclass owns its
+        preprocessing pipeline.
+        """
+        if not cls.frozen:
+            raise TypeError(
+                "from_preprocessed builds frozen indexes only; construct "
+                f"{cls.__name__} from a dataset instead"
+            )
+        if dataset.dim != skyline.dim:
+            raise ValueError(
+                f"dataset and skyline dimensions differ "
+                f"({dataset.dim} != {skyline.dim})"
+            )
+        index = cls.__new__(cls)
+        index._init_state(
+            dataset,
+            skyline,
+            default_seed=default_seed,
+            cache_results=cache_results,
+            max_cached_results=max_cached_results,
+        )
+        return index
 
     # ------------------------------------------------------------------ #
     # refresh / epochs
@@ -184,6 +237,16 @@ class FairHMSIndex:
     # ------------------------------------------------------------------ #
 
     @property
+    def lock(self) -> threading.RLock:
+        """The reentrant lock every public entry point serializes on.
+
+        Exposed so an external scheduler (e.g. the service gateway) can
+        fence a multi-call sequence — refresh, then a batch of queries —
+        against concurrent mutations of a live index.
+        """
+        return self._serve_lock
+
+    @property
     def dataset(self) -> Dataset:
         """The (normalized) full database queries are answered about."""
         self._refresh()
@@ -203,19 +266,58 @@ class FairHMSIndex:
 
     def cache_info(self) -> dict:
         """Artifact hit/miss counters plus result-cache statistics."""
-        self._refresh()
-        if self._artifacts is None:  # empty live index: keep the shape stable
-            info = {"epoch": self.epoch, "dirty_components": ()}
-        else:
-            info = self._artifacts.cache_info()
-        info["result_hits"] = self._result_hits
-        info["result_misses"] = self._result_misses
-        info["results_cached"] = len(self._results)
-        return info
+        with self._serve_lock:
+            self._refresh()
+            if self._artifacts is None:  # empty live: keep the shape stable
+                info = {"epoch": self.epoch, "dirty_components": ()}
+            else:
+                info = self._artifacts.cache_info()
+            info["result_hits"] = self._result_hits
+            info["result_misses"] = self._result_misses
+            info["results_cached"] = len(self._results)
+            info["cache_bytes"] = self.cache_bytes()
+            return info
+
+    def cache_bytes(self) -> int:
+        """Estimated resident bytes of this index's cached state.
+
+        Counts the dataset and skyline arrays, the artifact caches (nets,
+        engine score matrices, 2-D geometry), memoized solution points,
+        and the evaluator — the byte account ``repro.service.
+        DatasetRegistry`` budgets its LRU eviction with.  An estimate:
+        python object overhead and small scalars are ignored.
+
+        Deliberately does **not** take the serve lock: the registry
+        accounts memory while other datasets (and possibly this one) are
+        mid-solve, and an accounting pass must never wait on a busy
+        index.  Snapshots tolerate concurrent cache mutation; a race can
+        only skew the estimate, never corrupt state.
+        """
+        total = 0
+        for data in (self._dataset, self._skyline):
+            if data is not None:
+                total += (
+                    data.points.nbytes + data.labels.nbytes + data.ids.nbytes
+                )
+        artifacts = self._artifacts
+        if artifacts is not None:
+            total += artifacts.cache_bytes()
+        try:
+            for solution in list(self._results.values()):
+                total += solution.points.nbytes + solution.indices.nbytes
+        except RuntimeError:  # resized mid-snapshot: partial count is fine
+            pass
+        evaluator = self._evaluator
+        if evaluator is not None:
+            for value in list(vars(evaluator).values()):
+                if isinstance(value, np.ndarray):
+                    total += value.nbytes
+        return int(total)
 
     def clear_result_cache(self) -> None:
         """Drop memoized solutions (artifact caches are kept)."""
-        self._results.clear()
+        with self._serve_lock:
+            self._results.clear()
 
     def clear_caches(self) -> None:
         """Drop memoized solutions AND the net/engine artifact caches.
@@ -224,10 +326,12 @@ class FairHMSIndex:
         distinct ``(m, seed)`` engine holds an ``(m, n)`` score matrix,
         so periodic clearing bounds memory at the cost of warm-up.
         """
-        self._results.clear()
-        self._tau_hints.clear()
-        if self._artifacts is not None:
-            self._artifacts.clear()
+        with self._serve_lock:
+            self._results.clear()
+            self._tau_hints.clear()
+            self._evaluator = None
+            if self._artifacts is not None:
+                self._artifacts.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -255,27 +359,28 @@ class FairHMSIndex:
             raise ValueError(
                 f"unknown scheme {scheme!r}; expected one of {_CONSTRAINT_SCHEMES}"
             )
-        self._refresh()
-        if self._skyline is None:
-            raise ValueError("no tuples alive; insert data before querying")
-        key = (scheme, int(k), float(alpha))
-        cached = self._constraints.get(key)
-        if cached is not None:
-            return cached
-        sky = self._skyline
-        if scheme == "proportional":
-            base = FairnessConstraint.proportional(
-                k, sky.population_group_sizes, alpha=alpha, clamp=True
-            )
-        elif scheme == "balanced":
-            base = FairnessConstraint.balanced(
-                k, sky.num_groups, alpha=alpha, clamp=True
-            )
-        else:
-            base = FairnessConstraint.unconstrained(k, sky.num_groups)
-        constraint = base.capped_by_availability(sky.group_sizes)
-        self._constraints[key] = constraint
-        return constraint
+        with self._serve_lock:
+            self._refresh()
+            if self._skyline is None:
+                raise ValueError("no tuples alive; insert data before querying")
+            key = (scheme, int(k), float(alpha))
+            cached = self._constraints.get(key)
+            if cached is not None:
+                return cached
+            sky = self._skyline
+            if scheme == "proportional":
+                base = FairnessConstraint.proportional(
+                    k, sky.population_group_sizes, alpha=alpha, clamp=True
+                )
+            elif scheme == "balanced":
+                base = FairnessConstraint.balanced(
+                    k, sky.num_groups, alpha=alpha, clamp=True
+                )
+            else:
+                base = FairnessConstraint.unconstrained(k, sky.num_groups)
+            constraint = base.capped_by_availability(sky.group_sizes)
+            self._constraints[key] = constraint
+            return constraint
 
     # ------------------------------------------------------------------ #
     # queries
@@ -320,47 +425,50 @@ class FairHMSIndex:
             The solver's :class:`Solution` (possibly memoized — see
             ``cache_results``).
         """
-        self._refresh()
-        if self._skyline is None:
-            raise ValueError("no tuples alive; insert data before querying")
-        if constraint is None:
-            if k is None:
-                raise ValueError("provide either k or an explicit constraint")
-            constraint = self.constraint_for(k, alpha=alpha, scheme=scheme)
-        algorithm = resolve_algorithm(self._skyline, constraint, algorithm)
-        if seed is None:
-            seed = self._default_seed
-        solver_kwargs = dict(options)
-        if algorithm != "IntCov":
-            solver_kwargs.setdefault("epsilon", float(eps))
-            solver_kwargs.setdefault("seed", seed)
-        key = self._result_key(algorithm, constraint, solver_kwargs)
-        if key is not None:
-            cached = self._results.get(key)
-            if cached is not None:
-                self._result_hits += 1
-                return cached
-        if algorithm == "IntCov" and key is not None:
-            hint = self._tau_hints.get(key)
-            if hint is not None:
-                solver_kwargs["tau_hint"] = hint
-        solution = solve_fairhms(
-            self._skyline,
-            constraint,
-            algorithm=algorithm,
-            artifacts=self._artifacts,
-            **solver_kwargs,
-        )
-        if key is not None:
-            if algorithm == "IntCov" and "tau" in solution.stats:
-                if len(self._tau_hints) >= 4 * self._max_cached_results:
-                    self._tau_hints.clear()
-                self._tau_hints[key] = float(solution.stats["tau"])
-            self._result_misses += 1
-            while len(self._results) >= self._max_cached_results:
-                self._results.pop(next(iter(self._results)))  # oldest first
-            self._results[key] = solution
-        return solution
+        with self._serve_lock:
+            self._refresh()
+            if self._skyline is None:
+                raise ValueError("no tuples alive; insert data before querying")
+            if constraint is None:
+                if k is None:
+                    raise ValueError(
+                        "provide either k or an explicit constraint"
+                    )
+                constraint = self.constraint_for(k, alpha=alpha, scheme=scheme)
+            algorithm = resolve_algorithm(self._skyline, constraint, algorithm)
+            if seed is None:
+                seed = self._default_seed
+            solver_kwargs = dict(options)
+            if algorithm != "IntCov":
+                solver_kwargs.setdefault("epsilon", float(eps))
+                solver_kwargs.setdefault("seed", seed)
+            key = self._result_key(algorithm, constraint, solver_kwargs)
+            if key is not None:
+                cached = self._results.get(key)
+                if cached is not None:
+                    self._result_hits += 1
+                    return cached
+            if algorithm == "IntCov" and key is not None:
+                hint = self._tau_hints.get(key)
+                if hint is not None:
+                    solver_kwargs["tau_hint"] = hint
+            solution = solve_fairhms(
+                self._skyline,
+                constraint,
+                algorithm=algorithm,
+                artifacts=self._artifacts,
+                **solver_kwargs,
+            )
+            if key is not None:
+                if algorithm == "IntCov" and "tau" in solution.stats:
+                    if len(self._tau_hints) >= 4 * self._max_cached_results:
+                        self._tau_hints.clear()
+                    self._tau_hints[key] = float(solution.stats["tau"])
+                self._result_misses += 1
+                while len(self._results) >= self._max_cached_results:
+                    self._results.pop(next(iter(self._results)))  # oldest
+                self._results[key] = solution
+            return solution
 
     def query_batch(self, queries) -> list[Solution]:
         """Answer a heterogeneous batch of queries in one call.
@@ -416,14 +524,16 @@ class FairHMSIndex:
     @property
     def evaluator(self) -> MhrEvaluator:
         """Shared :class:`MhrEvaluator` over the full (current) database."""
-        self._refresh()
-        if self._evaluator is None:
-            self._evaluator = MhrEvaluator(self.dataset.points)
-        return self._evaluator
+        with self._serve_lock:
+            self._refresh()
+            if self._evaluator is None:
+                self._evaluator = MhrEvaluator(self.dataset.points)
+            return self._evaluator
 
     def evaluate(self, solution: Solution) -> MhrEvaluation:
         """Exact (or refined-net) MHR of a solution against the full
         database; the evaluator's candidate set and direction net are
         discovered once and reused across calls."""
         points = solution.points if isinstance(solution, Solution) else solution
-        return self.evaluator.evaluate(np.asarray(points, dtype=np.float64))
+        with self._serve_lock:
+            return self.evaluator.evaluate(np.asarray(points, dtype=np.float64))

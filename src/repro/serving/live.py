@@ -75,9 +75,13 @@ class LiveFairHMSIndex(FairHMSIndex):
             configuration of the :class:`StreamingFairHMS` sieve behind
             :meth:`observe_stream` (created lazily on first use).
 
-    Like the static index, a live index is single-threaded.  Mutations
-    are O(skyline) and never recompute artifacts themselves; all
-    invalidation is staged and paid at the next query.
+    Mutations are O(skyline) and never recompute artifacts themselves;
+    all invalidation is staged and paid at the next query.  Like the
+    static index, every public entry point — including :meth:`insert`,
+    :meth:`delete`, and :meth:`observe_stream` — serializes on the
+    shared :attr:`lock`, so concurrent readers and writers are safe but
+    see serialized throughput; the service gateway additionally fences
+    whole query batches against writes per dataset.
     """
 
     frozen = False
@@ -145,11 +149,13 @@ class LiveFairHMSIndex(FairHMSIndex):
         until the next query refreshes the epoch.
         """
         arr = np.asarray(point, dtype=np.float64) / self._scale
-        self._dyn.insert(int(key), arr, int(group))
+        with self._serve_lock:
+            self._dyn.insert(int(key), arr, int(group))
 
     def delete(self, key: int) -> None:
         """Delete tuple ``key``; raises ``KeyError`` if it is not alive."""
-        self._dyn.delete(int(key))
+        with self._serve_lock:
+            self._dyn.delete(int(key))
 
     def observe_stream(self, keys, points, groups) -> int:
         """Feed tuples through the bounded-memory sieve; sync the live set.
@@ -160,28 +166,29 @@ class LiveFairHMSIndex(FairHMSIndex):
         admitted.  Keys must not collide with directly inserted ones, and
         stream-managed keys should not be deleted manually.
         """
-        if self._stream is None:
-            self._stream = StreamingFairHMS(
-                self._dyn.dim,
-                self._dyn.num_groups,
-                seed=self._default_seed,
-                **self._stream_config,
-            )
-        pts = np.asarray(points, dtype=np.float64)
-        if pts.ndim == 1:
-            pts = pts[None, :]
-            keys = [keys]
-            groups = [groups]
-        admitted = self._stream.observe_many(keys, pts / self._scale, groups)
-        current = self._stream.buffered_keys()
-        for key in self._streamed - current:
-            if key in self._dyn:  # manual deletes are tolerated
-                self._dyn.delete(key)
-        for key, point, group in self._stream.buffered_items():
-            if key not in self._dyn:
-                self._dyn.insert(key, point, group)
-        self._streamed = current
-        return admitted
+        with self._serve_lock:
+            if self._stream is None:
+                self._stream = StreamingFairHMS(
+                    self._dyn.dim,
+                    self._dyn.num_groups,
+                    seed=self._default_seed,
+                    **self._stream_config,
+                )
+            pts = np.asarray(points, dtype=np.float64)
+            if pts.ndim == 1:
+                pts = pts[None, :]
+                keys = [keys]
+                groups = [groups]
+            admitted = self._stream.observe_many(keys, pts / self._scale, groups)
+            current = self._stream.buffered_keys()
+            for key in self._streamed - current:
+                if key in self._dyn:  # manual deletes are tolerated
+                    self._dyn.delete(key)
+            for key, point, group in self._stream.buffered_items():
+                if key not in self._dyn:
+                    self._dyn.insert(key, point, group)
+            self._streamed = current
+            return admitted
 
     # ------------------------------------------------------------------ #
     # refresh / epochs

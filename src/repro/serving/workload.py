@@ -86,12 +86,20 @@ def build_mixed_workload(
 
     Deletes never shrink a group below ``max(ks) + 2`` tuples so every
     query stays feasible; inserts stop when the pool is exhausted (the
-    op becomes a delete instead, and vice versa).
+    op becomes a delete instead, and vice versa).  Exactly ``num_ops``
+    ops are always produced: when a write is drawn but *neither* an
+    insert (pool exhausted) nor a delete (every group at its floor) is
+    possible, the op falls back to a query — so ``write_frac=1.0`` over
+    a small pool degrades gracefully instead of silently shortening the
+    sequence.  ``write_frac=0.0`` yields a pure query stream.
     """
     if not 0.0 <= write_frac <= 1.0:
         raise ValueError(f"write_frac must lie in [0, 1], got {write_frac}")
     if not 0.0 < initial_frac < 1.0:
         raise ValueError(f"initial_frac must lie in (0, 1), got {initial_frac}")
+    ks = tuple(int(k) for k in ks)
+    if not ks or min(ks) < 1:
+        raise ValueError(f"ks needs at least one positive size, got {ks!r}")
     rng = np.random.default_rng(seed)
     order = rng.permutation(dataset.n)
     cut = max(1, int(round(initial_frac * dataset.n)))
@@ -136,7 +144,11 @@ def build_mixed_workload(
             if not do_insert and not deletable:
                 do_insert = pool_pos < len(pool)
                 if not do_insert:
-                    continue  # nothing mutable; skip this op
+                    # Nothing mutable: degrade to a query so the sequence
+                    # keeps its promised length.
+                    ops.append(Op("query", k=int(ks[k_cycle % len(ks)])))
+                    k_cycle += 1
+                    continue
             if do_insert:
                 key, point, group = pool[pool_pos]
                 pool_pos += 1

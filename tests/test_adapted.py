@@ -1,6 +1,5 @@
 """Fair-adaptation tests: quota splitting, G-* wrappers, F-Greedy."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.adapted import (

@@ -9,7 +9,6 @@ from repro.core.bigreedy import bigreedy, default_net_size
 from repro.data.synthetic import anticorrelated_dataset
 from repro.fairness.constraints import FairnessConstraint
 from repro.geometry.deltanet import sample_directions
-from repro.hms.exact import mhr_exact
 from repro.hms.ratios import mhr_on_net
 from repro.hms.truncated import TruncatedEngine
 

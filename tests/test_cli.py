@@ -25,6 +25,14 @@ class TestParser:
         assert args.repeat == 3
         assert not args.no_cold
 
+    def test_service_defaults(self):
+        args = build_parser().parse_args(["service"])
+        assert args.tenants == 3
+        assert args.requests == 36
+        assert args.budget_mb is None
+        assert args.build_workers == 0
+        assert not args.no_naive
+
 
 class TestCommands:
     def test_demo(self, capsys):
@@ -94,6 +102,26 @@ class TestCommands:
         )
         assert code == 0
         assert "violations: 0" in capsys.readouterr().out
+
+    def test_service_tiny_workload(self, capsys):
+        code = main(
+            [
+                "service", "--tenants", "2", "--requests", "10",
+                "--n", "180", "--k", "3,4", "--budget-mb", "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gateway answers bit-identical to uncoalesced solves: yes" in out
+        assert "coalesced" in out
+        assert "fence violations" in out
+
+    def test_service_rejects_bad_arguments(self, capsys):
+        assert main(["service", "--tenants", "0"]) == 2
+        assert main(["service", "--hot-frac", "1.5"]) == 2
+        assert main(["service", "--k", "nope"]) == 2
+        out = capsys.readouterr().out
+        assert "error" in out
 
     def test_experiments_forwards_to_run_all(self, capsys, monkeypatch):
         import repro.cli as cli_module

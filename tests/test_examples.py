@@ -1,7 +1,6 @@
 """The quickstart example must run and print the paper's numbers."""
 
 import runpy
-import sys
 from pathlib import Path
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.intcov import candidate_mhr_values, intcov
-from repro.data.dataset import Dataset
 from repro.data.synthetic import anticorrelated_dataset
 from repro.fairness.constraints import FairnessConstraint
 from repro.hms.exact import mhr_exact_2d

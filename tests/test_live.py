@@ -25,7 +25,6 @@ from repro.geometry.deltanet import sample_directions
 from repro.geometry.dominance import skyline_indices
 from repro.hms.truncated import TruncatedEngine
 from repro.serving import FairHMSIndex, LiveFairHMSIndex
-from repro.serving.candidates import LiveCandidateCache
 from repro.serving.workload import build_mixed_workload, run_mixed_workload
 
 
@@ -216,7 +215,6 @@ class TestCandidateCache:
         assert cache.incremental_deletes > 0
 
     def test_cache_values_stay_sorted(self):
-        cache = LiveCandidateCache()
         data = anticorrelated_dataset(60, 2, 2, seed=12).normalized()
         live = LiveFairHMSIndex(data)
         rng = np.random.default_rng(13)
@@ -520,3 +518,53 @@ class TestWorkloadDriver:
             data, num_ops=20, write_frac=0.3, ks=(3, 4), seed=4
         )
         assert report.identical
+
+    def test_write_frac_zero_is_pure_query_stream(self):
+        data = anticorrelated_dataset(150, 2, 2, seed=43)
+        _, ops = build_mixed_workload(
+            data, num_ops=25, write_frac=0.0, ks=(3, 5), seed=6
+        )
+        assert len(ops) == 25
+        assert all(op.kind == "query" for op in ops)
+        # The k sweep cycles deterministically.
+        assert [op.k for op in ops] == [(3, 5)[i % 2] for i in range(25)]
+        report = run_mixed_workload(
+            data, num_ops=25, write_frac=0.0, ks=(3, 5), seed=6
+        )
+        assert report.identical
+        assert report.num_updates == 0
+        assert report.num_queries == 25
+
+    def test_write_frac_one_exhausted_pool_keeps_length(self):
+        # n=40, initial_frac=0.9: a 4-tuple insert pool and delete floors
+        # at max(ks)+2 per group cap total writes far below num_ops, so
+        # the driver must degrade the surplus to queries instead of
+        # silently emitting a short sequence.
+        data = anticorrelated_dataset(40, 2, 2, seed=44)
+        _, ops = build_mixed_workload(
+            data, num_ops=80, write_frac=1.0, ks=(3,), initial_frac=0.9, seed=7
+        )
+        assert len(ops) == 80
+        kinds = [op.kind for op in ops]
+        assert kinds.count("insert") <= 4  # pool size bound
+        assert kinds.count("query") > 0  # fallback engaged
+        report = run_mixed_workload(
+            data, num_ops=80, write_frac=1.0, ks=(3,), initial_frac=0.9, seed=7
+        )
+        assert report.identical
+        assert report.num_ops == 80
+
+    def test_write_frac_one_with_room_is_pure_writes(self):
+        data = anticorrelated_dataset(200, 2, 2, seed=45)
+        _, ops = build_mixed_workload(
+            data, num_ops=15, write_frac=1.0, ks=(3,), seed=8
+        )
+        assert len(ops) == 15
+        assert all(op.kind in ("insert", "delete") for op in ops)
+
+    def test_empty_ks_rejected(self):
+        data = anticorrelated_dataset(60, 2, 2, seed=46)
+        with pytest.raises(ValueError, match="ks"):
+            build_mixed_workload(data, num_ops=10, ks=())
+        with pytest.raises(ValueError, match="ks"):
+            build_mixed_workload(data, num_ops=10, ks=(0,))

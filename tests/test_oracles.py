@@ -1,6 +1,5 @@
 """Dedicated tests for the hybrid direction oracle."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.oracles import DirectionOracle

@@ -1,6 +1,5 @@
 """Solution container tests."""
 
-import numpy as np
 import pytest
 
 from repro.core.solution import Solution

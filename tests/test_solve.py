@@ -1,6 +1,5 @@
 """Dispatcher + unconstrained-solver tests."""
 
-import numpy as np
 import pytest
 
 from repro.core.solve import CORE_ALGORITHMS, solve_fairhms

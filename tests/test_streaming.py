@@ -1,6 +1,5 @@
 """Tests for the streaming FairHMS extension."""
 
-import numpy as np
 import pytest
 
 from repro.core.bigreedy import bigreedy
