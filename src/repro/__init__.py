@@ -37,7 +37,7 @@ from .data import (
 from .extensions import DynamicFairHMS, StreamingFairHMS, bigreedy_khms
 from .fairness import FairnessConstraint, FairnessMatroid, fairness_violations
 from .hms import mhr_exact, mhr_on_net
-from .service import DatasetRegistry, Gateway, build_index_sharded
+from .service import DatasetRegistry, Gateway, SnapshotStore, build_index_sharded
 from .serving import FairHMSIndex, LiveFairHMSIndex, Query, SolverArtifacts
 
 __version__ = "1.0.0"
@@ -52,6 +52,7 @@ __all__ = [
     "Gateway",
     "LiveFairHMSIndex",
     "Query",
+    "SnapshotStore",
     "Solution",
     "SolverArtifacts",
     "StreamingFairHMS",

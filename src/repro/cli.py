@@ -13,6 +13,11 @@ Commands:
   concurrent ``Gateway`` (registry + coalescing + micro-batching) and
   the naive one-query-at-a-time loop, verifying bit-identical answers
   and printing throughput plus the metrics snapshot.
+* ``snapshot``    — persist a warm ``FairHMSIndex`` to a versioned
+  on-disk snapshot, reload it, and verify the reload answers
+  bit-identically to the in-memory index (``--load-only`` skips the
+  build and serves straight from an existing snapshot — the
+  cross-process warm start; ``--info`` prints the manifest).
 * ``table2``      — print the dataset-statistics table.
 * ``experiments`` — forward to ``repro.experiments.run_all``.
 """
@@ -298,6 +303,79 @@ def _cmd_service(args) -> int:
     return 0 if report.identical else 1
 
 
+def _cmd_snapshot(args) -> int:
+    """Save/reload a warm index snapshot and verify bit-identity."""
+    import json
+    import time
+
+    import numpy as np
+
+    from .serving import FairHMSIndex, Query
+    from .service.store import SnapshotError, SnapshotStore
+
+    ks = _parse_ks(args.k)
+    if ks is None:
+        return 2
+    name = args.name or args.dataset
+    store = SnapshotStore(args.dir)
+    queries = [Query(k=k, eps=args.eps, alpha=args.alpha) for k in ks]
+
+    if args.info:
+        try:
+            manifest = store.manifest(name)
+        except SnapshotError as exc:
+            print(f"error: {exc}")
+            return 1
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+
+    if not args.load_only:
+        data = _load_cli_dataset(args)
+        t0 = time.perf_counter()
+        index = FairHMSIndex(data, default_seed=args.seed)
+        built = index.query_batch(queries)
+        t_build = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        store.save_index(name, index)
+        t_save = time.perf_counter() - t0
+        print(
+            f"{index!r}\nbuilt + served {len(queries)} queries in "
+            f"{t_build:.3f}s; saved {store.size_bytes(name) / 2**20:.1f} MiB "
+            f"snapshot in {t_save:.3f}s -> {store.path_for(name)}"
+        )
+
+    try:
+        t0 = time.perf_counter()
+        loaded = store.load_index(name)
+        t_load = time.perf_counter() - t0
+    except SnapshotError as exc:
+        print(f"error: {exc}")
+        return 1
+    t0 = time.perf_counter()
+    reloaded = loaded.query_batch(queries)
+    t_serve = time.perf_counter() - t0
+    print(
+        f"reloaded in {t_load:.3f}s, served {len(queries)} queries in "
+        f"{t_serve:.3f}s (result-cache hits: "
+        f"{loaded.cache_info()['result_hits']})"
+    )
+    if args.load_only:
+        for k, solution in zip(ks, reloaded):
+            print(f"  k={k:3d} {solution.algorithm:9s} ids={solution.ids.tolist()}")
+        return 0
+
+    identical = all(
+        np.array_equal(a.ids, b.ids) and a.mhr() == b.mhr()
+        for a, b in zip(built, reloaded)
+    )
+    print(f"reloaded answers bit-identical (ids + mhr): {'yes' if identical else 'NO'}")
+    print(
+        f"reload speedup over build-and-serve: "
+        f"{t_build / (t_load + t_serve):.1f}x"
+    )
+    return 0 if identical else 1
+
+
 def _cmd_table2(args) -> int:
     from .experiments.table2 import render_table2, run_table2
 
@@ -471,6 +549,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the naive serial loop (no speedup / identity check)",
     )
 
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="persist a warm index to disk, reload it, verify bit-identity",
+    )
+    snapshot.add_argument(
+        "dataset",
+        choices=["Lawschs", "Adult", "Compas", "Credit", "anticor"],
+    )
+    snapshot.add_argument("--attribute", default=None, help="group attribute")
+    snapshot.add_argument(
+        "--dir", default="snapshots", help="snapshot store directory"
+    )
+    snapshot.add_argument(
+        "--name", default=None, help="snapshot name (default: dataset name)"
+    )
+    snapshot.add_argument(
+        "--k", default="4,6,8", help="comma-separated solution sizes"
+    )
+    snapshot.add_argument("--alpha", type=float, default=0.1)
+    snapshot.add_argument("--eps", type=float, default=0.02)
+    snapshot.add_argument("--n", type=int, default=None, help="row-count override")
+    snapshot.add_argument("--d", type=int, default=2, help="dimension (anticor)")
+    snapshot.add_argument("--groups", type=int, default=3, help="groups (anticor)")
+    snapshot.add_argument("--seed", type=int, default=7)
+    snapshot.add_argument(
+        "--load-only",
+        action="store_true",
+        help="skip the build: serve from an existing snapshot "
+        "(cross-process warm start)",
+    )
+    snapshot.add_argument(
+        "--info",
+        action="store_true",
+        help="print the snapshot manifest and exit",
+    )
+
     table2 = sub.add_parser("table2", help="print dataset statistics")
     table2.add_argument("--scale", type=float, default=0.25)
 
@@ -489,6 +603,7 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "live": _cmd_live,
         "service": _cmd_service,
+        "snapshot": _cmd_snapshot,
         "table2": _cmd_table2,
         "experiments": _cmd_experiments,
     }

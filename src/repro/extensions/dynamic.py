@@ -148,6 +148,20 @@ class DynamicFairHMS:
         """
         return self._version
 
+    def advance_version(self, version: int) -> None:
+        """Fast-forward the update counter (snapshot restore).
+
+        A reloaded store resumes at the version it was persisted at, so
+        version numbers handed to callers (e.g. gateway write futures)
+        stay monotone across a spill/reload cycle.  Rewinding is refused
+        — the counter orders updates.
+        """
+        if int(version) < self._version:
+            raise ValueError(
+                f"cannot rewind version from {self._version} to {int(version)}"
+            )
+        self._version = int(version)
+
     def __contains__(self, key: int) -> bool:
         return key in self._keys
 
@@ -209,6 +223,17 @@ class DynamicFairHMS:
         return np.array(
             [len(g.alive) for g in self._groups], dtype=np.int64
         )
+
+    def items(self):
+        """Yield ``(key, point, group)`` per alive tuple, (group, key) order.
+
+        The same deterministic ordering :meth:`alive_dataset` rows use,
+        with the *original* group ids (no compaction) — what snapshot
+        persistence needs to reconstruct an identical store elsewhere.
+        """
+        for group, g in enumerate(self._groups):
+            for key in sorted(g.alive):
+                yield key, g.alive[key], group
 
     def skyline_keys(self) -> list[int]:
         """Current per-group skyline, as caller keys."""

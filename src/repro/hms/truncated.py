@@ -83,6 +83,34 @@ class TruncatedEngine:
         self._capped: np.ndarray | None = None
         self._margins_buf: np.ndarray | None = None
 
+    @classmethod
+    def from_ratios(cls, ratios, net) -> "TruncatedEngine":
+        """Rebuild an engine from a persisted ratio matrix (snapshot load).
+
+        The ratio matrix is the engine's only data-derived state, so an
+        engine restored from the exact bytes a previous engine computed
+        evaluates every gain bit-identically to the original — without
+        re-touching the points it was built from.
+        """
+        ratios_arr = np.asarray(ratios)
+        net_arr = np.asarray(net, dtype=np.float64)
+        if net_arr.ndim != 2 or ratios_arr.ndim != 2:
+            raise ValueError("ratios and net must be 2-D arrays")
+        if ratios_arr.shape[0] != net_arr.shape[0]:
+            raise ValueError(
+                f"ratio matrix has {ratios_arr.shape[0]} directions, "
+                f"net has {net_arr.shape[0]}"
+            )
+        engine = cls.__new__(cls)
+        engine.ratios = ratios_arr
+        engine.net = net_arr
+        engine.m = net_arr.shape[0]
+        engine.n = ratios_arr.shape[1]
+        engine._capped_tau = None
+        engine._capped = None
+        engine._margins_buf = None
+        return engine
+
     def _capped_matrix(self, tau: float) -> np.ndarray:
         """``min(ratios, tau)``, cached for the last cap used.
 

@@ -14,7 +14,10 @@
   dataset's writes against its query batches (epoch fencing), and runs
   different datasets in parallel;
 * :class:`ServiceMetrics` — per-dataset latency histograms and
-  solve/coalesce/eviction counters, exported as one ``snapshot()`` dict.
+  solve/coalesce/eviction counters, exported as one ``snapshot()`` dict;
+* :class:`SnapshotStore` — versioned on-disk snapshots of warm indexes
+  (checksummed npz + JSON manifest); the registry's ``spill_dir=`` tier
+  evicts to it and reloads from it, and it warm-starts new processes.
 
 See ``docs/SCALING.md`` for the architecture, the shard-merge
 correctness argument, and tuning guidance; ``benchmarks/
@@ -25,6 +28,13 @@ from .gateway import Gateway
 from .metrics import LatencyHistogram, ServiceMetrics
 from .registry import DatasetRegistry
 from .shard import build_index_sharded, parallel_preprocess, shard_spans
+from .store import (
+    SnapshotError,
+    SnapshotStore,
+    dataset_fingerprint,
+    load_index,
+    save_index,
+)
 from .workload import (
     ServiceBenchReport,
     ServiceRequest,
@@ -40,10 +50,15 @@ __all__ = [
     "ServiceBenchReport",
     "ServiceMetrics",
     "ServiceRequest",
+    "SnapshotError",
+    "SnapshotStore",
     "build_index_sharded",
     "build_tenant_workload",
+    "dataset_fingerprint",
+    "load_index",
     "naive_solve",
     "parallel_preprocess",
     "run_service_benchmark",
+    "save_index",
     "shard_spans",
 ]

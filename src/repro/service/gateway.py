@@ -68,13 +68,20 @@ class _PendingOp:
     enqueued: float
 
 
-def _coalesce_key(q: Query) -> tuple | None:
+def _coalesce_key(q: Query, resolved: str | None = None) -> tuple | None:
     """Hashable identity of a query, or ``None`` when not coalescible.
 
     Two requests coalesce only when every field that can influence the
     solution matches; any non-scalar option (a ``Generator`` seed, an
     explicit net array) makes the request non-coalescible, mirroring the
     index's own memoization rules.
+
+    ``resolved`` is the concrete algorithm the dataset's index reports
+    for this query (``FairHMSIndex.resolve_query``).  With it the key is
+    *normalized*: ``"auto"`` and its resolution are the same request,
+    and knobs the exact IntCov never consumes — ``eps`` and ``seed`` —
+    are dropped, so two IntCov requests differing only in them share one
+    solve instead of solving twice.
     """
     if q.constraint is not None:
         constraint_key = (
@@ -88,14 +95,21 @@ def _coalesce_key(q: Query) -> tuple | None:
             float(q.alpha),
             str(q.scheme),
         )
-    if q.seed is None or isinstance(q.seed, bool):
-        seed_key = None if q.seed is None else NotImplemented
-    elif isinstance(q.seed, (int, np.integer)):
-        seed_key = int(q.seed)
+    algorithm = str(q.algorithm) if resolved is None else str(resolved)
+    if algorithm == "IntCov":
+        # Exact and deterministic: neither eps nor seed reaches the
+        # solver, so neither may split (or block) coalescing.
+        seed_key = eps_key = None
     else:
-        return None  # a live Generator: never coalesce
-    if seed_key is NotImplemented:
-        return None
+        if q.seed is None or isinstance(q.seed, bool):
+            seed_key = None if q.seed is None else NotImplemented
+        elif isinstance(q.seed, (int, np.integer)):
+            seed_key = int(q.seed)
+        else:
+            return None  # a live Generator: never coalesce
+        if seed_key is NotImplemented:
+            return None
+        eps_key = float(q.eps)
     options = []
     for name, value in sorted(q.options.items()):
         if isinstance(value, (bool, str, type(None))):
@@ -106,7 +120,7 @@ def _coalesce_key(q: Query) -> tuple | None:
             options.append((name, float(value)))
         else:
             return None
-    return (constraint_key, float(q.eps), str(q.algorithm), seed_key, tuple(options))
+    return (constraint_key, eps_key, algorithm, seed_key, tuple(options))
 
 
 class Gateway:
@@ -145,6 +159,11 @@ class Gateway:
         self._dispatcher: threading.Thread | None = None
         self._stop_event = threading.Event()
         self._stopping = False
+        # Serializes drain() callers against each other; combined with
+        # joining the dispatcher first, it keeps the final stop-time
+        # drain from ever overlapping a dispatcher cycle (drain()'s
+        # contract).
+        self._drain_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # producer API
@@ -217,7 +236,12 @@ class Gateway:
         if self._stopping:
             # Enqueued concurrently with stop(): the dispatcher may
             # already have drained for the last time, so process the
-            # inbox here — no accepted future may be left pending.
+            # inbox here — no accepted future may be left pending.  Wait
+            # out the dispatcher's final cycle first: drain() must never
+            # run while it may still be mid-collect.
+            dispatcher = self._dispatcher
+            if dispatcher is not None:
+                dispatcher.join()
             self.drain()
         return op.future
 
@@ -318,16 +342,19 @@ class Gateway:
 
         Single-threaded alternative to the background dispatcher for
         tests and replay benchmarks — coalescing and fencing behave
-        identically.  Do not call concurrently with a running dispatcher
-        thread (it is for whichever of the two modes you are not using).
+        identically.  Concurrent drain() calls serialize on an internal
+        lock (the stop()/submit() shutdown race funnels through here),
+        but do not call it alongside a *running* dispatcher thread —
+        stop() and racing submits join the dispatcher before draining.
         """
         handled = 0
-        while True:
-            ops = self._collect(block=False)
-            if not ops:
-                break
-            handled += len(ops)
-            self._route(ops, inline=True)
+        with self._drain_lock:
+            while True:
+                ops = self._collect(block=False)
+                if not ops:
+                    break
+                handled += len(ops)
+                self._route(ops, inline=True)
         return handled
 
     # ------------------------------------------------------------------ #
@@ -412,20 +439,26 @@ class Gateway:
         """Coalesce one uninterrupted query run and solve each key once."""
         if not run:
             return
-        groups: dict[object, list[_PendingOp]] = {}
-        for op in run:
-            try:
-                key = _coalesce_key(op.query)
-            except Exception:  # noqa: BLE001 - e.g. a malformed constraint
-                key = None  # solve alone; index.query raises the real error
-            if key is None:
-                key = object()  # unique: never coalesced
-            groups.setdefault(key, []).append(op)
         try:
             index = self.registry.get(name)
         except Exception as exc:  # noqa: BLE001 - e.g. unregistered mid-run
             self._fail_ops(name, run, exc)
             return
+        groups: dict[object, list[_PendingOp]] = {}
+        for op in run:
+            try:
+                # Normalize on the resolved algorithm so "auto" requests
+                # coalesce with explicit ones and IntCov ignores eps/seed.
+                resolved = index.resolve_query(op.query)
+            except Exception:  # noqa: BLE001 - e.g. k and constraint unset
+                resolved = None  # key on the literal fields instead
+            try:
+                key = _coalesce_key(op.query, resolved)
+            except Exception:  # noqa: BLE001 - e.g. a malformed constraint
+                key = None  # solve alone; index.query raises the real error
+            if key is None:
+                key = object()  # unique: never coalesced
+            groups.setdefault(key, []).append(op)
         # Fence: remember the data version this run is answered at; a
         # change mid-run means someone wrote around the gateway.
         fence = getattr(index, "version", None)

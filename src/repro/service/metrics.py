@@ -55,15 +55,27 @@ class LatencyHistogram:
         self.max = max(self.max, value)
 
     def quantile(self, q: float) -> float:
-        """Upper bound of the bucket holding the ``q``-quantile sample."""
+        """Upper bound of the bucket holding the ``q``-quantile sample.
+
+        Bounded by the observed extremes: samples in the open-ended
+        overflow bucket report the observed maximum (the last bucket
+        edge would understate them by an unbounded amount), and every
+        quantile is capped at that maximum.  ``q = 0.0`` targets the
+        smallest recorded sample — never an empty leading bucket's edge.
+        """
         if self.count == 0:
             return 0.0
-        target = q * self.count
+        # At least one sample must be covered: q = 0.0 means "the first
+        # sample's bucket", not "wherever a cumulative count of zero
+        # first clears zero" (that returned the empty first bucket).
+        target = max(1.0, q * self.count)
         seen = 0
         for i, c in enumerate(self._counts):
             seen += c
             if seen >= target:
-                return _BUCKET_EDGES[min(i, len(_BUCKET_EDGES) - 1)]
+                if i >= len(_BUCKET_EDGES):
+                    return self.max  # overflow bucket: the edge would lie
+                return min(_BUCKET_EDGES[i], self.max)
         return self.max
 
     def snapshot(self) -> dict:
@@ -95,6 +107,9 @@ class _DatasetStats:
             "errors": 0,
             "builds": 0,
             "evictions": 0,
+            "cache_clears": 0,
+            "spills": 0,
+            "spill_loads": 0,
             "fence_violations": 0,
         }
         self.request_latency = LatencyHistogram()
@@ -114,7 +129,10 @@ class ServiceMetrics:
     ``observe_request`` / ``observe_solve`` record latencies.  The
     gateway records ``requests`` on submit, ``solves`` per actual solver
     run, and ``coalesced`` for every request answered by a solve it
-    shared; the registry records ``builds`` and ``evictions``.
+    shared; the registry records ``builds``, ``evictions`` (index
+    actually dropped), ``cache_clears`` (pinned live index reclaimed in
+    place), ``spills`` (snapshot written on eviction), and
+    ``spill_loads`` (index reloaded from its snapshot).
     """
 
     def __init__(self) -> None:

@@ -19,18 +19,33 @@ access, and enforces an optional byte budget with LRU eviction:
 
 The most recently touched index is never evicted, so a single index
 larger than the whole budget still serves (the budget is then best
-effort — it bounds *extra* residency, not the working set).  **Live**
-indexes are never auto-evicted at all: the inserts/deletes applied to
-them exist nowhere else, so a rebuild from the spec would silently lose
-them; budget pressure only clears their caches (see :meth:`evict`).
+effort — it bounds *extra* residency, not the working set).
+
+With a **spill tier** (``spill_dir=``), eviction writes a
+:class:`~repro.service.store.SnapshotStore` snapshot before dropping,
+and :meth:`get` reloads from disk instead of rebuilding — bit-identical
+answers either way, but a reload restores every warm artifact the
+eviction captured (see ``docs/PERSISTENCE.md`` and
+``benchmarks/bench_snapshot.py``).  **Live** indexes are the system of
+record for their applied writes, so without a spill tier they are never
+auto-evicted — budget pressure only clears their caches; with one, they
+spill like everything else (the snapshot carries the alive table), and
+only a spill that cannot run safely (dataset mid-batch, disk error)
+degrades back to a cache clear.
 
 All operations are thread-safe; per-dataset serialization of queries
 against updates is the gateway's job (see
-:meth:`DatasetRegistry.lock_for`).
+:meth:`DatasetRegistry.lock_for`).  With a spill tier, route live
+writes through the gateway (or hold :meth:`lock_for` yourself): the
+spill fences on that lock, and a writer mutating a directly held index
+reference around it races the spill exactly like it would race
+:meth:`unregister`.
 """
 
 from __future__ import annotations
 
+import inspect
+import json
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -40,6 +55,7 @@ from ..serving.index import FairHMSIndex
 from ..serving.live import LiveFairHMSIndex
 from .metrics import ServiceMetrics
 from .shard import build_index_sharded
+from .store import SnapshotError, SnapshotStore
 
 __all__ = ["DatasetRegistry"]
 
@@ -60,6 +76,21 @@ class _Spec:
     def load_dataset(self) -> Dataset:
         return self.dataset if self.dataset is not None else self.factory()
 
+    def registration(self) -> dict | None:
+        """JSON-normalized index kwargs, recorded into spill snapshots.
+
+        A snapshot reloaded under a registration with *different* kwargs
+        (a changed ``normalize``, ``per_group_skyline``, seed policy, …)
+        would answer for the wrong preprocessing config; recording the
+        kwargs verbatim lets the reload detect any such mismatch.
+        ``None`` when the kwargs are not JSON-representable — the reload
+        then falls back to comparing the serving config alone.
+        """
+        try:
+            return json.loads(json.dumps(self.index_kwargs, sort_keys=True))
+        except (TypeError, ValueError):
+            return None
+
 
 class DatasetRegistry:
     """Named, lazily built, byte-budgeted collection of serving indexes.
@@ -68,7 +99,16 @@ class DatasetRegistry:
         max_bytes: total :meth:`cache_bytes` budget across resident
             indexes; ``None`` disables eviction.
         metrics: shared :class:`ServiceMetrics` sink (one is created if
-            omitted); builds and evictions are recorded per dataset.
+            omitted); builds, evictions, spills, reloads, and cache
+            clears are recorded per dataset.
+        spill_dir: directory for the snapshot spill tier; ``None`` (the
+            default) disables it.  With a spill tier, :meth:`evict`
+            writes a snapshot before dropping and :meth:`get` reloads
+            from it instead of rebuilding; live indexes become
+            evictable (their applied writes travel in the snapshot).
+            Snapshots from a previous process warm-start the same
+            registrations — the name is the key, so register the same
+            data under the same name.
     """
 
     def __init__(
@@ -76,9 +116,11 @@ class DatasetRegistry:
         *,
         max_bytes: int | None = None,
         metrics: ServiceMetrics | None = None,
+        spill_dir=None,
     ) -> None:
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.store = SnapshotStore(spill_dir) if spill_dir is not None else None
         self._lock = threading.RLock()
         self._specs: dict[str, _Spec] = {}
         self._resident: OrderedDict[str, FairHMSIndex] = OrderedDict()
@@ -136,26 +178,33 @@ class DatasetRegistry:
             )
 
     def unregister(self, name: str) -> None:
-        """Drop the spec and any resident index for ``name``.
+        """Drop the spec, any resident index, and any spilled snapshot.
 
-        For a live index this discards its applied writes.
+        For a live index this discards its applied writes — both the
+        in-memory ones and any spilled copy (a stale snapshot must not
+        resurrect under a future registration of the same name).
         """
         with self._lock:
             self.evict(name, force=True)
             self._specs.pop(name, None)
+        if self.store is not None:
+            self.store.remove(name)
 
     # ------------------------------------------------------------------ #
     # access
     # ------------------------------------------------------------------ #
 
     def get(self, name: str) -> FairHMSIndex:
-        """The serving index for ``name``, built now if not resident.
+        """The serving index for ``name``, reloaded or built if not resident.
 
         Touches the LRU order and re-enforces the byte budget (the
-        returned index itself is never the eviction victim).  Builds run
+        returned index itself is never the eviction victim).  With a
+        spill tier, a spilled snapshot is reloaded instead of rebuilding
+        — bit-identical answers, warm caches.  Builds and reloads run
         *outside* the registry lock — one slow cold build never blocks
         other datasets — serialized per dataset on the spec lock (the
-        same lock the gateway drains that dataset's mailbox under).
+        same lock the gateway drains that dataset's mailbox under, and
+        the same lock :meth:`evict` spills under).
         """
         with self._lock:
             spec = self._specs.get(name)
@@ -169,7 +218,7 @@ class DatasetRegistry:
                 with self._lock:
                     index = self._resident.get(name)
                 if index is None:
-                    index = self._build(spec)
+                    index = self._restore_or_build(spec)
                 with self._lock:
                     if name in self._specs:
                         # A racing builder (direct get() calls around the
@@ -178,6 +227,66 @@ class DatasetRegistry:
                         index = self._resident.setdefault(name, index)
                         self._resident.move_to_end(name)
         self.enforce_budget()
+        return index
+
+    def _restore_or_build(self, spec: _Spec) -> FairHMSIndex:
+        """Reload the spilled snapshot if one exists, else build cold."""
+        index = self._load_spilled(spec)
+        return index if index is not None else self._build(spec)
+
+    def _load_spilled(self, spec: _Spec) -> FairHMSIndex | None:
+        """A reloaded snapshot index, or ``None`` to fall back to a build.
+
+        Frozen specs fall back silently (a deterministic rebuild is
+        always available and bit-identical); a live spec's snapshot *is*
+        the current data, so corruption there raises — rebuilding from
+        the original registration would silently drop every applied
+        write.  A frozen snapshot whose serving config no longer matches
+        the spec is ignored the same way (it answers for a different
+        cache/seed policy).
+        """
+        store = self.store
+        if store is None or spec.name not in store:
+            return None
+        try:
+            manifest = store.manifest(spec.name)
+        except SnapshotError:
+            if spec.live:
+                raise
+            return None
+        recorded = manifest.get("registration")
+        if not spec.live and recorded is not None:
+            # The snapshot knows which index kwargs produced it: any
+            # difference (normalize, per_group_skyline, seeds, ...) means
+            # it answers for another preprocessing config — rebuild.
+            if recorded != spec.registration():
+                return None
+        try:
+            index = store.load_index(spec.name)
+        except SnapshotError:
+            if spec.live:
+                raise
+            return None
+        if isinstance(index, LiveFairHMSIndex) != spec.live:
+            if spec.live:
+                raise SnapshotError(
+                    f"snapshot for live dataset {spec.name!r} holds a "
+                    f"frozen index; remove it to rebuild from the spec"
+                )
+            return None
+        if not spec.live and recorded is None:
+            # Snapshot written without registration provenance (bare
+            # store.save_index): the serving config is the best mismatch
+            # signal left.  Defaults come from the constructor itself so
+            # they cannot drift from FairHMSIndex.
+            signature = inspect.signature(FairHMSIndex.__init__)
+            expected = {
+                key: spec.index_kwargs.get(key, signature.parameters[key].default)
+                for key in ("default_seed", "cache_results", "max_cached_results")
+            }
+            if index.serving_config() != expected:
+                return None
+        self.metrics.incr(spec.name, "spill_loads")
         return index
 
     def _build(self, spec: _Spec) -> FairHMSIndex:
@@ -248,43 +357,88 @@ class DatasetRegistry:
         return sum(ix.cache_bytes() for ix in indexes)
 
     def evict(self, name: str, *, force: bool = False) -> bool:
-        """Release ``name``'s caches and drop its index; keep the spec.
+        """Release ``name``'s index — spilling it first when a tier exists.
 
-        Returns True if an index was dropped.  Callers holding a
+        Returns True if an index was dropped (counted under the
+        ``evictions`` metric; a pinned live index that merely had its
+        caches cleared counts under ``cache_clears`` instead, so
+        eviction metrics are never inflated).  Callers holding a
         reference to the evicted index can keep using it (answers stay
-        correct — caches only went cold); the registry will rebuild a
-        fresh, bit-identical index on the next :meth:`get`.
+        correct — caches only went cold); the registry reloads the spill
+        snapshot — or rebuilds, bit-identically — on the next
+        :meth:`get`.
 
-        **Live indexes are pinned**: they are the system of record for
-        the inserts/deletes applied to them, so dropping one would
-        silently rebuild from the original registered dataset and lose
-        every write.  Without ``force``, evicting a live index only
-        clears its caches (reclaiming engines and memos, keeping the
-        data) and returns False; ``force=True`` really drops it —
-        :meth:`unregister` uses that, accepting the data loss.
+        **Live indexes** are the system of record for their applied
+        writes.  Without a spill tier they are pinned: evicting one only
+        clears its caches and returns False.  With a tier, the snapshot
+        carries the alive table, so the index is spilled and dropped —
+        under the dataset's scheduling lock, so no gateway write can
+        land between the snapshot and the drop; if that lock is busy (a
+        batch is mid-flight) or the disk write fails, the evict degrades
+        to the pinned cache clear.  ``force=True`` drops without
+        spilling, accepting the data loss — that is :meth:`unregister`'s
+        path.
         """
         with self._lock:
             index = self._resident.get(name)
             if index is None:
                 return False
             spec = self._specs.get(name)
-            pinned = spec is not None and spec.live and not force
-            if not pinned:
-                self._resident.pop(name)
+        live = spec is not None and spec.live
+        spilled = False
+        if live and not force:
+            if self.store is not None and spec.lock.acquire(blocking=False):
+                try:
+                    self.store.save_index(
+                        name, index, registration=spec.registration()
+                    )
+                    spilled = True
+                    # Drop while still fencing the dataset: a write that
+                    # arrives after this point re-enters through get()
+                    # and lands on the reloaded snapshot.
+                    with self._lock:
+                        self._resident.pop(name, None)
+                except OSError:
+                    spilled = False
+                finally:
+                    spec.lock.release()
+            if not spilled:
+                # Pinned: reclaim engines and memos, keep the data.
+                index.clear_caches()
+                self.metrics.incr(name, "cache_clears")
+                return False
+        else:
+            if self.store is not None and spec is not None and not force:
+                # Frozen spill is an optimization (rebuilds are
+                # deterministic and bit-identical): a failed write just
+                # means the next get() rebuilds instead of reloading.
+                try:
+                    self.store.save_index(
+                        name, index, registration=spec.registration()
+                    )
+                    spilled = True
+                except OSError:
+                    pass
+            with self._lock:
+                if self._resident.pop(name, None) is None:
+                    return False  # a racing evict won (and did the books)
         # clear_caches serializes on the index's serve lock; never wait
         # for a busy index while holding the registry lock.
         index.clear_caches()
         self.metrics.incr(name, "evictions")
-        return not pinned
+        if spilled:
+            self.metrics.incr(name, "spills")
+        return True
 
     def enforce_budget(self) -> int:
         """Reclaim LRU indexes until under ``max_bytes``.
 
         Returns the number of *dropped* indexes.  The most recently
         touched index always stays (a lone index above budget cannot be
-        evicted out of serving); frozen victims are dropped, live
-        victims only have their caches cleared — their applied writes
-        exist nowhere else (see :meth:`evict`).
+        evicted out of serving); frozen victims are dropped (spilled
+        first when a tier exists), live victims spill too when a tier
+        exists and otherwise only have their caches cleared — their
+        applied writes exist nowhere else (see :meth:`evict`).
         """
         if self.max_bytes is None:
             return 0
@@ -314,7 +468,7 @@ class DatasetRegistry:
     # ------------------------------------------------------------------ #
 
     def snapshot(self) -> dict:
-        """Registry state: budget, residency, and per-dataset bytes."""
+        """Registry state: budget, residency, spill tier, per-dataset bytes."""
         with self._lock:
             registered = list(self._specs)
             indexes = dict(self._resident)
@@ -324,6 +478,8 @@ class DatasetRegistry:
             "registered": registered,
             "resident": resident,
             "total_cache_bytes": sum(resident.values()),
+            "spill_dir": None if self.store is None else str(self.store.root),
+            "spilled": () if self.store is None else self.store.names(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -173,6 +173,54 @@ class SolverArtifacts:
             self._mhr_candidates = None
             self._dirty_geometry = False
 
+    def restore_epoch(self, epoch: int) -> int:
+        """Fast-forward the epoch counter without staging invalidation.
+
+        Snapshot restore uses this so a reloaded live index resumes at
+        the epoch it was spilled at instead of restarting from 0; a
+        target at or below the current epoch is a no-op (epochs are
+        monotone).  Returns the resulting epoch.
+        """
+        if int(epoch) > self._epoch:
+            self._epoch = int(epoch)
+        return self._epoch
+
+    def prime_net(self, m: int, seed: int, net: np.ndarray) -> None:
+        """Install an externally provided direction net (snapshot restore).
+
+        The caller guarantees ``net`` equals ``sample_directions(m, d,
+        default_rng(seed))`` bit for bit — nets are persisted, never
+        recomputed, exactly because the equality holds.
+        """
+        key = _seed_key(seed)
+        if key is None:
+            raise ValueError("only integer-seed nets are cacheable")
+        net_arr = np.asarray(net, dtype=np.float64)
+        if net_arr.shape != (int(m), self._dataset.dim):
+            raise ValueError(
+                f"net shape {net_arr.shape} does not match "
+                f"(m={int(m)}, d={self._dataset.dim})"
+            )
+        self._nets[(int(m), key)] = net_arr
+
+    def prime_engine(self, m: int, seed: int, engine: TruncatedEngine) -> None:
+        """Install an externally restored engine (snapshot restore).
+
+        Flushes staged invalidation first so the primed engine cannot be
+        dropped by a stale dirty flag; the engine must have been built
+        over exactly this dataset's points for the cached answers to be
+        bit-identical.
+        """
+        key = _seed_key(seed)
+        if key is None:
+            raise ValueError("only integer-seed engines are cacheable")
+        if engine.n != self._dataset.n:
+            raise ValueError(
+                f"engine covers {engine.n} points, dataset has {self._dataset.n}"
+            )
+        self.flush_invalidations()
+        self._engines[(int(m), key)] = engine
+
     def prime_geometry(self, envelope: Envelope, mhr_candidates: np.ndarray) -> None:
         """Install externally maintained 2-D geometry (live serving).
 
@@ -257,6 +305,32 @@ class SolverArtifacts:
                 self._dataset.points, self.envelope()
             )
         return self._mhr_candidates
+
+    # ------------------------------------------------------------------ #
+    # snapshot export: point-in-time views of the cache contents
+    # ------------------------------------------------------------------ #
+
+    def cached_nets(self) -> dict[tuple[int, int], np.ndarray]:
+        """Copy of the ``(m, seed) -> net`` cache (snapshot persistence)."""
+        return dict(self._nets)
+
+    def cached_engines(self) -> dict[tuple[int, int], TruncatedEngine]:
+        """Copy of the ``(m, seed) -> engine`` cache, post-invalidation.
+
+        Staged invalidation is flushed first so a snapshot can never
+        capture an engine a live index already marked stale.
+        """
+        self.flush_invalidations()
+        return dict(self._engines)
+
+    def cached_geometry(self) -> tuple[Envelope | None, np.ndarray | None]:
+        """The cached 2-D envelope and candidate-MHR values (or Nones).
+
+        Unlike :meth:`envelope` / :meth:`mhr_candidates` this never
+        *builds* anything — a snapshot captures what is resident.
+        """
+        self.flush_invalidations()
+        return self._envelope, self._mhr_candidates
 
     # ------------------------------------------------------------------ #
 

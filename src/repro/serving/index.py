@@ -23,6 +23,7 @@ the seed-derived stream the cold path would use.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -76,8 +77,10 @@ class FairHMSIndex:
         cache_results: memoize fully solved queries (keyed by algorithm,
             constraint, and solver options).  Cached hits return the same
             :class:`Solution` object — treat solutions as read-only.
-        max_cached_results: bound on the result memo; the oldest entry is
-            evicted past it.  The artifact (net/engine) caches are not
+        max_cached_results: bound on the result memo, evicted LRU — a
+            cache hit refreshes an entry's recency, so the hottest
+            repeated queries survive one-off bursts of distinct ones.
+            The artifact (net/engine) caches are not
             auto-evicted — each distinct ``(m, seed)`` key holds an
             ``(m, n)`` score matrix, so serve with a fixed seed policy
             and call :meth:`clear_caches` if clients control seeds.
@@ -146,7 +149,7 @@ class FairHMSIndex:
         self._default_seed = int(default_seed)
         self._cache_results = bool(cache_results)
         self._max_cached_results = max(1, int(max_cached_results))
-        self._results: dict[tuple, Solution] = {}
+        self._results: OrderedDict[tuple, Solution] = OrderedDict()
         self._result_hits = 0
         self._result_misses = 0
         self._constraints: dict[tuple, FairnessConstraint] = {}
@@ -314,6 +317,39 @@ class FairHMSIndex:
                     total += value.nbytes
         return int(total)
 
+    def serving_config(self) -> dict:
+        """The construction-time serving parameters (snapshot persistence).
+
+        Exactly the keyword arguments a restore must pass so the reloaded
+        index keys its caches — and draws its default randomness — the
+        same way this one does.
+        """
+        return {
+            "default_seed": self._default_seed,
+            "cache_results": self._cache_results,
+            "max_cached_results": self._max_cached_results,
+        }
+
+    def memoized_results(self) -> dict[tuple, Solution]:
+        """Copy of the result memo, LRU order preserved (persistence)."""
+        with self._serve_lock:
+            return dict(self._results)
+
+    def prime_result(self, key: tuple, solution: Solution) -> None:
+        """Install a memoized solution under ``key`` (snapshot restore).
+
+        The caller guarantees ``key`` is exactly what :meth:`query` would
+        compute for the solution's parameters — snapshot load replays
+        keys captured from :meth:`memoized_results`, never synthesizes
+        them.  No-op when result caching is disabled.
+        """
+        if not self._cache_results:
+            return
+        with self._serve_lock:
+            while len(self._results) >= self._max_cached_results:
+                self._results.popitem(last=False)
+            self._results[tuple(key)] = solution
+
     def clear_result_cache(self) -> None:
         """Drop memoized solutions (artifact caches are kept)."""
         with self._serve_lock:
@@ -386,6 +422,31 @@ class FairHMSIndex:
     # queries
     # ------------------------------------------------------------------ #
 
+    def resolve_query(self, query: "Query") -> str:
+        """The concrete algorithm name ``query`` will run under.
+
+        Applies exactly the dispatch rule :meth:`query` applies —
+        ``resolve_algorithm`` over the current skyline and the query's
+        (possibly constructed) constraint — so schedulers in front of the
+        index (the service gateway) can treat ``"auto"`` and its
+        resolution as the same request, and drop knobs the resolved
+        algorithm ignores (IntCov takes neither ``eps`` nor ``seed``).
+        """
+        with self._serve_lock:
+            self._refresh()
+            if self._skyline is None:
+                raise ValueError("no tuples alive; insert data before querying")
+            constraint = query.constraint
+            if constraint is None:
+                if query.k is None:
+                    raise ValueError(
+                        "provide either k or an explicit constraint"
+                    )
+                constraint = self.constraint_for(
+                    query.k, alpha=query.alpha, scheme=query.scheme
+                )
+            return resolve_algorithm(self._skyline, constraint, query.algorithm)
+
     def query(
         self,
         k: int | None = None,
@@ -447,6 +508,7 @@ class FairHMSIndex:
                 cached = self._results.get(key)
                 if cached is not None:
                     self._result_hits += 1
+                    self._results.move_to_end(key)  # true LRU: hits refresh
                     return cached
             if algorithm == "IntCov" and key is not None:
                 hint = self._tau_hints.get(key)
@@ -466,7 +528,7 @@ class FairHMSIndex:
                     self._tau_hints[key] = float(solution.stats["tau"])
                 self._result_misses += 1
                 while len(self._results) >= self._max_cached_results:
-                    self._results.pop(next(iter(self._results)))  # oldest
+                    self._results.popitem(last=False)  # least recently used
                 self._results[key] = solution
             return solution
 

@@ -191,6 +191,86 @@ class LiveFairHMSIndex(FairHMSIndex):
             return admitted
 
     # ------------------------------------------------------------------ #
+    # snapshot persistence
+    # ------------------------------------------------------------------ #
+
+    def live_state(self) -> dict:
+        """Point-in-time export of the live table (snapshot persistence).
+
+        Returns the alive tuples in deterministic ``(group, key)`` order —
+        ``keys`` / ``points`` / ``groups`` arrays, with points already in
+        the frozen normalization frame — plus ``scale``, the table shape,
+        the update ``version``, and the serving ``epoch``.  Pending (not
+        yet refreshed) updates are included: the arrays describe the data,
+        not the serving state.  The streaming sieve behind
+        :meth:`observe_stream` is deliberately *not* part of the state:
+        its buffer is a lossy view of an unbounded stream, so a restored
+        index starts a fresh sieve (see ``docs/PERSISTENCE.md``).
+        """
+        with self._serve_lock:
+            self._refresh()
+            keys: list[int] = []
+            groups: list[int] = []
+            points: list[np.ndarray] = []
+            for key, point, group in self._dyn.items():
+                keys.append(key)
+                groups.append(group)
+                points.append(point)
+            return {
+                "keys": np.asarray(keys, dtype=np.int64),
+                "points": (
+                    np.asarray(points)
+                    if points
+                    else np.empty((0, self._dyn.dim))
+                ),
+                "groups": np.asarray(groups, dtype=np.int64),
+                "scale": self._scale.copy(),
+                "dim": self._dyn.dim,
+                "num_groups": self._dyn.num_groups,
+                "version": self._dyn.version,
+                "epoch": self.epoch,
+            }
+
+    @classmethod
+    def from_live_state(
+        cls,
+        keys,
+        points,
+        groups,
+        *,
+        scale,
+        dim: int,
+        num_groups: int,
+        version: int | None = None,
+        epoch: int | None = None,
+        **config,
+    ) -> "LiveFairHMSIndex":
+        """Rebuild a live index from a :meth:`live_state` export.
+
+        The restored index answers every query bit-identically to the
+        exported one: the alive table is reloaded in the same
+        deterministic order, the normalization frame is reinstated
+        verbatim, and version/epoch counters resume where they left off
+        so epoch-stamped diagnostics and gateway version fences stay
+        monotone across the spill.  ``config`` takes the
+        :meth:`~FairHMSIndex.serving_config` keywords.
+        """
+        index = cls(dim=int(dim), num_groups=int(num_groups), **config)
+        with index._serve_lock:
+            index._scale = np.asarray(scale, dtype=np.float64).copy()
+            keys = np.asarray(keys, dtype=np.int64)
+            if keys.size:
+                # Points are already in the frozen frame: load through the
+                # dynamic store directly, bypassing insert()'s re-scaling.
+                index._dyn.bulk_insert(keys, np.asarray(points), groups)
+            if version is not None:
+                index._dyn.advance_version(int(version))
+            index._refresh()
+            if epoch is not None and index._artifacts is not None:
+                index._artifacts.restore_epoch(int(epoch))
+        return index
+
+    # ------------------------------------------------------------------ #
     # refresh / epochs
     # ------------------------------------------------------------------ #
 

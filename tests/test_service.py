@@ -283,6 +283,26 @@ class TestRegistry:
         reg.unregister("live")
         assert "live" not in reg
 
+    def test_pinned_live_evict_counts_cache_clear_not_eviction(self):
+        # Regression: a pinned live index whose caches were merely
+        # cleared used to increment the evictions counter, inflating
+        # eviction metrics even though nothing was dropped.
+        reg = DatasetRegistry()
+        reg.register("live", tenant(seed=51, name="live"), live=True)
+        reg.get("live").query(4)
+        assert reg.evict("live") is False
+        assert reg.evict("live") is False
+        totals = reg.metrics.snapshot()["totals"]
+        assert totals["evictions"] == 0
+        assert totals["cache_clears"] == 2
+        # A frozen drop still counts as a real eviction.
+        reg.register("frozen", tenant(seed=52, name="frozen"))
+        reg.get("frozen")
+        assert reg.evict("frozen")
+        totals = reg.metrics.snapshot()["totals"]
+        assert totals["evictions"] == 1
+        assert totals["cache_clears"] == 2
+
     def test_sharded_registry_build_matches_sequential(self):
         data = tenant(n=300, d=3, seed=50)
         seq = DatasetRegistry()
@@ -325,7 +345,14 @@ class TestGateway:
         assert totals["fence_violations"] == 0
 
     def test_generator_seeds_never_coalesce(self):
-        reg, gw = self.make()
+        # 3-D routes to BiGreedy+, which actually consumes the seed; a
+        # live Generator means fresh randomness per request, so the two
+        # must solve separately.  (On a 2-D/IntCov dataset the seed is
+        # never consumed and coalescing them is correct — see
+        # test_intcov_requests_coalesce_across_eps_and_seed.)
+        reg = DatasetRegistry()
+        reg.register("a", tenant(d=3, seed=36, name="a"))
+        gw = Gateway(reg)
         futures = [
             gw.submit("a", 4, seed=np.random.default_rng(1)) for _ in range(2)
         ]
@@ -335,6 +362,46 @@ class TestGateway:
         totals = reg.metrics.snapshot()["totals"]
         assert totals["solves"] == 2
         assert totals["coalesced"] == 0
+
+    def test_intcov_requests_coalesce_across_eps_and_seed(self):
+        # Regression: eps/seed (and the literal "auto" vs "IntCov" name)
+        # used to split the coalesce key even though IntCov consumes
+        # none of them — two requests differing only there solved twice.
+        reg, gw = self.make()
+        futures = [
+            gw.submit("a", 4, eps=0.02),
+            gw.submit("a", 4, eps=0.05),
+            gw.submit("a", 4, algorithm="IntCov", eps=0.1, seed=99),
+            gw.submit("a", 4, seed=np.random.default_rng(1)),  # unused seed
+        ]
+        gw.drain()
+        results = [f.result(timeout=0) for f in futures]
+        direct = reg.get("a").query(4)
+        for r in results:
+            assert r is results[0]  # one solve fanned out to all four
+            assert_same_solution(r, direct)
+        totals = reg.metrics.snapshot()["totals"]
+        assert totals["solves"] == 1
+        assert totals["coalesced"] == 3
+
+    def test_bigreedy_requests_still_split_on_eps_and_seed(self):
+        # The IntCov normalization must not leak into solvers that do
+        # consume eps and seed.
+        reg = DatasetRegistry()
+        reg.register("a", tenant(d=3, seed=36, name="a"))
+        gw = Gateway(reg)
+        futures = [
+            gw.submit("a", 4, eps=0.02, seed=7),
+            gw.submit("a", 4, eps=0.05, seed=7),
+            gw.submit("a", 4, eps=0.02, seed=8),
+            gw.submit("a", 4, eps=0.02, seed=7),  # dup of the first
+        ]
+        gw.drain()
+        for f in futures:
+            f.result(timeout=0)
+        totals = reg.metrics.snapshot()["totals"]
+        assert totals["solves"] == 3
+        assert totals["coalesced"] == 1
 
     def test_unknown_dataset_rejected_at_submit(self):
         _, gw = self.make()
@@ -454,6 +521,38 @@ class TestGateway:
         for f in futures:
             assert_same_solution(f.result(timeout=0), reg.get("a").query(4))
 
+    def test_submit_during_stop_never_strands_futures(self):
+        # Stress the stop()/submit() race: producers keep submitting
+        # while stop() runs.  Every accepted future must resolve — the
+        # final drain is serialized behind the dispatcher join, so no op
+        # is lost between the dispatcher's last cycle and shutdown.
+        import threading
+
+        for _ in range(5):
+            reg, gw = self.make(batch_window=0.0005)
+            gw.start()
+            results: list[list] = [[] for _ in range(3)]
+
+            def producer(bucket):
+                for i in range(10):
+                    k = 4 + (i % 2)
+                    bucket.append((k, gw.submit("a", k)))
+
+            threads = [
+                threading.Thread(target=producer, args=(results[i],))
+                for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            gw.stop()
+            for t in threads:
+                t.join()
+            gw.drain()  # anything enqueued after stop() returned
+            for bucket in results:
+                assert len(bucket) == 10
+                for k, f in bucket:
+                    assert_same_solution(f.result(timeout=10), reg.get("a").query(k))
+
     def test_cross_dataset_parallelism_is_safe(self):
         # Hammer two datasets from many threads through the running
         # dispatcher; every answer must equal the direct solve.
@@ -481,6 +580,35 @@ class TestMetrics:
         assert snap["p50_s"] >= 0.001
         assert snap["p99_s"] >= snap["p50_s"]
         assert hist.quantile(0.0) <= hist.quantile(1.0)
+
+    def test_overflow_bucket_reports_observed_max(self):
+        # Regression: samples beyond the last bucket edge (~67s) used to
+        # report that edge as every quantile, understating a 100s (or
+        # 10000s) outlier by an unbounded amount.
+        hist = LatencyHistogram()
+        hist.observe(100.0)
+        assert hist.quantile(0.5) == 100.0
+        assert hist.quantile(1.0) == 100.0
+        hist.observe(0.001)
+        assert hist.quantile(1.0) == 100.0  # p100 is the slow sample
+        assert hist.quantile(0.0) < 1.0  # p0 is the fast one
+
+    def test_zero_quantile_skips_empty_leading_buckets(self):
+        # Regression: q=0.0 used to return the *first* bucket's edge
+        # (1 microsecond) even when every sample sat far above it.
+        hist = LatencyHistogram()
+        hist.observe(0.5)
+        assert hist.quantile(0.0) == 0.5  # capped at the observed max
+        hist.observe(2.0)
+        q0 = hist.quantile(0.0)
+        assert 0.25 <= q0 <= 0.53  # the 0.5s sample's bucket, not 1e-6
+
+    def test_quantiles_never_exceed_observed_max(self):
+        hist = LatencyHistogram()
+        for v in (0.003, 0.005, 0.009):
+            hist.observe(v)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert hist.quantile(q) <= hist.max
 
     def test_service_metrics_totals_aggregate(self):
         metrics = ServiceMetrics()

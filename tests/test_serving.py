@@ -202,6 +202,19 @@ class TestResultMemoBoundary:
         assert index.cache_info()["results_cached"] == 1
         assert index.query(4, seed=1) is not first
 
+    def test_hits_refresh_recency_true_lru(self, small3d):
+        # Regression: the memo used to evict in pure insertion order, so
+        # the hottest repeated query could be evicted by a one-off burst
+        # of distinct queries even while being hit constantly.
+        index = FairHMSIndex(small3d, max_cached_results=2)
+        hot = index.query(4, seed=1)
+        index.query(4, seed=2)
+        assert index.query(4, seed=1) is hot  # hit: moves to MRU
+        index.query(4, seed=3)  # burst: must evict seed=2 (now LRU) ...
+        assert index.query(4, seed=1) is hot  # ... never the hot entry
+        assert index.query(4, seed=2) is not None  # re-solved (was evicted)
+        assert index.cache_info()["results_cached"] == 2
+
 
 class TestSolversWithArtifacts:
     """artifacts= must be a pure cache: results identical with or without."""
