@@ -36,6 +36,7 @@ NUM_OPS = 200
 WRITE_FRAC = 0.2
 KS = (4, 6, 8)
 SEED = 1
+SPEEDUP_FLOOR = 3.0  # 2-D default workload; enforced in non-tiny script mode
 
 
 @pytest.fixture(scope="module")
@@ -104,7 +105,7 @@ def test_live_amortized_speedup_2d(anticor2d_raw):
     )
     print("\n" + _report_line("AntiCor-2D n=2000 80/20", report))
     assert report.identical, f"query mismatches at {report.mismatches}"
-    assert report.speedup >= 3.0
+    assert report.speedup >= SPEEDUP_FLOOR
 
 
 def test_live_identical_6d(anticor6d_raw):
@@ -172,11 +173,22 @@ def main(argv=None) -> int:
             "num_updates": report.num_updates,
             "epochs": report.epochs,
             "identical": report.identical,
+            "floors": {"speedup": SPEEDUP_FLOOR},
+            # The 3x floor is calibrated on the 2-D workload; a run at
+            # another dimension honestly reports its floor unchecked.
+            "floors_checked": not args.tiny and args.d == 2,
         },
     )
     print(f"wrote {out}")
     if not report.identical:
         print(f"FAIL: live answers diverged at queries {report.mismatches}")
+        return 1
+    if not args.tiny and args.d != 2:
+        # The floor is calibrated on the 2-D workload (6-D is dominated
+        # by the shared greedy, ~1.1x); identity still holds everywhere.
+        print(f"note: {args.d}-D workload; the {SPEEDUP_FLOOR}x floor applies at d=2")
+    elif not args.tiny and report.speedup < SPEEDUP_FLOOR:
+        print(f"FAIL: {report.speedup:.1f}x under the {SPEEDUP_FLOOR}x floor")
         return 1
     return 0
 

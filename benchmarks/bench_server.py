@@ -1,0 +1,407 @@
+"""Benchmark: the HTTP serving front-end under closed- and open-loop load.
+
+Replays the PR 3 multi-tenant workload (Zipf tenant skew, hot-set query
+redundancy) against a real ``repro.server`` instance over real sockets,
+two ways:
+
+* **closed loop** — N client threads with persistent keep-alive
+  connections, each issuing its next request as soon as the previous
+  answer lands.  This measures sustained throughput; the acceptance
+  floor is >= 50 req/s on the AntiCor-2D 3-tenant workload (indexes
+  pre-built — the floor is about serving, not cold builds).
+* **open loop** — requests arrive on a fixed wall-clock schedule
+  regardless of completions, the arrival rate set above the measured
+  closed-loop capacity.  This exercises admission control: excess
+  requests are shed with 429, and the bench cross-checks the server's
+  ``shed`` counter against the client-observed 429 count.
+
+Every HTTP 200 answer is verified **bit-identical** (ids + solver MHR
+estimate; JSON round-trips floats exactly) against an in-process
+``Gateway.drain()`` replay of the same request stream — the network
+layer must never change an answer.
+
+Run as a script for a smoke check that also writes ``BENCH_server.json``
+(validated in CI by ``benchmarks/check_bench.py``)::
+
+    PYTHONPATH=src python benchmarks/bench_server.py --tiny
+"""
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.benchio import write_bench_json
+from repro.server import ServerThread
+from repro.service import DatasetRegistry, Gateway
+from repro.service.workload import build_tenant_datasets, build_tenant_workload
+
+NUM_TENANTS = 3
+NUM_REQUESTS = 120
+KS = (4, 6, 8)
+SEED = 3
+DEFAULT_SEED = 7
+THROUGHPUT_FLOOR = 50.0  # req/s, closed loop, non-tiny
+
+
+def request_payload(r) -> dict:
+    return {
+        "dataset": r.dataset,
+        "k": r.query.k,
+        "eps": r.query.eps,
+        "algorithm": r.query.algorithm,
+        "alpha": r.query.alpha,
+    }
+
+
+def oracle_replay(datasets, requests):
+    """In-process ground truth: the same stream through Gateway.drain().
+
+    Returns ``(elapsed_s, answers)`` where each answer is
+    ``(ids_list, mhr_estimate)`` — exactly the bit-identity surface the
+    HTTP responses are compared against.
+    """
+    registry = DatasetRegistry()
+    for name, data in datasets.items():
+        registry.register(name, data, default_seed=DEFAULT_SEED)
+    gateway = Gateway(registry)
+    t0 = time.perf_counter()
+    futures = [
+        gateway.submit(
+            r.dataset,
+            r.query.k,
+            eps=r.query.eps,
+            algorithm=r.query.algorithm,
+            alpha=r.query.alpha,
+        )
+        for r in requests
+    ]
+    gateway.drain()
+    answers = []
+    for f in futures:
+        solution = f.result(timeout=600)
+        est = solution.mhr_estimate
+        answers.append(
+            ([int(v) for v in solution.ids], None if est is None else float(est))
+        )
+    return time.perf_counter() - t0, answers
+
+
+def _post_query(conn, payload):
+    conn.request(
+        "POST",
+        "/v1/query",
+        body=json.dumps(payload),
+        headers={"Content-Type": "application/json"},
+    )
+    resp = conn.getresponse()
+    return resp.status, json.loads(resp.read())
+
+
+def closed_loop(host, port, requests, *, clients):
+    """All clients busy at once, each looping over its share of the stream."""
+    answers = [None] * len(requests)
+    latencies = [0.0] * len(requests)
+    sheds = [0] * max(1, clients)
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(w):
+        conn = http.client.HTTPConnection(host, port, timeout=300)
+        barrier.wait()
+        for i in range(w, len(requests), clients):
+            payload = request_payload(requests[i])
+            try:
+                t0 = time.perf_counter()
+                status, data = _post_query(conn, payload)
+                while status == 429:  # closed loop: back off and retry
+                    sheds[w] += 1
+                    time.sleep(0.005)
+                    status, data = _post_query(conn, payload)
+                latencies[i] = time.perf_counter() - t0
+                answers[i] = (status, data)
+            except (OSError, http.client.HTTPException, ValueError) as exc:
+                # Record the failure and reconnect: a dead worker must
+                # not leave its share of the stream silently unverified
+                # (a None answer is a *failure* in the closed loop).
+                answers[i] = (0, {"error": f"{type(exc).__name__}: {exc}"})
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                conn = http.client.HTTPConnection(host, port, timeout=300)
+        conn.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(w,), daemon=True)
+        for w in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0, answers, latencies, sum(sheds)
+
+
+def open_loop(host, port, requests, *, rate, pool_size=16):
+    """Fixed arrival rate; sheds are expected and counted, not retried."""
+    answers = [None] * len(requests)
+    counts = {"ok": 0, "shed": 0, "error": 0}
+    lock = threading.Lock()
+    local = threading.local()
+
+    def issue(i):
+        conn = getattr(local, "conn", None)
+        if conn is None:
+            conn = local.conn = http.client.HTTPConnection(host, port, timeout=300)
+        try:
+            status, data = _post_query(conn, request_payload(requests[i]))
+        except (OSError, http.client.HTTPException):
+            local.conn = None
+            with lock:
+                counts["error"] += 1
+            return
+        with lock:
+            if status == 200:
+                counts["ok"] += 1
+                answers[i] = (status, data)
+            elif status == 429:
+                counts["shed"] += 1
+            else:
+                counts["error"] += 1
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=pool_size) as pool:
+        pending = []
+        for i in range(len(requests)):
+            delay = (t0 + i / rate) - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            pending.append(pool.submit(issue, i))
+        for f in pending:
+            f.result(timeout=600)
+    return time.perf_counter() - t0, answers, counts
+
+
+def verify_http_answers(answers, oracle, *, require_all=False) -> list:
+    """Indexes whose HTTP answer differs from the in-process replay.
+
+    With ``require_all`` (the closed loop: every request must have been
+    answered) a missing entry counts as a mismatch; without it (the open
+    loop) ``None`` marks a shed or errored request — already accounted
+    for separately — and only the 200s are compared.
+    """
+    mismatches = []
+    for i, entry in enumerate(answers):
+        if entry is None:
+            if require_all:
+                mismatches.append(i)
+            continue
+        status, data = entry
+        if status != 200:
+            mismatches.append(i)
+            continue
+        ids, est = oracle[i]
+        if data["ids"] != ids or data["mhr_estimate"] != est:
+            mismatches.append(i)
+    return mismatches
+
+
+def fetch_metrics(host, port) -> dict:
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    conn.request("GET", "/v1/metrics")
+    resp = conn.getresponse()
+    payload = json.loads(resp.read())
+    conn.close()
+    return payload
+
+
+def test_http_answers_bit_identical():
+    """Closed-loop HTTP answers == in-process Gateway.drain() replay."""
+    datasets = build_tenant_datasets(350)
+    requests = build_tenant_workload(
+        datasets, num_requests=24, ks=KS, seed=SEED
+    )
+    _, oracle = oracle_replay(datasets, requests)
+    registry = DatasetRegistry()
+    for name, data in datasets.items():
+        registry.register(name, data, default_seed=DEFAULT_SEED)
+    with ServerThread(registry) as (host, port):
+        _, answers, _, _ = closed_loop(host, port, requests, clients=4)
+    assert verify_http_answers(answers, oracle, require_all=True) == []
+
+
+def test_open_loop_sheds_match_server_counter():
+    """Client-observed 429s == the server's ServiceMetrics shed counter."""
+    datasets = build_tenant_datasets(350, tenants=1)
+    requests = build_tenant_workload(
+        datasets, num_requests=16, ks=KS, seed=SEED
+    )
+    _, oracle = oracle_replay(datasets, requests)
+    registry = DatasetRegistry()
+    for name, data in datasets.items():
+        registry.register(name, data, default_seed=DEFAULT_SEED)
+    registry.get("tenant0")  # pre-build; the floor is about serving
+    with ServerThread(registry, max_inflight=1) as (host, port):
+        _, answers, counts = open_loop(host, port, requests, rate=400.0)
+        metrics = fetch_metrics(host, port)
+    assert verify_http_answers(answers, oracle) == []
+    assert counts["error"] == 0
+    assert metrics["service"]["totals"]["shed"] == counts["shed"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="small smoke workload (n=350, 24 requests) for CI",
+    )
+    parser.add_argument("--n", type=int, default=1_500, help="tenant size")
+    parser.add_argument("--tenants", type=int, default=NUM_TENANTS)
+    parser.add_argument("--requests", type=int, default=NUM_REQUESTS)
+    parser.add_argument("--clients", type=int, default=8, help="closed-loop clients")
+    parser.add_argument(
+        "--max-inflight", type=int, default=64, help="admission-control bound"
+    )
+    parser.add_argument(
+        "--open-rate",
+        type=float,
+        default=None,
+        help="open-loop arrival rate in req/s (default: 2x measured capacity)",
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+    if args.tiny:
+        args.n, args.requests, args.clients = 350, 24, 4
+
+    datasets = build_tenant_datasets(args.n, tenants=args.tenants)
+    requests = build_tenant_workload(
+        datasets, num_requests=args.requests, ks=KS, seed=args.seed
+    )
+
+    oracle_s, oracle = oracle_replay(datasets, requests)
+    print(
+        f"oracle:  {len(requests)} req via in-process Gateway.drain() in "
+        f"{oracle_s:.2f}s (builds included)"
+    )
+
+    registry = DatasetRegistry()
+    for name, data in datasets.items():
+        registry.register(name, data, default_seed=DEFAULT_SEED)
+    t0 = time.perf_counter()
+    for name in datasets:
+        registry.get(name)  # pre-build; the floor measures serving
+    build_s = time.perf_counter() - t0
+
+    with ServerThread(registry, max_inflight=args.max_inflight) as (host, port):
+        closed_s, closed_answers, latencies, closed_sheds = closed_loop(
+            host, port, requests, clients=args.clients
+        )
+        throughput = len(requests) / max(closed_s, 1e-12)
+        lat = np.asarray(latencies)
+        print(
+            f"closed:  {len(requests)} req x {args.clients} clients in "
+            f"{closed_s:.2f}s = {throughput:.1f} req/s "
+            f"(p50 {np.percentile(lat, 50) * 1e3:.1f}ms, "
+            f"p99 {np.percentile(lat, 99) * 1e3:.1f}ms; builds {build_s:.2f}s "
+            f"excluded)"
+        )
+
+        open_rate = args.open_rate or max(20.0, 2.0 * throughput)
+        open_s, open_answers, open_counts = open_loop(
+            host, port, requests, rate=open_rate
+        )
+        achieved = len(requests) / max(open_s, 1e-12)
+        print(
+            f"open:    arrival {open_rate:.0f} req/s (achieved {achieved:.0f}) "
+            f"-> {open_counts['ok']} ok, {open_counts['shed']} shed, "
+            f"{open_counts['error']} errors"
+        )
+
+        metrics = fetch_metrics(host, port)
+    totals = metrics["service"]["totals"]
+    server_stats = metrics["server"]
+
+    closed_mismatches = verify_http_answers(
+        closed_answers, oracle, require_all=True
+    )
+    open_mismatches = verify_http_answers(open_answers, oracle)
+    identical = not closed_mismatches and not open_mismatches
+    shed_expected = closed_sheds + open_counts["shed"]
+    sheds_consistent = totals.get("shed", 0) == shed_expected
+    print(
+        f"verify:  identical={identical} "
+        f"(closed mismatches {closed_mismatches[:5]}, "
+        f"open mismatches {open_mismatches[:5]}); "
+        f"server shed counter {totals.get('shed', 0)} vs observed "
+        f"{shed_expected}; {totals.get('solves', 0)} solves, "
+        f"{totals.get('coalesced', 0)} coalesced"
+    )
+
+    check_floors = not args.tiny
+    throughput_ok = (not check_floors) or throughput >= THROUGHPUT_FLOOR
+
+    out = write_bench_json(
+        "server",
+        {
+            "workload": {
+                "tenants": args.tenants,
+                "tenant_n": args.n,
+                "num_requests": args.requests,
+                "ks": list(KS),
+                "seed": args.seed,
+                "clients": args.clients,
+                "max_inflight": args.max_inflight,
+                "open_rate_rps": open_rate,
+                "tiny": args.tiny,
+            },
+            "timings": {
+                "oracle_s": oracle_s,
+                "build_s": build_s,
+                "closed_loop_s": closed_s,
+                "open_loop_s": open_s,
+            },
+            "throughput_rps": throughput,
+            "latency_p50_s": float(np.percentile(lat, 50)),
+            "latency_p99_s": float(np.percentile(lat, 99)),
+            "open_loop": {
+                "arrival_rps": open_rate,
+                "ok": open_counts["ok"],
+                "shed": open_counts["shed"],
+                "errors": open_counts["error"],
+            },
+            "shed_total": totals.get("shed", 0),
+            "sheds_consistent": sheds_consistent,
+            "solves": totals.get("solves", 0),
+            "coalesced": totals.get("coalesced", 0),
+            "http_errors": server_stats["http_errors"],
+            "identical": identical,
+            "floors": {"throughput_rps": THROUGHPUT_FLOOR},
+            "floors_checked": check_floors,
+        },
+    )
+    print(f"wrote {out}")
+    if not identical:
+        print("FAIL: HTTP answers diverged from the in-process replay")
+        return 1
+    if not sheds_consistent:
+        print("FAIL: shed accounting diverged between client and server")
+        return 1
+    if open_counts["error"]:
+        print("FAIL: open-loop requests errored")
+        return 1
+    if not throughput_ok:
+        print(f"FAIL: {throughput:.1f} req/s under the {THROUGHPUT_FLOOR} floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

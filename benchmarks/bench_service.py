@@ -31,7 +31,11 @@ import pytest
 from repro.benchio import write_bench_json
 from repro.data.synthetic import anticorrelated_dataset
 from repro.serving import FairHMSIndex
-from repro.service import build_index_sharded, run_service_benchmark
+from repro.service import (
+    build_index_sharded,
+    build_tenant_datasets,
+    run_service_benchmark,
+)
 from repro.service.shard import parallel_preprocess, resolve_workers
 
 NUM_TENANTS = 3
@@ -42,20 +46,10 @@ GATEWAY_FLOOR = 3.0
 BUILD_FLOOR = 2.0
 
 
-def tenant_datasets(n, d=2, groups=3, tenants=NUM_TENANTS):
-    """Independent anti-correlated tenants (distinct seeds)."""
-    return {
-        f"tenant{i}": anticorrelated_dataset(
-            n, d, groups, seed=40 + i, name=f"tenant{i}"
-        )
-        for i in range(tenants)
-    }
-
-
 @pytest.fixture(scope="module")
 def tenants2d():
     """Multi-tenant gateway input: 3 x AntiCor-2D (n = 1,500)."""
-    return tenant_datasets(1_500)
+    return build_tenant_datasets(1_500)
 
 
 def test_bench_service_gateway(benchmark, tenants2d):
@@ -148,7 +142,7 @@ def main(argv=None) -> int:
         args.n, args.requests, args.build_n, args.build_d = 350, 24, 1_200, 3
     workers = resolve_workers(args.workers)
 
-    datasets = tenant_datasets(args.n, tenants=args.tenants)
+    datasets = build_tenant_datasets(args.n, tenants=args.tenants)
     report = run_service_benchmark(
         datasets, num_requests=args.requests, ks=KS, seed=args.seed
     )
@@ -174,11 +168,18 @@ def main(argv=None) -> int:
     )
 
     # The perf floors require real parallel hardware and the full-size
-    # workload; identity must hold everywhere.
+    # workload; identity must hold everywhere.  The report's ``floors``
+    # lists exactly what was enforceable: the build floor needs >= 4
+    # workers, so on smaller machines it is omitted rather than recorded
+    # as a floor the run pretends to have checked.
     check_floors = not args.tiny
+    floors = {"gateway_speedup": GATEWAY_FLOOR}
     gateway_ok = (not check_floors) or report.speedup >= GATEWAY_FLOOR
-    build_ok = (not check_floors) or workers < 4 or build_speedup >= BUILD_FLOOR
-    if check_floors and workers < 4:
+    build_ok = True
+    if workers >= 4:
+        floors["build_speedup"] = BUILD_FLOOR
+        build_ok = (not check_floors) or build_speedup >= BUILD_FLOOR
+    elif check_floors:
         print(f"note: {workers} worker(s) available; 2x build floor needs >= 4")
 
     out = write_bench_json(
@@ -208,6 +209,7 @@ def main(argv=None) -> int:
             "result_hits": report.result_hits,
             "build_speedup": build_speedup,
             "identical": report.identical and build_identical,
+            "floors": floors,
             "floors_checked": check_floors,
         },
     )

@@ -31,6 +31,7 @@ from repro.serving import FairHMSIndex, Query
 SEED = 7
 KS = (4, 6, 8)
 REPEAT = 3
+SPEEDUP_FLOOR = 2.0  # enforced in non-tiny script mode and in the test
 
 
 def workload():
@@ -115,7 +116,7 @@ def test_serving_amortized_speedup(anticor2d_raw):
         np.testing.assert_array_equal(w.indices, c.indices)
     speedup = cold / warm
     print(f"\nserving speedup: {speedup:.1f}x (warm {warm:.3f}s, cold {cold:.3f}s)")
-    assert speedup >= 2.0
+    assert speedup >= SPEEDUP_FLOOR
 
 
 def main(argv=None) -> int:
@@ -166,10 +167,18 @@ def main(argv=None) -> int:
             "timings": {"warm_s": warm, "cold_s": cold},
             "speedup": speedup,
             "identical": identical,
+            "floors": {"speedup": SPEEDUP_FLOOR},
+            "floors_checked": not args.tiny,
         },
     )
     print(f"wrote {out}")
-    return 0 if identical else 1
+    if not identical:
+        print("FAIL: warm answers diverged from cold solves")
+        return 1
+    if not args.tiny and speedup < SPEEDUP_FLOOR:
+        print(f"FAIL: {speedup:.1f}x under the {SPEEDUP_FLOOR}x floor")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

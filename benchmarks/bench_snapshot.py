@@ -51,6 +51,7 @@ from repro.serving import FairHMSIndex, Query
 SEED = 7
 KS = (4, 6, 8)
 REPEAT = 3
+RELOAD_FLOOR = 5.0  # enforced in non-tiny script mode and in the test
 
 _CHILD_SCRIPT = """\
 import json, sys, time
@@ -194,7 +195,7 @@ def test_snapshot_reload_speedup_2d(anticor2d_raw, tmp_path):
         f"= {report['speedup']:.1f}x ({report['snapshot_bytes'] / 2**20:.1f} MiB)"
     )
     assert report["identical"]
-    assert report["speedup"] >= 5.0
+    assert report["speedup"] >= RELOAD_FLOOR
 
 
 def test_snapshot_cross_process_warm_start(anticor2d_raw, tmp_path):
@@ -272,11 +273,16 @@ def main(argv=None) -> int:
             "cross_process": child,
             "live": live,
             "identical": identical,
+            "floors": {"reload_speedup": RELOAD_FLOOR},
+            "floors_checked": not args.tiny,
         },
     )
     print(f"wrote {out}")
     if not identical:
         print("FAIL: reloaded answers diverged")
+        return 1
+    if not args.tiny and frozen["speedup"] < RELOAD_FLOOR:
+        print(f"FAIL: {frozen['speedup']:.1f}x under the {RELOAD_FLOOR}x floor")
         return 1
     return 0
 

@@ -1,0 +1,173 @@
+"""Validate ``BENCH_*.json`` reports against the shared schema (CI gate).
+
+Every benchmark script in this repo emits one machine-readable report.
+The CI ``perf-gate`` job runs the ``--tiny`` smokes, then this checker,
+then uploads the JSONs as build artifacts — so a report that silently
+stopped carrying its floors, its identity verdict, or its git SHA fails
+the build instead of quietly eroding the perf trajectory.
+
+Schema (shared by all benches):
+
+* ``bench``          — non-empty string naming the benchmark;
+* ``git_sha``        — 40-hex commit the numbers were measured at;
+* ``timestamp``      — positive unix time;
+* ``identical``      — must be exactly ``true``: every benchmark in
+  this repo verifies bit-identity before reporting a number;
+* ``floors``         — non-empty mapping of metric name -> numeric
+  acceptance floor (the floors the script enforces in non-tiny mode);
+* ``floors_checked`` — ``true`` whenever the run was full-size;
+  ``--tiny`` smokes may carry ``false`` but only when the workload
+  says ``tiny: true``;
+* ``workload``       — mapping with at least a boolean ``tiny``.
+
+Usage::
+
+    python benchmarks/check_bench.py [PATH ...]
+
+Paths may be files or directories (globbed for ``BENCH_*.json``);
+default is the current directory.  Exit 0 when every report validates,
+1 on any failure, 2 when no reports were found at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["validate_report", "main"]
+
+REQUIRED_KEYS = (
+    "bench",
+    "git_sha",
+    "timestamp",
+    "identical",
+    "floors",
+    "floors_checked",
+    "workload",
+)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_report(payload) -> list:
+    """All schema violations in one parsed report (empty = valid)."""
+    if not isinstance(payload, dict):
+        return [f"report root must be an object, got {type(payload).__name__}"]
+    errors = []
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            errors.append(f"missing required key {key!r}")
+    if errors:
+        return errors  # the shape checks below assume presence
+
+    bench = payload["bench"]
+    if not isinstance(bench, str) or not bench:
+        errors.append(f"bench must be a non-empty string, got {bench!r}")
+
+    sha = payload["git_sha"]
+    if not (
+        isinstance(sha, str)
+        and len(sha) == 40
+        and all(c in "0123456789abcdef" for c in sha)
+    ):
+        errors.append(f"git_sha must be a 40-hex commit, got {sha!r}")
+
+    if not (_is_number(payload["timestamp"]) and payload["timestamp"] > 0):
+        errors.append(f"timestamp must be positive, got {payload['timestamp']!r}")
+
+    if payload["identical"] is not True:
+        errors.append(
+            f"identical must be true (bit-identity is the contract), "
+            f"got {payload['identical']!r}"
+        )
+
+    floors = payload["floors"]
+    if not isinstance(floors, dict) or not floors:
+        errors.append(f"floors must be a non-empty object, got {floors!r}")
+    else:
+        for name, value in floors.items():
+            if not (_is_number(value) and value > 0):
+                errors.append(f"floor {name!r} must be a positive number, got {value!r}")
+
+    workload = payload["workload"]
+    tiny = None
+    if not isinstance(workload, dict):
+        errors.append(f"workload must be an object, got {workload!r}")
+    else:
+        tiny = workload.get("tiny")
+        if not isinstance(tiny, bool):
+            errors.append(f"workload.tiny must be a boolean, got {tiny!r}")
+
+    checked = payload["floors_checked"]
+    if not isinstance(checked, bool):
+        errors.append(f"floors_checked must be a boolean, got {checked!r}")
+    elif not checked and tiny is not True:
+        errors.append(
+            "floors_checked is false on a non-tiny run — full-size benches "
+            "must enforce their floors"
+        )
+    return errors
+
+
+def collect_reports(paths) -> list:
+    """Expand files/directories into the list of report paths to check."""
+    reports = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            reports.extend(sorted(path.glob("BENCH_*.json")))
+        elif path.exists():
+            reports.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return reports
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["."],
+        help="BENCH_*.json files or directories to scan (default: .)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        reports = collect_reports(args.paths or ["."])
+    except FileNotFoundError as exc:
+        print(f"error: {exc}")
+        return 2
+    if not reports:
+        print(f"error: no BENCH_*.json reports found under {args.paths}")
+        return 2
+
+    failures = 0
+    for path in reports:
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError as exc:
+            print(f"FAIL {path}: unparseable JSON ({exc})")
+            failures += 1
+            continue
+        errors = validate_report(payload)
+        if errors:
+            failures += 1
+            print(f"FAIL {path}:")
+            for err in errors:
+                print(f"  - {err}")
+        else:
+            mode = "tiny" if payload["workload"].get("tiny") else "full"
+            print(
+                f"ok   {path}: bench={payload['bench']} ({mode}) "
+                f"floors={payload['floors']} sha={payload['git_sha'][:12]}"
+            )
+    print(f"{len(reports)} report(s), {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,12 @@ Commands:
   bit-identically to the in-memory index (``--load-only`` skips the
   build and serves straight from an existing snapshot — the
   cross-process warm start; ``--info`` prints the manifest).
+* ``server``      — run the asyncio HTTP/JSON front-end over the
+  gateway from a TOML/JSON config (or ``--demo`` synthetic tenants):
+  ``POST /v1/query``, ``POST /v1/write``, ``GET /v1/metrics``,
+  ``GET /v1/datasets``, ``GET /healthz``; 429 load shedding past
+  ``max_inflight``; SIGTERM drains gracefully (``--check`` validates
+  the config and exits).
 * ``table2``      — print the dataset-statistics table.
 * ``experiments`` — forward to ``repro.experiments.run_all``.
 """
@@ -232,8 +238,7 @@ def _cmd_live(args) -> int:
 
 def _cmd_service(args) -> int:
     """Multi-tenant gateway workload vs the naive stateless loop."""
-    from .data.synthetic import anticorrelated_dataset
-    from .service import run_service_benchmark
+    from .service import build_tenant_datasets, run_service_benchmark
 
     ks = _parse_ks(args.k)
     if ks is None:
@@ -245,12 +250,9 @@ def _cmd_service(args) -> int:
         print(f"error: --hot-frac must lie in [0, 1], got {args.hot_frac}")
         return 2
 
-    datasets = {
-        f"tenant{i}": anticorrelated_dataset(
-            args.n or 1_500, args.d, args.groups, seed=40 + i, name=f"tenant{i}"
-        )
-        for i in range(args.tenants)
-    }
+    datasets = build_tenant_datasets(
+        args.n or 1_500, tenants=args.tenants, d=args.d, groups=args.groups
+    )
     max_bytes = None if args.budget_mb is None else int(args.budget_mb * 2**20)
     print(
         f"{args.tenants} tenants (AntiCor-{args.d}D n={args.n or 1500}), "
@@ -374,6 +376,49 @@ def _cmd_snapshot(args) -> int:
         f"{t_build / (t_load + t_serve):.1f}x"
     )
     return 0 if identical else 1
+
+
+def _cmd_server(args) -> int:
+    """Serve FairHMS over HTTP from a config file (or the demo tenants)."""
+    from dataclasses import replace
+
+    from .server import build_registry, demo_config, load_config, serve_forever
+
+    if (args.config is None) == (not args.demo):
+        print("error: provide a config file or --demo (exactly one)")
+        return 2
+    try:
+        if args.demo:
+            config = demo_config(tenants=args.tenants, n=args.n or 1_500)
+        else:
+            config = load_config(args.config)
+    except (OSError, RuntimeError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    overrides = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if overrides:
+        config = replace(config, **overrides)
+
+    registry = build_registry(config)
+    if args.check:
+        spill = config.spill_dir or "(no spill tier)"
+        print(
+            f"config ok: {len(config.datasets)} dataset(s) on "
+            f"{config.host}:{config.port}, max_inflight={config.max_inflight}, "
+            f"spill_dir={spill}"
+        )
+        for name in registry.names():
+            info = registry.describe(name)
+            kind = "live" if info["live"] else "frozen"
+            warm = " (snapshot on disk)" if info["spilled"] else ""
+            print(f"  {name}: {kind}{warm}")
+        return 0
+    serve_forever(config, registry=registry)
+    return 0
 
 
 def _cmd_table2(args) -> int:
@@ -585,6 +630,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the snapshot manifest and exit",
     )
 
+    server = sub.add_parser(
+        "server",
+        help="serve FairHMS over HTTP (asyncio front-end over the gateway)",
+    )
+    server.add_argument(
+        "config",
+        nargs="?",
+        default=None,
+        help="TOML or JSON server config (see docs/SERVER.md)",
+    )
+    server.add_argument(
+        "--demo",
+        action="store_true",
+        help="skip the config file: serve 3 synthetic AntiCor-2D tenants",
+    )
+    server.add_argument(
+        "--tenants", type=int, default=3, help="tenant count for --demo"
+    )
+    server.add_argument("--n", type=int, default=None, help="tenant size (--demo)")
+    server.add_argument("--host", default=None, help="listen host override")
+    server.add_argument("--port", type=int, default=None, help="listen port override")
+    server.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the config, print the dataset plan, and exit",
+    )
+
     table2 = sub.add_parser("table2", help="print dataset statistics")
     table2.add_argument("--scale", type=float, default=0.25)
 
@@ -604,6 +676,7 @@ def main(argv=None) -> int:
         "live": _cmd_live,
         "service": _cmd_service,
         "snapshot": _cmd_snapshot,
+        "server": _cmd_server,
         "table2": _cmd_table2,
         "experiments": _cmd_experiments,
     }

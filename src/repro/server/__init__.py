@@ -1,0 +1,36 @@
+"""``repro.server`` — the asyncio HTTP/JSON serving front-end.
+
+Puts a network protocol in front of the in-process serving stack
+(``repro.serving`` indexes behind a ``repro.service`` gateway/registry):
+a stdlib-only HTTP server with admission control (bounded in-flight
+load, 429 shedding), graceful SIGTERM drain with snapshot spill, and
+TOML/JSON config-driven dataset registration.  See ``docs/SERVER.md``.
+"""
+
+from .app import FairHMSServer
+from .config import (
+    DatasetSpec,
+    ServerConfig,
+    build_registry,
+    demo_config,
+    load_config,
+    parse_config,
+)
+from .http import HttpError, HttpRequest, read_request, send_json
+from .runner import ServerThread, serve_forever
+
+__all__ = [
+    "DatasetSpec",
+    "FairHMSServer",
+    "HttpError",
+    "HttpRequest",
+    "ServerConfig",
+    "ServerThread",
+    "build_registry",
+    "demo_config",
+    "load_config",
+    "parse_config",
+    "read_request",
+    "send_json",
+    "serve_forever",
+]

@@ -1,0 +1,264 @@
+"""Server configuration: a TOML or JSON file -> registry + settings.
+
+One config file describes everything a ``repro server`` process needs:
+the listen address, admission-control and drain knobs, the registry's
+byte budget and snapshot spill directory, and the datasets to register.
+Datasets are *specs*, not data — synthetic specs name the generator
+parameters, real specs name the bundled dataset — so the registry builds
+(or, with ``spill_dir``, warm-starts from a previous process's
+snapshots via :class:`~repro.service.store.SnapshotStore`) lazily on
+first request.
+
+TOML (Python 3.11+, stdlib ``tomllib``)::
+
+    [server]
+    host = "127.0.0.1"
+    port = 8080
+    max_inflight = 64
+    spill_dir = "spill"
+
+    [[datasets]]
+    name = "tenant0"
+    kind = "synthetic"
+    n = 1500
+    d = 2
+    groups = 3
+    seed = 40
+
+The same structure as JSON works on every supported Python::
+
+    {"server": {"port": 8080}, "datasets": [{"name": "tenant0"}]}
+
+Unknown keys are rejected — a typo in a production config must fail at
+startup, not silently fall back to a default.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - py3.10 fallback path
+    tomllib = None
+
+from ..service.metrics import ServiceMetrics
+from ..service.registry import DatasetRegistry
+
+__all__ = [
+    "DatasetSpec",
+    "ServerConfig",
+    "build_registry",
+    "demo_config",
+    "load_config",
+    "parse_config",
+]
+
+_KINDS = ("synthetic", "real")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One dataset to register: a synthetic generator or a bundled dataset.
+
+    Args:
+        name: registry key clients address in requests.
+        kind: ``"synthetic"`` (anti-correlated generator) or ``"real"``
+            (bundled dataset loaded by ``source``/``attribute``).
+        n: row count (synthetic) or row-count cap (real; ``None`` = all).
+        d / groups / seed: synthetic generator parameters.
+        source: real-dataset name (``Adult``, ``Compas``, ...); defaults
+            to ``name``.
+        attribute: group attribute for real datasets (dataset default
+            when omitted).
+        live: register a :class:`~repro.serving.live.LiveFairHMSIndex`
+            that accepts ``/v1/write`` requests.
+        build_workers: process-pool workers for sharded cold builds
+            (frozen specs only; 0 = sequential).
+        default_seed: the index's solver seed policy.
+        index: extra keyword arguments forwarded to the index
+            constructor (``cache_results``, ``max_cached_results``, ...).
+    """
+
+    name: str
+    kind: str = "synthetic"
+    n: int | None = 1_500
+    d: int = 2
+    groups: int = 3
+    seed: int = 40
+    source: str | None = None
+    attribute: str | None = None
+    live: bool = False
+    build_workers: int = 0
+    default_seed: int = 7
+    index: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"dataset name must be a non-empty string: {self.name!r}")
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"dataset {self.name!r}: unknown kind {self.kind!r} "
+                f"(expected one of {_KINDS})"
+            )
+        if self.live and self.build_workers > 1:
+            raise ValueError(
+                f"dataset {self.name!r}: live indexes build sequentially; "
+                f"drop build_workers"
+            )
+
+    def factory(self):
+        """Zero-argument dataset loader (deterministic, so rebuilds are
+        bit-identical to the build a previous process snapshotted)."""
+        if self.kind == "synthetic":
+            from ..data.synthetic import anticorrelated_dataset
+
+            n, d, groups, seed, name = (
+                int(self.n if self.n is not None else 1_500),
+                int(self.d),
+                int(self.groups),
+                int(self.seed),
+                self.name,
+            )
+            return lambda: anticorrelated_dataset(n, d, groups, seed=seed, name=name)
+        from ..data.realworld import load_dataset
+
+        source = self.source or self.name
+        attribute, n = self.attribute, self.n
+        return lambda: load_dataset(source, attribute, n=n)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``repro server`` needs to come up.
+
+    ``max_inflight`` is the admission-control bound: queries and writes
+    beyond it are shed with HTTP 429 instead of queueing without limit
+    (metrics/health reads are always admitted).  ``drain_timeout`` caps
+    how long a SIGTERM-triggered drain waits for in-flight requests
+    before shutting the gateway down anyway.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_inflight: int = 64
+    batch_window: float = 0.002
+    max_batch: int = 256
+    drain_timeout: float = 30.0
+    max_body_bytes: int = 1 << 20
+    budget_mb: float | None = None
+    spill_dir: str | None = None
+    datasets: tuple[DatasetSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.drain_timeout < 0:
+            raise ValueError(f"drain_timeout must be >= 0, got {self.drain_timeout}")
+        names = [spec.name for spec in self.datasets]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dataset names in config: {names}")
+
+
+def parse_config(raw: dict, *, base_dir=None) -> ServerConfig:
+    """Validate a raw config mapping (parsed TOML/JSON) into a ServerConfig.
+
+    ``base_dir`` anchors a relative ``spill_dir`` (the config file's
+    directory, so the snapshot tier lands next to the config rather
+    than wherever the process was launched from).
+    """
+    if not isinstance(raw, dict):
+        raise ValueError(f"config root must be a mapping, got {type(raw).__name__}")
+    unknown = set(raw) - {"server", "datasets"}
+    if unknown:
+        raise ValueError(f"unknown top-level config keys: {sorted(unknown)}")
+
+    server_raw = dict(raw.get("server", {}))
+    allowed = {f.name for f in fields(ServerConfig)} - {"datasets"}
+    unknown = set(server_raw) - allowed
+    if unknown:
+        raise ValueError(f"unknown [server] keys: {sorted(unknown)}")
+
+    specs = []
+    datasets_raw = raw.get("datasets", [])
+    if not isinstance(datasets_raw, (list, tuple)):
+        raise ValueError("datasets must be a list of tables/objects")
+    spec_fields = {f.name for f in fields(DatasetSpec)}
+    for entry in datasets_raw:
+        if not isinstance(entry, dict):
+            raise ValueError(f"dataset entry must be a mapping, got {entry!r}")
+        unknown = set(entry) - spec_fields
+        if unknown:
+            raise ValueError(
+                f"dataset {entry.get('name', '?')!r}: unknown keys {sorted(unknown)}"
+            )
+        specs.append(DatasetSpec(**entry))
+
+    config = ServerConfig(datasets=tuple(specs), **server_raw)
+    if config.spill_dir is not None and base_dir is not None:
+        spill = Path(config.spill_dir)
+        if not spill.is_absolute():
+            config = replace(config, spill_dir=str(Path(base_dir) / spill))
+    return config
+
+
+def load_config(path) -> ServerConfig:
+    """Parse a ``.toml`` or ``.json`` server config file."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        if tomllib is None:  # pragma: no cover - py3.10 only
+            raise RuntimeError(
+                "TOML configs need Python 3.11+ (stdlib tomllib); "
+                "use an equivalent .json config instead"
+            )
+        with open(path, "rb") as fh:
+            raw = tomllib.load(fh)
+    elif suffix == ".json":
+        with open(path) as fh:
+            raw = json.load(fh)
+    else:
+        raise ValueError(
+            f"unsupported config format {suffix!r} (expected .toml or .json)"
+        )
+    return parse_config(raw, base_dir=path.parent)
+
+
+def demo_config(
+    *, tenants: int = 3, n: int = 1_500, d: int = 2, groups: int = 3, port: int = 8080
+) -> ServerConfig:
+    """Built-in config mirroring the PR 3 multi-tenant benchmark workload."""
+    specs = tuple(
+        DatasetSpec(name=f"tenant{i}", n=n, d=d, groups=groups, seed=40 + i)
+        for i in range(int(tenants))
+    )
+    return ServerConfig(port=port, datasets=specs)
+
+
+def build_registry(
+    config: ServerConfig, *, metrics: ServiceMetrics | None = None
+) -> DatasetRegistry:
+    """A :class:`DatasetRegistry` with every configured dataset registered.
+
+    Nothing is built here — indexes come up lazily on first request, and
+    with ``spill_dir`` set they warm-start from snapshots a previous
+    process spilled under the same names.
+    """
+    max_bytes = (
+        None if config.budget_mb is None else int(config.budget_mb * 2**20)
+    )
+    registry = DatasetRegistry(
+        max_bytes=max_bytes, metrics=metrics, spill_dir=config.spill_dir
+    )
+    for spec in config.datasets:
+        registry.register(
+            spec.name,
+            factory=spec.factory(),
+            live=spec.live,
+            build_workers=spec.build_workers,
+            default_seed=spec.default_seed,
+            **spec.index,
+        )
+    return registry

@@ -1,0 +1,162 @@
+"""Minimal HTTP/1.1 wire protocol over asyncio streams (stdlib only).
+
+Just enough HTTP for a JSON API: request-line + headers + an optional
+``Content-Length`` body in, a JSON response with explicit
+``Content-Length`` out, keep-alive by default.  No chunked encoding, no
+multipart, no TLS — the server sits behind a real proxy in any
+deployment that needs those; what this layer optimizes for is zero
+dependencies and a parse cost far below one solve.
+
+Malformed input raises :class:`HttpError` carrying the status code the
+connection handler should answer with before closing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+__all__ = ["HttpError", "HttpRequest", "read_request", "send_json"]
+
+_MAX_LINE = 8192
+_MAX_HEADERS = 100
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Protocol-level failure; ``status`` is the response to send."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+async def _readline(reader, what: str) -> bytes:
+    """One CRLF line, bounded: a 400 on overflow, never a raw ValueError.
+
+    ``StreamReader.readline`` raises ``ValueError`` once a line exceeds
+    the stream's buffer limit (64 KiB by default); an oversized request
+    or header line must become an answerable 400, not an unhandled
+    exception that kills the connection task without a response.
+    """
+    try:
+        line = await reader.readline()
+    except ValueError as exc:
+        raise HttpError(400, f"{what} too long") from exc
+    if len(line) > _MAX_LINE:
+        raise HttpError(400, f"{what} too long")
+    return line
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, path (query string split off), body."""
+
+    method: str
+    path: str
+    query: str
+    headers: dict
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 keep-alive semantics (``Connection: close`` opts out)."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self):
+        """The body parsed as JSON; :class:`HttpError` 400 on garbage."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            payload = json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader, *, max_body: int = 1 << 20) -> HttpRequest | None:
+    """Parse one request from the stream; ``None`` on a clean EOF.
+
+    Raises :class:`HttpError` on malformed input and oversized bodies
+    (413) so the connection handler can answer before closing, and lets
+    ``asyncio.IncompleteReadError`` (mid-request disconnect) propagate —
+    there is no one left to answer.
+    """
+    line = await _readline(reader, "request line")
+    if not line:
+        return None  # clean EOF between requests
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported HTTP version {version!r}")
+
+    headers: dict = {}
+    while True:
+        line = await _readline(reader, "header line")
+        if not line:
+            raise HttpError(400, "malformed headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        if len(headers) >= _MAX_HEADERS:
+            raise HttpError(400, "too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}") from None
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}")
+    if length > max_body:
+        raise HttpError(413, f"body of {length} bytes exceeds limit {max_body}")
+    body = await reader.readexactly(length) if length else b""
+
+    path, _, query = target.partition("?")
+    return HttpRequest(
+        method=method.upper(), path=path, query=query, headers=headers, body=body
+    )
+
+
+async def send_json(
+    writer,
+    status: int,
+    payload,
+    *,
+    close: bool = False,
+    extra_headers: dict | None = None,
+) -> None:
+    """Serialize ``payload`` as a JSON response and flush it."""
+    body = json.dumps(payload).encode()
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+    try:
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # the client went away; nothing left to deliver

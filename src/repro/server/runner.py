@@ -1,0 +1,117 @@
+"""Run a :class:`FairHMSServer`: blocking (CLI) or on a thread (tests).
+
+``serve_forever`` is the ``repro server`` entry point: it owns the
+process's event loop, installs SIGTERM/SIGINT handlers, and returns only
+after a graceful drain completes.
+
+``ServerThread`` hosts the same server on a daemon thread with its own
+event loop — what the test suite and ``benchmarks/bench_server.py`` use
+to exercise the server over real sockets from the same process, with an
+explicit :meth:`~ServerThread.drain` standing in for SIGTERM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from ..service.registry import DatasetRegistry
+from .app import FairHMSServer
+from .config import ServerConfig
+
+__all__ = ["ServerThread", "serve_forever"]
+
+
+def serve_forever(
+    config: ServerConfig, *, registry: DatasetRegistry | None = None
+) -> None:
+    """Run the server in this thread until a signal drains it."""
+
+    async def _main() -> None:
+        server = FairHMSServer.from_config(config, registry=registry)
+        await server.start()
+        installed = server.install_signal_handlers()
+        host, port = server.address
+        names = ", ".join(server.registry.names()) or "none"
+        print(f"repro server listening on http://{host}:{port}")
+        print(f"datasets: {names}")
+        if installed:
+            print("drain on: " + ", ".join(s.name for s in installed))
+        try:
+            await server.wait_stopped()
+        finally:
+            # KeyboardInterrupt with no handler installed (e.g. Windows
+            # fallback): still shut down cleanly.
+            if not server.draining:
+                await server.drain()
+        print("drained; bye")
+
+    asyncio.run(_main())
+
+
+class ServerThread:
+    """A :class:`FairHMSServer` on a background thread (context manager).
+
+    ``with ServerThread(registry) as (host, port): ...`` — the server is
+    bound (on an OS-assigned port by default) before the body runs, and
+    drained on exit.  :meth:`drain` can be called early to exercise the
+    graceful-shutdown path explicitly.
+    """
+
+    def __init__(self, registry: DatasetRegistry, **server_kwargs) -> None:
+        self._registry = registry
+        self._kwargs = dict(server_kwargs)
+        self.server: FairHMSServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._error is not None:
+            raise self._error
+        if self.server is None:
+            raise RuntimeError("server failed to start within 30s")
+        return self.server.address
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._error = exc
+            self._started.set()
+
+    async def _main(self) -> None:
+        server = FairHMSServer(self._registry, **self._kwargs)
+        await server.start()
+        self._loop = asyncio.get_running_loop()
+        self.server = server
+        self._started.set()
+        await server.wait_stopped()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop | None:
+        """The server's event loop (None before :meth:`start`)."""
+        return self._loop
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Drain the server from this (foreign) thread and join the loop."""
+        if self.server is None or self._loop is None:
+            return
+        if self._thread is not None and self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.drain(), self._loop
+            )
+            future.result(timeout=timeout)
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.drain()

@@ -38,6 +38,7 @@ from .store import (
 from .workload import (
     ServiceBenchReport,
     ServiceRequest,
+    build_tenant_datasets,
     build_tenant_workload,
     naive_solve,
     run_service_benchmark,
@@ -53,6 +54,7 @@ __all__ = [
     "SnapshotError",
     "SnapshotStore",
     "build_index_sharded",
+    "build_tenant_datasets",
     "build_tenant_workload",
     "dataset_fingerprint",
     "load_index",

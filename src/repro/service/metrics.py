@@ -8,8 +8,15 @@ with totals.  Everything is exported by :meth:`ServiceMetrics.snapshot`
 as one plain dict (JSON-ready), which is what the ``repro service`` CLI
 and ``benchmarks/bench_service.py`` print.
 
-All sinks are thread-safe (one lock around counter updates); recording a
-sample is a few dict operations, far below solve cost.
+All sinks are thread-safe behind a **single** reentrant lock: a
+histogram observation (bucket bump + count/total/min/max) and a counter
+increment are each atomic, and :meth:`ServiceMetrics.snapshot` reads
+every counter and histogram under that same lock — a concurrent recorder
+can never produce a torn view (a bucket counted but not totalled, a
+dataset block mid-update).  Standalone :class:`LatencyHistogram` objects
+carry their own lock, so the HTTP server's per-endpoint histograms get
+the same guarantee.  Recording a sample is a few dict operations, far
+below solve cost.
 """
 
 from __future__ import annotations
@@ -24,15 +31,24 @@ _BUCKET_EDGES = tuple(1e-6 * 2.0**i for i in range(27))
 
 
 class LatencyHistogram:
-    """Fixed-bucket log-scaled latency histogram (seconds).
+    """Fixed-bucket log-scaled latency histogram (seconds), thread-safe.
 
     Quantiles are bucket upper bounds — at most one power of two above
     the true value, which is plenty to tell a 2 ms solve from a 2 s one.
+
+    Every public method serializes on ``lock``; one is created per
+    histogram unless the owner passes a shared (reentrant) lock —
+    :class:`ServiceMetrics` shares its own, so a metrics snapshot and a
+    concurrent observation can never interleave into a torn read (count
+    bumped but total not yet added, a bucket list mid-update).
     """
 
-    __slots__ = ("_counts", "count", "total", "min", "max")
+    __slots__ = ("_lock", "_counts", "count", "total", "min", "max")
 
-    def __init__(self) -> None:
+    def __init__(self, *, lock=None) -> None:
+        # An RLock even when private: snapshot() -> _quantile() nesting
+        # stays safe if a subclass (or a shared owner) re-enters.
+        self._lock = lock if lock is not None else threading.RLock()
         self._counts = [0] * (len(_BUCKET_EDGES) + 1)
         self.count = 0
         self.total = 0.0
@@ -48,21 +64,15 @@ class LatencyHistogram:
                 hi = mid
             else:
                 lo = mid + 1
-        self._counts[lo] += 1
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
+        with self._lock:
+            self._counts[lo] += 1
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
 
-    def quantile(self, q: float) -> float:
-        """Upper bound of the bucket holding the ``q``-quantile sample.
-
-        Bounded by the observed extremes: samples in the open-ended
-        overflow bucket report the observed maximum (the last bucket
-        edge would understate them by an unbounded amount), and every
-        quantile is capped at that maximum.  ``q = 0.0`` targets the
-        smallest recorded sample — never an empty leading bucket's edge.
-        """
+    def _quantile(self, q: float) -> float:
+        """Quantile lookup; caller holds the lock."""
         if self.count == 0:
             return 0.0
         # At least one sample must be covered: q = 0.0 means "the first
@@ -78,19 +88,32 @@ class LatencyHistogram:
                 return min(_BUCKET_EDGES[i], self.max)
         return self.max
 
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile sample.
+
+        Bounded by the observed extremes: samples in the open-ended
+        overflow bucket report the observed maximum (the last bucket
+        edge would understate them by an unbounded amount), and every
+        quantile is capped at that maximum.  ``q = 0.0`` targets the
+        smallest recorded sample — never an empty leading bucket's edge.
+        """
+        with self._lock:
+            return self._quantile(q)
+
     def snapshot(self) -> dict:
-        if self.count == 0:
-            return {"count": 0, "total_s": 0.0}
-        return {
-            "count": self.count,
-            "total_s": round(self.total, 6),
-            "mean_s": round(self.total / self.count, 6),
-            "min_s": round(self.min, 6),
-            "max_s": round(self.max, 6),
-            "p50_s": self.quantile(0.50),
-            "p90_s": self.quantile(0.90),
-            "p99_s": self.quantile(0.99),
-        }
+        with self._lock:
+            if self.count == 0:
+                return {"count": 0, "total_s": 0.0}
+            return {
+                "count": self.count,
+                "total_s": round(self.total, 6),
+                "mean_s": round(self.total / self.count, 6),
+                "min_s": round(self.min, 6),
+                "max_s": round(self.max, 6),
+                "p50_s": self._quantile(0.50),
+                "p90_s": self._quantile(0.90),
+                "p99_s": self._quantile(0.99),
+            }
 
 
 class _DatasetStats:
@@ -98,12 +121,13 @@ class _DatasetStats:
 
     __slots__ = ("counters", "request_latency", "solve_latency")
 
-    def __init__(self) -> None:
+    def __init__(self, lock) -> None:
         self.counters = {
             "requests": 0,
             "solves": 0,
             "coalesced": 0,
             "updates": 0,
+            "shed": 0,
             "errors": 0,
             "builds": 0,
             "evictions": 0,
@@ -112,8 +136,10 @@ class _DatasetStats:
             "spill_loads": 0,
             "fence_violations": 0,
         }
-        self.request_latency = LatencyHistogram()
-        self.solve_latency = LatencyHistogram()
+        # Histograms share the owning ServiceMetrics lock, so the whole
+        # sink is consistent under one lock (snapshot vs record races).
+        self.request_latency = LatencyHistogram(lock=lock)
+        self.solve_latency = LatencyHistogram(lock=lock)
 
     def snapshot(self) -> dict:
         out = dict(self.counters)
@@ -129,14 +155,22 @@ class ServiceMetrics:
     ``observe_request`` / ``observe_solve`` record latencies.  The
     gateway records ``requests`` on submit, ``solves`` per actual solver
     run, and ``coalesced`` for every request answered by a solve it
-    shared; the registry records ``builds``, ``evictions`` (index
-    actually dropped), ``cache_clears`` (pinned live index reclaimed in
-    place), ``spills`` (snapshot written on eviction), and
-    ``spill_loads`` (index reloaded from its snapshot).
+    shared; the HTTP server records ``shed`` for every request refused
+    by admission control (429); the registry records ``builds``,
+    ``evictions`` (index actually dropped), ``cache_clears`` (pinned
+    live index reclaimed in place), ``spills`` (snapshot written on
+    eviction), and ``spill_loads`` (index reloaded from its snapshot).
+
+    One reentrant lock guards every counter *and* every histogram (the
+    per-dataset histograms share it), so :meth:`snapshot` is a
+    consistent point-in-time view even while gateway workers, the HTTP
+    loop, and the registry record concurrently.
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # Reentrant: snapshot() holds it while the histograms (sharing
+        # the same lock) take it again for their own snapshots.
+        self._lock = threading.RLock()
         self._datasets: dict[str, _DatasetStats] = {}
         self._batches = 0
         self._batched_requests = 0
@@ -144,7 +178,7 @@ class ServiceMetrics:
     def _stats(self, dataset: str) -> _DatasetStats:
         stats = self._datasets.get(dataset)
         if stats is None:
-            stats = self._datasets.setdefault(dataset, _DatasetStats())
+            stats = self._datasets.setdefault(dataset, _DatasetStats(self._lock))
         return stats
 
     def incr(self, dataset: str, name: str, n: int = 1) -> None:

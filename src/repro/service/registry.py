@@ -327,6 +327,26 @@ class DatasetRegistry:
         with self._lock:
             return tuple(self._specs)
 
+    def describe(self, name: str) -> dict:
+        """One dataset's registration state (the HTTP ``/v1/datasets`` row).
+
+        JSON-ready: name, live flag, whether an index is currently
+        resident, whether a spill snapshot exists, and the build policy.
+        Cheap — no build is triggered and no index lock is touched.
+        """
+        with self._lock:
+            spec = self._specs.get(name)
+            if spec is None:
+                raise KeyError(f"unknown dataset {name!r}")
+            resident = name in self._resident
+        return {
+            "name": name,
+            "live": spec.live,
+            "resident": resident,
+            "spilled": self.store is not None and name in self.store,
+            "build_workers": spec.build_workers,
+        }
+
     def resident_names(self) -> tuple[str, ...]:
         """Resident indexes, least-recently-used first."""
         with self._lock:

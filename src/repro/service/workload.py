@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core.solve import resolve_algorithm, solve_fairhms
 from ..data.dataset import Dataset
+from ..data.synthetic import anticorrelated_dataset
 from ..fairness.constraints import FairnessConstraint
 from ..serving.index import Query
 from .gateway import Gateway
@@ -38,10 +39,30 @@ from .registry import DatasetRegistry
 __all__ = [
     "ServiceBenchReport",
     "ServiceRequest",
+    "build_tenant_datasets",
     "build_tenant_workload",
     "naive_solve",
     "run_service_benchmark",
 ]
+
+
+def build_tenant_datasets(
+    n: int, *, tenants: int = 3, d: int = 2, groups: int = 3, base_seed: int = 40
+) -> dict:
+    """The standard multi-tenant population: independent AntiCor tenants.
+
+    One definition shared by ``benchmarks/bench_service.py``,
+    ``benchmarks/bench_server.py``, and the ``repro service`` CLI, so
+    "the 3-tenant workload" always means the same datasets (distinct
+    seeds ``base_seed + i``, names ``tenant<i>``) everywhere a speedup
+    or throughput number is quoted.
+    """
+    return {
+        f"tenant{i}": anticorrelated_dataset(
+            n, d, groups, seed=base_seed + i, name=f"tenant{i}"
+        )
+        for i in range(int(tenants))
+    }
 
 
 @dataclass(frozen=True)

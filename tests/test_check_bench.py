@@ -1,0 +1,126 @@
+"""The bench-report schema checker (``benchmarks/check_bench.py``).
+
+It gates CI: a benchmark whose JSON stops carrying its floors, its
+bit-identity verdict, or its provenance must fail the build.  The
+checker lives in ``benchmarks/`` (it runs before the package is even
+imported in the perf-gate job), so it is imported here by path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench",
+    Path(__file__).resolve().parents[1] / "benchmarks" / "check_bench.py",
+)
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+def good_report(**overrides):
+    payload = {
+        "bench": "server",
+        "git_sha": "a" * 40,
+        "timestamp": 1_700_000_000.0,
+        "identical": True,
+        "floors": {"throughput_rps": 50.0},
+        "floors_checked": True,
+        "workload": {"tiny": False},
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestValidateReport:
+    def test_good_report_passes(self):
+        assert check_bench.validate_report(good_report()) == []
+
+    def test_tiny_run_may_skip_floor_enforcement(self):
+        report = good_report(floors_checked=False, workload={"tiny": True})
+        assert check_bench.validate_report(report) == []
+
+    def test_full_run_must_enforce_floors(self):
+        report = good_report(floors_checked=False)
+        errors = check_bench.validate_report(report)
+        assert any("non-tiny" in e for e in errors)
+
+    def test_identical_must_be_true(self):
+        errors = check_bench.validate_report(good_report(identical=False))
+        assert any("identical" in e for e in errors)
+        # Truthy-but-not-True does not sneak through either.
+        errors = check_bench.validate_report(good_report(identical=1))
+        assert any("identical" in e for e in errors)
+
+    def test_missing_keys_reported(self):
+        report = good_report()
+        del report["floors"], report["git_sha"]
+        errors = check_bench.validate_report(report)
+        assert any("floors" in e for e in errors)
+        assert any("git_sha" in e for e in errors)
+
+    def test_bad_sha_rejected(self):
+        for sha in (None, "", "main", "A" * 40, "a" * 39):
+            errors = check_bench.validate_report(good_report(git_sha=sha))
+            assert any("git_sha" in e for e in errors), sha
+
+    def test_floors_must_be_positive_numbers(self):
+        errors = check_bench.validate_report(good_report(floors={}))
+        assert any("floors" in e for e in errors)
+        errors = check_bench.validate_report(
+            good_report(floors={"speedup": "fast"})
+        )
+        assert any("speedup" in e for e in errors)
+        errors = check_bench.validate_report(good_report(floors={"x": True}))
+        assert any("'x'" in e for e in errors)
+
+    def test_non_dict_root(self):
+        assert check_bench.validate_report([1, 2]) != []
+
+
+class TestMain:
+    def _write(self, directory, name, payload):
+        path = Path(directory) / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_directory_scan_all_valid(self, tmp_path, capsys):
+        self._write(tmp_path, "BENCH_a.json", good_report(bench="a"))
+        self._write(tmp_path, "BENCH_b.json", good_report(bench="b"))
+        assert check_bench.main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 report(s), 0 failure(s)" in out
+
+    def test_one_bad_report_fails_the_gate(self, tmp_path, capsys):
+        self._write(tmp_path, "BENCH_a.json", good_report())
+        self._write(tmp_path, "BENCH_b.json", good_report(identical=False))
+        assert check_bench.main([str(tmp_path)]) == 1
+        assert "1 failure(s)" in capsys.readouterr().out
+
+    def test_unparseable_json_fails(self, tmp_path, capsys):
+        (tmp_path / "BENCH_x.json").write_text("{nope")
+        assert check_bench.main([str(tmp_path)]) == 1
+
+    def test_empty_directory_is_an_error(self, tmp_path, capsys):
+        assert check_bench.main([str(tmp_path)]) == 2
+
+    def test_missing_path_is_an_error(self, tmp_path, capsys):
+        assert check_bench.main([str(tmp_path / "nope")]) == 2
+
+    def test_explicit_file_path(self, tmp_path):
+        path = self._write(tmp_path, "BENCH_a.json", good_report())
+        assert check_bench.main([str(path)]) == 0
+
+    def test_real_reports_from_this_repo_validate(self, tmp_path):
+        """The committed BENCH_*.json files must satisfy their own gate
+        once regenerated; here we validate the live tiny outputs if any
+        exist in the repo root (they are produced by the smokes)."""
+        root = Path(__file__).resolve().parents[1]
+        reports = sorted(root.glob("BENCH_*.json"))
+        if not reports:
+            pytest.skip("no bench reports present")
+        for report in reports:
+            payload = json.loads(report.read_text())
+            assert check_bench.validate_report(payload) == [], report.name

@@ -625,6 +625,95 @@ class TestMetrics:
         assert snap["batches"] == 1
         assert snap["batched_requests"] == 4
 
+    def test_shed_counter_exists_and_aggregates(self):
+        metrics = ServiceMetrics()
+        metrics.incr("a", "shed")
+        metrics.incr("b", "shed", 2)
+        snap = metrics.snapshot()
+        assert snap["datasets"]["a"]["shed"] == 1
+        assert snap["totals"]["shed"] == 3
+
+    def test_concurrent_recording_is_consistent(self):
+        """Regression: no lost increments and no torn histogram reads.
+
+        Writer threads hammer counters and both histograms while a
+        reader snapshots continuously.  Every snapshot must be
+        internally consistent — a histogram's mean derivable from its
+        own count/total, quantiles ordered and bounded by min/max —
+        and the final state must account for every recorded sample.
+        """
+        metrics = ServiceMetrics()
+        writers, per_writer = 8, 400
+        start = ThreadPoolExecutor(max_workers=writers + 1)
+        stop = []
+
+        def write(w):
+            name = f"d{w % 2}"
+            for i in range(per_writer):
+                metrics.incr(name, "solves")
+                metrics.incr(name, "shed", 2)
+                metrics.observe_request(name, 0.001 * (i % 7 + 1))
+                metrics.observe_solve(name, 0.002)
+                metrics.record_batch(1)
+
+        def read():
+            torn = []
+            while not stop:
+                snap = metrics.snapshot()
+                for block in snap["datasets"].values():
+                    for key in ("request_latency", "solve_latency"):
+                        hist = block[key]
+                        if hist["count"] == 0:
+                            continue
+                        mean = hist["total_s"] / hist["count"]
+                        if abs(mean - hist["mean_s"]) > 1e-6:
+                            torn.append(("mean", hist))
+                        if not (
+                            hist["min_s"]
+                            <= hist["p50_s"]
+                            <= hist["p90_s"]
+                            <= hist["p99_s"]
+                            <= hist["max_s"] + 1e-12
+                        ):
+                            torn.append(("quantiles", hist))
+            return torn
+
+        reader = start.submit(read)
+        jobs = [start.submit(write, w) for w in range(writers)]
+        for j in jobs:
+            j.result(timeout=120)
+        stop.append(True)
+        assert reader.result(timeout=120) == []
+        start.shutdown(wait=True)
+
+        snap = metrics.snapshot()
+        total = writers * per_writer
+        assert snap["totals"]["solves"] == total
+        assert snap["totals"]["shed"] == 2 * total
+        assert snap["batches"] == total
+        assert snap["batched_requests"] == total
+        counts = sum(
+            block["request_latency"]["count"]
+            for block in snap["datasets"].values()
+        )
+        assert counts == total
+
+    def test_standalone_histogram_concurrent_observe(self):
+        """A bare LatencyHistogram (no ServiceMetrics owner) is safe too."""
+        hist = LatencyHistogram()
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(
+                pool.map(
+                    lambda w: [hist.observe(0.001 * (i % 5 + 1)) for i in range(500)],
+                    range(4),
+                )
+            )
+        snap = hist.snapshot()
+        assert snap["count"] == 2000
+        assert snap["total_s"] == pytest.approx(
+            sum(0.001 * (i % 5 + 1) for i in range(500)) * 4
+        )
+
 
 class TestTenantWorkload:
     def test_stream_is_reproducible_and_skewed(self):
