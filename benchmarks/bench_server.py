@@ -24,6 +24,16 @@ Run as a script for a smoke check that also writes ``BENCH_server.json``
 (validated in CI by ``benchmarks/check_bench.py``)::
 
     PYTHONPATH=src python benchmarks/bench_server.py --tiny
+
+With ``--scenario NAME_OR_PATH`` the synthetic tenant workload is
+replaced by a declarative scenario from ``repro.scenarios``: datasets
+come from the scenario's materialized tenants and the request stream is
+its HTTP trace.  The open loop then follows the trace's own arrival
+schedule (rescaled to the target mean rate), so flash-crowd scenarios
+hit the server with their bursts intact::
+
+    PYTHONPATH=src python benchmarks/bench_server.py \\
+        --scenario admissions-intersectional
 """
 
 import argparse
@@ -37,6 +47,12 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.benchio import write_bench_json
+from repro.scenarios import (
+    materialize,
+    resolve_scenario,
+    service_requests,
+    shrink_spec,
+)
 from repro.server import ServerThread
 from repro.service import DatasetRegistry, Gateway
 from repro.service.workload import build_tenant_datasets, build_tenant_workload
@@ -149,12 +165,25 @@ def closed_loop(host, port, requests, *, clients):
     return time.perf_counter() - t0, answers, latencies, sum(sheds)
 
 
-def open_loop(host, port, requests, *, rate, pool_size=16):
-    """Fixed arrival rate; sheds are expected and counted, not retried."""
+def open_loop(host, port, requests, *, rate, pool_size=16, offsets=None):
+    """Fixed arrival rate; sheds are expected and counted, not retried.
+
+    With ``offsets`` (a monotone schedule of arrival times, e.g. from a
+    scenario trace) the arrivals follow that schedule rescaled so the
+    *mean* rate equals ``rate`` — burst shape is preserved, only the
+    clock speed changes.  Without it, arrivals are uniform at ``rate``.
+    """
     answers = [None] * len(requests)
     counts = {"ok": 0, "shed": 0, "error": 0}
     lock = threading.Lock()
     local = threading.local()
+
+    if offsets is not None and len(offsets) == len(requests):
+        span = float(offsets[-1]) if len(offsets) else 0.0
+        scale = (len(requests) / rate) / span if span > 0 else 0.0
+        schedule = [float(o) * scale for o in offsets]
+    else:
+        schedule = [i / rate for i in range(len(requests))]
 
     def issue(i):
         conn = getattr(local, "conn", None)
@@ -180,7 +209,7 @@ def open_loop(host, port, requests, *, rate, pool_size=16):
     with ThreadPoolExecutor(max_workers=pool_size) as pool:
         pending = []
         for i in range(len(requests)):
-            delay = (t0 + i / rate) - time.perf_counter()
+            delay = (t0 + schedule[i]) - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
             pending.append(pool.submit(issue, i))
@@ -277,14 +306,40 @@ def main(argv=None) -> int:
         help="open-loop arrival rate in req/s (default: 2x measured capacity)",
     )
     parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="scenario name or spec path; replaces the synthetic workload",
+    )
+    parser.add_argument(
+        "--pack", default=None, help="scenario pack directory (with --scenario)"
+    )
     args = parser.parse_args(argv)
     if args.tiny:
         args.n, args.requests, args.clients = 350, 24, 4
 
-    datasets = build_tenant_datasets(args.n, tenants=args.tenants)
-    requests = build_tenant_workload(
-        datasets, num_requests=args.requests, ks=KS, seed=args.seed
-    )
+    scenario_name = None
+    arrival_offsets = None
+    if args.scenario:
+        spec = resolve_scenario(args.scenario, pack_dir=args.pack)
+        if args.tiny:
+            spec = shrink_spec(spec)
+        scenario = materialize(spec)
+        scenario_name = spec.name
+        datasets = scenario.datasets
+        arrival_offsets, requests = service_requests(scenario)
+        ks = sorted({r.query.k for r in requests})
+        print(
+            f"scenario {spec.name}: {len(datasets)} tenant(s) "
+            f"({sum(d.n for d in datasets.values())} rows), "
+            f"{len(requests)} trace requests, ks={ks}"
+        )
+    else:
+        datasets = build_tenant_datasets(args.n, tenants=args.tenants)
+        requests = build_tenant_workload(
+            datasets, num_requests=args.requests, ks=KS, seed=args.seed
+        )
+        ks = list(KS)
 
     oracle_s, oracle = oracle_replay(datasets, requests)
     print(
@@ -293,6 +348,7 @@ def main(argv=None) -> int:
     )
 
     registry = DatasetRegistry()
+    registry.metrics.scenario = scenario_name
     for name, data in datasets.items():
         registry.register(name, data, default_seed=DEFAULT_SEED)
     t0 = time.perf_counter()
@@ -316,7 +372,7 @@ def main(argv=None) -> int:
 
         open_rate = args.open_rate or max(20.0, 2.0 * throughput)
         open_s, open_answers, open_counts = open_loop(
-            host, port, requests, rate=open_rate
+            host, port, requests, rate=open_rate, offsets=arrival_offsets
         )
         achieved = len(requests) / max(open_s, 1e-12)
         print(
@@ -348,45 +404,49 @@ def main(argv=None) -> int:
     check_floors = not args.tiny
     throughput_ok = (not check_floors) or throughput >= THROUGHPUT_FLOOR
 
-    out = write_bench_json(
-        "server",
-        {
-            "workload": {
-                "tenants": args.tenants,
-                "tenant_n": args.n,
-                "num_requests": args.requests,
-                "ks": list(KS),
-                "seed": args.seed,
-                "clients": args.clients,
-                "max_inflight": args.max_inflight,
-                "open_rate_rps": open_rate,
-                "tiny": args.tiny,
-            },
-            "timings": {
-                "oracle_s": oracle_s,
-                "build_s": build_s,
-                "closed_loop_s": closed_s,
-                "open_loop_s": open_s,
-            },
-            "throughput_rps": throughput,
-            "latency_p50_s": float(np.percentile(lat, 50)),
-            "latency_p99_s": float(np.percentile(lat, 99)),
-            "open_loop": {
-                "arrival_rps": open_rate,
-                "ok": open_counts["ok"],
-                "shed": open_counts["shed"],
-                "errors": open_counts["error"],
-            },
-            "shed_total": totals.get("shed", 0),
-            "sheds_consistent": sheds_consistent,
-            "solves": totals.get("solves", 0),
-            "coalesced": totals.get("coalesced", 0),
-            "http_errors": server_stats["http_errors"],
-            "identical": identical,
-            "floors": {"throughput_rps": THROUGHPUT_FLOOR},
-            "floors_checked": check_floors,
+    workload_info = {
+        "tenants": len(datasets),
+        "tenant_n": max(d.n for d in datasets.values()),
+        "num_requests": len(requests),
+        "ks": list(ks),
+        "seed": args.seed,
+        "clients": args.clients,
+        "max_inflight": args.max_inflight,
+        "open_rate_rps": open_rate,
+        "tiny": args.tiny,
+    }
+    if scenario_name is not None:
+        workload_info["scenario"] = scenario_name
+
+    report = {
+        "workload": workload_info,
+        "timings": {
+            "oracle_s": oracle_s,
+            "build_s": build_s,
+            "closed_loop_s": closed_s,
+            "open_loop_s": open_s,
         },
-    )
+        "throughput_rps": throughput,
+        "latency_p50_s": float(np.percentile(lat, 50)),
+        "latency_p99_s": float(np.percentile(lat, 99)),
+        "open_loop": {
+            "arrival_rps": open_rate,
+            "ok": open_counts["ok"],
+            "shed": open_counts["shed"],
+            "errors": open_counts["error"],
+        },
+        "shed_total": totals.get("shed", 0),
+        "sheds_consistent": sheds_consistent,
+        "solves": totals.get("solves", 0),
+        "coalesced": totals.get("coalesced", 0),
+        "http_errors": server_stats["http_errors"],
+        "identical": identical,
+        "floors": {"throughput_rps": THROUGHPUT_FLOOR},
+        "floors_checked": check_floors,
+    }
+    if scenario_name is not None:
+        report["scenario"] = scenario_name
+    out = write_bench_json("server", report)
     print(f"wrote {out}")
     if not identical:
         print("FAIL: HTTP answers diverged from the in-process replay")

@@ -20,6 +20,12 @@ Schema (shared by all benches):
   says ``tiny: true``;
 * ``workload``       — mapping with at least a boolean ``tiny``.
 
+One optional key:
+
+* ``scenario``       — non-empty string naming the declarative scenario
+  the numbers were measured under (``repro.scenarios``); legacy reports
+  without it stay valid.
+
 Usage::
 
     python benchmarks/check_bench.py [PATH ...]
@@ -110,6 +116,14 @@ def validate_report(payload) -> list:
             "floors_checked is false on a non-tiny run — full-size benches "
             "must enforce their floors"
         )
+
+    if "scenario" in payload:
+        scenario = payload["scenario"]
+        if not isinstance(scenario, str) or not scenario:
+            errors.append(
+                f"scenario, when present, must be a non-empty string, "
+                f"got {scenario!r}"
+            )
     return errors
 
 
@@ -161,8 +175,10 @@ def main(argv=None) -> int:
                 print(f"  - {err}")
         else:
             mode = "tiny" if payload["workload"].get("tiny") else "full"
+            label = payload.get("scenario")
+            scen = f" scenario={label}" if label else ""
             print(
-                f"ok   {path}: bench={payload['bench']} ({mode}) "
+                f"ok   {path}: bench={payload['bench']} ({mode}){scen} "
                 f"floors={payload['floors']} sha={payload['git_sha'][:12]}"
             )
     print(f"{len(reports)} report(s), {failures} failure(s)")

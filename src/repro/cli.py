@@ -24,6 +24,12 @@ Commands:
   ``GET /v1/datasets``, ``GET /healthz``; 429 load shedding past
   ``max_inflight``; SIGTERM drains gracefully (``--check`` validates
   the config and exits).
+* ``scenario``    — the config-driven scenario factory: ``list`` the
+  named pack, ``describe`` one spec, ``check`` spec files (CI
+  validation), ``materialize`` a scenario to disk (datasets + event
+  stream + HTTP trace, byte-deterministic), or ``replay`` its event
+  stream through a ``LiveFairHMSIndex`` against cold per-epoch solves,
+  verifying bit-identical answers (see docs/SCENARIOS.md).
 * ``table2``      — print the dataset-statistics table.
 * ``experiments`` — forward to ``repro.experiments.run_all``.
 """
@@ -421,6 +427,154 @@ def _cmd_server(args) -> int:
     return 0
 
 
+def _scenario_check(paths) -> int:
+    """Validate scenario spec files; nonzero exit when any is invalid."""
+    from .scenarios import load_scenario
+
+    if not paths:
+        print("error: scenario check needs at least one spec file")
+        return 2
+    failures = 0
+    for path in paths:
+        try:
+            spec = load_scenario(path)
+        except (OSError, RuntimeError, ValueError) as exc:
+            print(f"FAIL {path}: {exc}")
+            failures += 1
+            continue
+        tenants = spec.all_tenants()
+        print(
+            f"ok   {path}: {spec.name} [{spec.archetype}] "
+            f"{len(tenants)} tenant(s), {spec.total_events} events, "
+            f"{spec.workload.requests} trace requests"
+        )
+    print(f"{len(paths)} spec(s), {failures} failure(s)")
+    return 1 if failures else 0
+
+
+def _cmd_scenario(args) -> int:
+    """The scenario factory front-end (see docs/SCENARIOS.md)."""
+    import time
+
+    from .scenarios import (
+        default_pack_dir,
+        materialize,
+        replay,
+        resolve_scenario,
+        shrink_spec,
+        write_scenario,
+    )
+
+    action = args.action
+    targets = list(args.targets)
+    if args.check:
+        # `repro scenario --check FILES...`: the leading positional is a
+        # file, not an action.
+        if action not in (None, "check"):
+            targets.insert(0, action)
+        return _scenario_check(targets)
+    if action is None:
+        action = "list"
+    if action == "check":
+        return _scenario_check(targets)
+
+    pack = args.pack or default_pack_dir()
+    if action == "list":
+        from pathlib import Path
+
+        files = sorted(Path(pack).glob("*.toml")) + sorted(Path(pack).glob("*.json"))
+        if not files:
+            print(f"no scenarios found in {pack}")
+            return 1
+        for path in files:
+            try:
+                spec = resolve_scenario(path)
+            except (RuntimeError, ValueError) as exc:
+                print(f"  {path.stem:28s} INVALID: {exc}")
+                continue
+            print(
+                f"  {path.stem:28s} [{spec.archetype}] "
+                f"{len(spec.all_tenants())} tenant(s), "
+                f"{spec.total_events} events — {spec.description or spec.name}"
+            )
+        return 0
+
+    if not targets:
+        print(f"error: scenario {action} needs a scenario name or spec file")
+        return 2
+    if len(targets) > 1:
+        print(f"error: scenario {action} takes exactly one scenario, got {targets}")
+        return 2
+    try:
+        spec = resolve_scenario(targets[0], pack_dir=pack)
+    except (OSError, RuntimeError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.tiny:
+        spec = shrink_spec(spec)
+
+    if action == "describe":
+        print(f"{spec.name} [{spec.archetype}] seed={spec.seed}")
+        if spec.description:
+            print(f"  {spec.description}")
+        for tenant in spec.all_tenants():
+            print(
+                f"  tenant {tenant.name}: n={tenant.n} "
+                f"correlation={tenant.correlation:+.2f}"
+            )
+        for i, phase in enumerate(spec.phases):
+            print(
+                f"  phase {i}: {phase.ops} ops, write_frac={phase.write_frac}, "
+                f"churn={phase.churn}, drift={phase.drift:+.2f}, "
+                f"burst={phase.burst}x"
+            )
+        w = spec.workload
+        print(
+            f"  workload: {w.requests} requests, ks={list(w.ks)}, "
+            f"eps={w.eps}, alpha={w.alpha}, hot_frac={w.hot_frac}"
+        )
+        return 0
+
+    scenario = materialize(spec)
+    if action == "materialize":
+        out = write_scenario(scenario, args.out or f"scenario-{spec.name}")
+        total = sum(d.n for d in scenario.datasets.values())
+        print(
+            f"materialized {spec.name}: {len(scenario.datasets)} tenant(s) "
+            f"({total} rows), {len(scenario.events)} events, "
+            f"{len(scenario.trace)} trace requests -> {out}"
+        )
+        return 0
+
+    if action == "replay":
+        t0 = time.perf_counter()
+        report = replay(
+            scenario, default_seed=args.seed, verify=not args.no_verify
+        )
+        elapsed = time.perf_counter() - t0
+        for name, r in report.tenants.items():
+            print(
+                f"  {name}: {r.num_queries} queries + {r.num_updates} updates "
+                f"({r.epochs} epochs), live {r.live_build + r.live_total:.2f}s "
+                f"vs rebuild {r.rebuild_build + r.rebuild_total:.2f}s"
+            )
+        print(
+            f"replayed {report.num_queries} queries + {report.num_updates} "
+            f"updates across {len(report.tenants)} tenant(s) in {elapsed:.2f}s"
+        )
+        if not args.no_verify:
+            status = "yes" if report.identical else "NO"
+            print(f"live answers bit-identical to cold per-epoch solves: {status}")
+        print(f"amortized speedup over rebuild-per-update: {report.speedup:.1f}x")
+        return 0 if (args.no_verify or report.identical) else 1
+
+    print(
+        f"error: unknown scenario action {action!r} "
+        f"(expected list/describe/check/materialize/replay)"
+    )
+    return 2
+
+
 def _cmd_table2(args) -> int:
     from .experiments.table2 import render_table2, run_table2
 
@@ -657,6 +811,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the config, print the dataset plan, and exit",
     )
 
+    scenario = sub.add_parser(
+        "scenario",
+        help="config-driven scenario factory: list/describe/check/"
+        "materialize/replay (docs/SCENARIOS.md)",
+    )
+    scenario.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="list | describe | check | materialize | replay (default: list)",
+    )
+    scenario.add_argument(
+        "targets",
+        nargs="*",
+        default=[],
+        help="scenario name (resolved in the pack) or spec file path(s)",
+    )
+    scenario.add_argument(
+        "--check",
+        action="store_true",
+        help="validate spec files and exit (equivalent to the check action)",
+    )
+    scenario.add_argument(
+        "--pack",
+        default=None,
+        help="scenario pack directory (default: examples/scenarios)",
+    )
+    scenario.add_argument(
+        "--out", default=None, help="output directory for materialize"
+    )
+    scenario.add_argument(
+        "--tiny",
+        action="store_true",
+        help="shrink the scenario to CI size (tenants <= 240 rows, "
+        "<= 30 ops/phase, <= 24 trace requests)",
+    )
+    scenario.add_argument("--seed", type=int, default=7, help="solver seed")
+    scenario.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="replay without the bit-identity check against cold solves",
+    )
+
     table2 = sub.add_parser("table2", help="print dataset statistics")
     table2.add_argument("--scale", type=float, default=0.25)
 
@@ -677,6 +874,7 @@ def main(argv=None) -> int:
         "service": _cmd_service,
         "snapshot": _cmd_snapshot,
         "server": _cmd_server,
+        "scenario": _cmd_scenario,
         "table2": _cmd_table2,
         "experiments": _cmd_experiments,
     }

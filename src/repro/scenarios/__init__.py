@@ -1,0 +1,63 @@
+"""Config-driven scenario factory: realistic workloads for every layer.
+
+One declarative, seeded scenario spec (TOML/JSON) materializes into
+static tenant datasets, a drift/churn/burst event timeline, and an HTTP
+request trace — all deterministic, all consumed identically by the unit
+tests, :class:`~repro.serving.live.LiveFairHMSIndex`, the service
+gateway, and ``benchmarks/bench_server.py``.  See ``docs/SCENARIOS.md``
+and the pack under ``examples/scenarios/``.
+"""
+
+from .generate import build_tenant, tenant_datasets
+from .replay import (
+    Scenario,
+    ScenarioReplayReport,
+    materialize,
+    register_scenario,
+    replay,
+    service_requests,
+    write_scenario,
+)
+from .spec import (
+    ARCHETYPES,
+    GroupAttributeSpec,
+    PhaseSpec,
+    ScenarioSpec,
+    TenantMixSpec,
+    TenantSpec,
+    WorkloadSpec,
+    default_pack_dir,
+    load_scenario,
+    parse_scenario,
+    resolve_scenario,
+    shrink_spec,
+)
+from .timeline import Event, TraceRequest, build_events, build_trace
+
+__all__ = [
+    "ARCHETYPES",
+    "Event",
+    "GroupAttributeSpec",
+    "PhaseSpec",
+    "Scenario",
+    "ScenarioReplayReport",
+    "ScenarioSpec",
+    "TenantMixSpec",
+    "TenantSpec",
+    "TraceRequest",
+    "WorkloadSpec",
+    "build_events",
+    "build_tenant",
+    "build_trace",
+    "default_pack_dir",
+    "load_scenario",
+    "materialize",
+    "parse_scenario",
+    "register_scenario",
+    "replay",
+    "resolve_scenario",
+    "service_requests",
+    "shrink_spec",
+    "tenant_datasets",
+    "write_scenario",
+]

@@ -1,0 +1,272 @@
+"""Materialize and replay scenarios against every serving layer.
+
+:func:`materialize` turns a validated :class:`ScenarioSpec` into one
+:class:`Scenario` bundle — tenant datasets, the timeline event stream,
+and the HTTP request trace — all derived from the scenario seed alone.
+The same bundle then drives:
+
+* :func:`replay` — every tenant's event stream through a
+  :class:`~repro.serving.live.LiveFairHMSIndex` *and* the
+  rebuild-per-update baseline (cold per-epoch solves), asserting the
+  repo's house invariant: answers are bit-identical at every query
+  point, now on realistic drifting intersectional data rather than
+  AntiCor synthetics;
+* :func:`register_scenario` — frozen registration of every tenant into
+  a :class:`~repro.service.registry.DatasetRegistry` for gateway / HTTP
+  serving;
+* :func:`service_requests` — the trace as
+  :class:`~repro.service.workload.ServiceRequest`s (plus arrival
+  offsets) for ``run_service_benchmark`` and
+  ``benchmarks/bench_server.py --scenario``;
+* :func:`write_scenario` — an on-disk export (``.npy`` arrays +
+  JSONL streams + a manifest) whose bytes are a pure function of the
+  spec, which is how the property tests verify cross-process
+  determinism.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .._rng import ensure_rng, spawn_seeds
+from ..serving.workload import Op, WorkloadReport, replay_ops
+from .generate import tenant_datasets
+from .spec import ScenarioSpec
+from .timeline import Event, build_events, build_trace
+
+__all__ = [
+    "Scenario",
+    "ScenarioReplayReport",
+    "load_materialized_events",
+    "materialize",
+    "register_scenario",
+    "replay",
+    "service_requests",
+    "write_scenario",
+]
+
+
+@dataclass
+class Scenario:
+    """One materialized scenario: everything downstream layers consume."""
+
+    spec: ScenarioSpec
+    datasets: dict
+    attributes: dict
+    events: list
+    trace: list
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def tenant_ops(self, tenant: str) -> list[Op]:
+        """The tenant's own op subsequence, in global event order."""
+        return [e.op for e in self.events if e.tenant == tenant]
+
+
+def materialize(spec: ScenarioSpec) -> Scenario:
+    """Deterministically expand ``spec`` into datasets, events, and trace.
+
+    Sub-seeds for the tenants, the timeline, and the trace are spawned
+    from the scenario seed in a fixed order, so each artifact is stable
+    under changes to the others (editing the workload never perturbs the
+    datasets, and vice versa).
+    """
+    datasets, attributes = tenant_datasets(spec)
+    event_seed, trace_seed = spawn_seeds(ensure_rng((spec.seed, 1)), 2)
+    events = build_events(spec, datasets, seed=event_seed)
+    trace = build_trace(spec, seed=trace_seed)
+    return Scenario(
+        spec=spec,
+        datasets=datasets,
+        attributes=attributes,
+        events=events,
+        trace=trace,
+    )
+
+
+@dataclass
+class ScenarioReplayReport:
+    """Aggregated live-vs-cold replay results across every tenant."""
+
+    scenario: str
+    tenants: dict = field(default_factory=dict)  # name -> WorkloadReport
+
+    @property
+    def identical(self) -> bool:
+        return all(r.identical for r in self.tenants.values())
+
+    @property
+    def num_queries(self) -> int:
+        return sum(r.num_queries for r in self.tenants.values())
+
+    @property
+    def num_updates(self) -> int:
+        return sum(r.num_updates for r in self.tenants.values())
+
+    @property
+    def live_total(self) -> float:
+        return sum(r.live_build + r.live_total for r in self.tenants.values())
+
+    @property
+    def rebuild_total(self) -> float:
+        return sum(
+            r.rebuild_build + r.rebuild_total for r in self.tenants.values()
+        )
+
+    @property
+    def speedup(self) -> float:
+        return self.rebuild_total / max(self.live_total, 1e-12)
+
+
+def replay(
+    scenario: Scenario, *, default_seed: int = 7, verify: bool = True
+) -> ScenarioReplayReport:
+    """Replay every tenant's event stream live vs rebuild-per-update.
+
+    Each tenant's ops (in global order) run through
+    :func:`~repro.serving.workload.replay_ops`, which asserts
+    bit-identical answers between the live index and cold per-epoch
+    rebuilds.  Tenants with no events still replay (zero ops, vacuously
+    identical) so a static scenario exercises the same code path.
+    """
+    workload = scenario.spec.workload
+    reports: dict[str, WorkloadReport] = {}
+    for name, dataset in scenario.datasets.items():
+        reports[name] = replay_ops(
+            dataset,
+            scenario.tenant_ops(name),
+            default_seed=default_seed,
+            eps=workload.eps,
+            alpha=workload.alpha,
+            algorithm=workload.algorithm,
+            verify=verify,
+        )
+    return ScenarioReplayReport(scenario=scenario.name, tenants=reports)
+
+
+def register_scenario(
+    scenario: Scenario, registry, *, default_seed: int = 7, live: bool = False
+) -> None:
+    """Register every tenant dataset into ``registry`` (frozen by default)."""
+    for name, dataset in scenario.datasets.items():
+        registry.register(
+            name, dataset, live=live, default_seed=default_seed
+        )
+
+
+def service_requests(scenario: Scenario):
+    """The trace as ``(offsets, ServiceRequests)`` for the service bench.
+
+    Offsets are the trace's abstract arrival times rebased to start at
+    zero; callers rescale them to a target rate (the open-loop generator
+    in ``bench_server.py`` preserves their *shape*, which is where the
+    flash-crowd bursts live).
+    """
+    from ..serving.index import Query
+    from ..service.workload import ServiceRequest
+
+    offsets = [t.at for t in scenario.trace]
+    base = offsets[0] if offsets else 0.0
+    requests = [
+        ServiceRequest(
+            dataset=t.dataset,
+            query=Query(k=t.k, eps=t.eps, algorithm=t.algorithm, alpha=t.alpha),
+        )
+        for t in scenario.trace
+    ]
+    return [o - base for o in offsets], requests
+
+
+# ---------------------------------------------------------------------- #
+# on-disk export
+# ---------------------------------------------------------------------- #
+
+
+def _event_record(event: Event) -> dict:
+    op = event.op
+    record = {
+        "at": event.at,
+        "tenant": event.tenant,
+        "kind": op.kind,
+    }
+    if op.kind == "query":
+        record["k"] = op.k
+    else:
+        record["key"] = op.key
+        record["group"] = op.group
+        if op.kind == "insert":
+            record["point"] = [float(v) for v in op.point]
+    return record
+
+
+def write_scenario(scenario: Scenario, out_dir) -> Path:
+    """Export a materialized scenario to ``out_dir``; returns the path.
+
+    Layout: ``manifest.json`` (spec echo + tenant inventory),
+    ``<tenant>.points.npy`` / ``.labels.npy`` / ``.ids.npy`` per tenant,
+    ``events.jsonl``, and ``trace.jsonl``.  Every byte is a pure
+    function of the spec — no timestamps, no environment — so two
+    exports of the same spec hash identically, in any process.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, dataset in scenario.datasets.items():
+        np.save(out / f"{name}.points.npy", dataset.points)
+        np.save(out / f"{name}.labels.npy", dataset.labels)
+        np.save(out / f"{name}.ids.npy", dataset.ids)
+    with open(out / "events.jsonl", "w") as fh:
+        for event in scenario.events:
+            fh.write(json.dumps(_event_record(event), sort_keys=True))
+            fh.write("\n")
+    with open(out / "trace.jsonl", "w") as fh:
+        for t in scenario.trace:
+            fh.write(json.dumps(asdict(t), sort_keys=True))
+            fh.write("\n")
+    manifest = {
+        "scenario": scenario.name,
+        "spec": asdict(scenario.spec),
+        "tenants": {
+            name: {
+                "n": dataset.n,
+                "d": dataset.dim,
+                "groups": dataset.num_groups,
+                "group_names": list(dataset.group_names),
+                "group_attribute": dataset.group_attribute,
+            }
+            for name, dataset in scenario.datasets.items()
+        },
+        "num_events": len(scenario.events),
+        "num_trace_requests": len(scenario.trace),
+    }
+    with open(out / "manifest.json", "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return out
+
+
+def load_materialized_events(path) -> list[Event]:
+    """Parse an exported ``events.jsonl`` back into :class:`Event`s."""
+    events: list[Event] = []
+    with open(path) as fh:
+        for line in fh:
+            record = json.loads(line)
+            kind = record["kind"]
+            if kind == "query":
+                op = Op("query", k=int(record["k"]))
+            elif kind == "insert":
+                op = Op(
+                    "insert",
+                    key=int(record["key"]),
+                    point=np.asarray(record["point"], dtype=np.float64),
+                    group=int(record["group"]),
+                )
+            else:
+                op = Op("delete", key=int(record["key"]), group=int(record["group"]))
+            events.append(Event(at=record["at"], tenant=record["tenant"], op=op))
+    return events

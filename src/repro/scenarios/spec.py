@@ -1,0 +1,579 @@
+"""Scenario specs: a declarative TOML/JSON file -> validated dataclasses.
+
+A *scenario* describes a realistic FairHMS deployment end to end — the
+tabular archetype (admissions / hiring / lending / generic), per-tenant
+utility-dimension distributions with controllable correlation, group
+attributes including **intersectional** products (e.g. sex x race with
+declared marginals), heavy-tailed tenant-size mixes, a **timeline** of
+insert/delete phases with distribution drift and flash-crowd bursts,
+and the query workload replayed against the result.  One spec file
+drives everything downstream identically: static datasets for
+:class:`~repro.serving.index.FairHMSIndex` / registry registration,
+event streams for :class:`~repro.serving.live.LiveFairHMSIndex`, and
+HTTP request traces for ``benchmarks/bench_server.py``.
+
+Specs are fully deterministic: every random draw descends from the
+single ``seed`` field, so the same file materializes byte-identical
+datasets and event streams in any process (the property-test suite in
+``tests/test_scenarios.py`` enforces this).
+
+TOML layout (JSON mirrors the same structure)::
+
+    [scenario]
+    name = "admissions-intersectional"
+    archetype = "admissions"          # admissions | hiring | lending | generic
+    seed = 11
+    description = "two campuses, sex x race constraints, drifting inserts"
+
+    [[tenants]]
+    name = "campus0"
+    n = 1200
+    correlation = -0.6                # -1 anti-correlated .. 0 indep .. +1 corr
+
+      [[tenants.groups]]
+      attribute = "sex"
+      categories = ["female", "male"]
+      marginals = [0.52, 0.48]
+
+      [[tenants.groups]]              # a second attribute => product groups
+      attribute = "race"
+      categories = ["groupA", "groupB", "groupC"]
+      marginals = [0.6, 0.25, 0.15]
+
+    [mix]                             # optional: heavy-tailed tenant fleet
+    count = 5
+    base_n = 1500
+    tail = 1.4                        # tenant i gets ~ base_n / (i+1)^tail rows
+    min_n = 150
+
+    [[phases]]                        # optional timeline (omit for static)
+    ops = 120
+    write_frac = 0.3                  # fraction of events that are writes
+    churn = 0.5                       # fraction of writes that are deletes
+    drift = 0.1                       # mean shift applied to inserted points
+    burst = 1.0                       # arrival-rate multiplier (flash crowds)
+
+    [workload]
+    requests = 60
+    ks = [4, 6, 8]
+
+Unknown keys are rejected everywhere — a typo in a scenario file must
+fail ``repro scenario check``, not silently change the workload.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - py3.10 fallback path
+    tomllib = None
+
+__all__ = [
+    "ARCHETYPES",
+    "GroupAttributeSpec",
+    "PhaseSpec",
+    "ScenarioSpec",
+    "TenantMixSpec",
+    "TenantSpec",
+    "WorkloadSpec",
+    "default_pack_dir",
+    "load_scenario",
+    "parse_scenario",
+    "resolve_scenario",
+    "shrink_spec",
+]
+
+
+@dataclass(frozen=True)
+class GroupAttributeSpec:
+    """One sensitive attribute: categories with declared marginals.
+
+    ``marginals`` must be positive and sum to 1 (within float noise);
+    ``tolerance`` is the absolute deviation the property tests allow
+    between declared and empirically sampled marginals.
+    """
+
+    attribute: str
+    categories: tuple[str, ...]
+    marginals: tuple[float, ...]
+    tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.attribute or not isinstance(self.attribute, str):
+            raise ValueError(f"attribute must be a non-empty string: {self.attribute!r}")
+        cats = tuple(str(c) for c in self.categories)
+        if not cats:
+            raise ValueError(f"attribute {self.attribute!r} needs >= 1 category")
+        if len(set(cats)) != len(cats):
+            raise ValueError(f"attribute {self.attribute!r}: duplicate categories")
+        margs = tuple(float(m) for m in self.marginals)
+        if len(margs) != len(cats):
+            raise ValueError(
+                f"attribute {self.attribute!r}: {len(cats)} categories but "
+                f"{len(margs)} marginals"
+            )
+        if any(m <= 0 for m in margs):
+            raise ValueError(f"attribute {self.attribute!r}: marginals must be > 0")
+        if not math.isclose(sum(margs), 1.0, abs_tol=1e-6):
+            raise ValueError(
+                f"attribute {self.attribute!r}: marginals must sum to 1, "
+                f"got {sum(margs):.6f}"
+            )
+        if not 0.0 < self.tolerance <= 1.0:
+            raise ValueError(
+                f"attribute {self.attribute!r}: tolerance must lie in (0, 1]"
+            )
+        object.__setattr__(self, "categories", cats)
+        object.__setattr__(self, "marginals", margs)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant dataset: size, utility correlation, group attributes.
+
+    ``dims`` and ``groups`` default to the scenario archetype's when
+    omitted (``None``).  ``correlation`` spans the classic synthetic
+    regimes: ``-1`` fully anti-correlated (the adversarial skyline
+    benchmark), ``0`` independent, ``+1`` strongly correlated (small
+    skylines typical of real decision-support data).
+    """
+
+    name: str
+    n: int = 800
+    correlation: float = -0.5
+    dims: tuple[str, ...] | None = None
+    groups: tuple[GroupAttributeSpec, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"tenant name must be a non-empty string: {self.name!r}")
+        if int(self.n) < 16:
+            raise ValueError(f"tenant {self.name!r}: n must be >= 16, got {self.n}")
+        object.__setattr__(self, "n", int(self.n))
+        if not -1.0 <= float(self.correlation) <= 1.0:
+            raise ValueError(
+                f"tenant {self.name!r}: correlation must lie in [-1, 1], "
+                f"got {self.correlation}"
+            )
+        if self.dims is not None:
+            dims = tuple(str(v) for v in self.dims)
+            if not 1 <= len(dims) <= 8:
+                raise ValueError(f"tenant {self.name!r}: need 1..8 dims")
+            object.__setattr__(self, "dims", dims)
+        if self.groups is not None:
+            groups = tuple(self.groups)
+            if not groups:
+                raise ValueError(f"tenant {self.name!r}: groups must be non-empty")
+            attrs = [g.attribute for g in groups]
+            if len(set(attrs)) != len(attrs):
+                raise ValueError(
+                    f"tenant {self.name!r}: duplicate group attributes {attrs}"
+                )
+            object.__setattr__(self, "groups", groups)
+
+
+@dataclass(frozen=True)
+class TenantMixSpec:
+    """A heavy-tailed fleet of generated tenants.
+
+    Tenant ``i`` (0-based) gets ``max(min_n, base_n / (i+1)**tail)``
+    rows — ``tail=0`` is a uniform fleet, larger tails concentrate the
+    data in the first few tenants, the regime multi-tenant caches and
+    byte budgets actually face.
+    """
+
+    count: int
+    base_n: int = 1_000
+    tail: float = 1.2
+    min_n: int = 120
+    correlation: float = -0.5
+    prefix: str = "tenant"
+    groups: tuple[GroupAttributeSpec, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if int(self.count) < 1:
+            raise ValueError(f"mix count must be >= 1, got {self.count}")
+        object.__setattr__(self, "count", int(self.count))
+        if int(self.base_n) < 16 or int(self.min_n) < 16:
+            raise ValueError("mix base_n and min_n must be >= 16")
+        object.__setattr__(self, "base_n", int(self.base_n))
+        object.__setattr__(self, "min_n", int(self.min_n))
+        if float(self.tail) < 0:
+            raise ValueError(f"mix tail must be >= 0, got {self.tail}")
+        if not self.prefix:
+            raise ValueError("mix prefix must be non-empty")
+
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(
+            max(self.min_n, int(round(self.base_n / (i + 1) ** self.tail)))
+            for i in range(self.count)
+        )
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One timeline phase: how many events, and their character.
+
+    ``write_frac`` splits events into writes vs queries; ``churn``
+    splits writes into deletes vs inserts; ``drift`` shifts every
+    coordinate of points inserted during the phase (positive drift means
+    newer tuples dominate older ones — real distribution shift); and
+    ``burst`` multiplies the arrival rate, modelling flash crowds in the
+    replayable HTTP trace.
+    """
+
+    ops: int
+    write_frac: float = 0.2
+    churn: float = 0.5
+    drift: float = 0.0
+    burst: float = 1.0
+
+    def __post_init__(self) -> None:
+        if int(self.ops) < 0:
+            raise ValueError(f"phase ops must be >= 0, got {self.ops}")
+        object.__setattr__(self, "ops", int(self.ops))
+        for name in ("write_frac", "churn"):
+            value = float(getattr(self, name))
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"phase {name} must lie in [0, 1], got {value}")
+        if not -1.0 <= float(self.drift) <= 1.0:
+            raise ValueError(f"phase drift must lie in [-1, 1], got {self.drift}")
+        if float(self.burst) <= 0:
+            raise ValueError(f"phase burst must be > 0, got {self.burst}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The query side of the scenario: what the HTTP trace replays."""
+
+    requests: int = 48
+    ks: tuple[int, ...] = (4, 6, 8)
+    eps: float = 0.02
+    alpha: float = 0.1
+    algorithm: str = "auto"
+    hot_frac: float = 0.7
+
+    def __post_init__(self) -> None:
+        if int(self.requests) < 0:
+            raise ValueError(f"workload requests must be >= 0, got {self.requests}")
+        object.__setattr__(self, "requests", int(self.requests))
+        ks = tuple(int(k) for k in self.ks)
+        if not ks or min(ks) < 1:
+            raise ValueError(f"workload ks needs >= 1 positive size, got {self.ks!r}")
+        object.__setattr__(self, "ks", ks)
+        if not 0.0 <= float(self.hot_frac) <= 1.0:
+            raise ValueError(f"hot_frac must lie in [0, 1], got {self.hot_frac}")
+        if float(self.eps) <= 0 or float(self.alpha) < 0:
+            raise ValueError("workload eps must be > 0 and alpha >= 0")
+        if self.algorithm not in ("auto", "IntCov", "BiGreedy", "BiGreedy+"):
+            raise ValueError(f"unknown workload algorithm {self.algorithm!r}")
+
+
+# Per-archetype defaults: utility dimension names, the monotone shaping
+# exponent applied to each dimension (x -> x**e keeps [0, 1] and the
+# within-dimension order, so skylines stay meaningful while marginals
+# take the archetype's skew: e < 1 piles mass high like GPA caps,
+# e > 1 makes the dimension heavy-tailed like income), and the default
+# group attributes used when a tenant declares none.
+ARCHETYPES: dict[str, dict] = {
+    "admissions": {
+        "dims": ("gpa", "test", "essay"),
+        "shape": (0.6, 0.8, 1.0),
+        "groups": (
+            GroupAttributeSpec("sex", ("female", "male"), (0.52, 0.48)),
+            GroupAttributeSpec(
+                "race",
+                ("groupA", "groupB", "groupC", "groupD"),
+                (0.55, 0.2, 0.15, 0.1),
+            ),
+        ),
+    },
+    "hiring": {
+        "dims": ("experience", "skills", "interview"),
+        "shape": (1.4, 0.8, 1.0),
+        "groups": (
+            GroupAttributeSpec("gender", ("women", "men"), (0.45, 0.55)),
+        ),
+    },
+    "lending": {
+        "dims": ("income", "credit", "collateral"),
+        "shape": (2.0, 0.9, 1.3),
+        "groups": (
+            GroupAttributeSpec("age_band", ("young", "mid", "senior"), (0.3, 0.45, 0.25)),
+        ),
+    },
+    "generic": {
+        "dims": ("u0", "u1"),
+        "shape": (1.0, 1.0),
+        "groups": (
+            GroupAttributeSpec("cohort", ("c0", "c1", "c2"), (1 / 3, 1 / 3, 1 / 3)),
+        ),
+    },
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully validated scenario (see module docstring for the file)."""
+
+    name: str
+    archetype: str = "generic"
+    seed: int = 0
+    description: str = ""
+    tenants: tuple[TenantSpec, ...] = ()
+    mix: TenantMixSpec | None = None
+    phases: tuple[PhaseSpec, ...] = ()
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"scenario name must be a non-empty string: {self.name!r}")
+        if self.archetype not in ARCHETYPES:
+            raise ValueError(
+                f"unknown archetype {self.archetype!r} "
+                f"(expected one of {sorted(ARCHETYPES)})"
+            )
+        if int(self.seed) < 0:
+            raise ValueError(f"scenario seed must be >= 0, got {self.seed}")
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        object.__setattr__(self, "phases", tuple(self.phases))
+        if not self.tenants and self.mix is None:
+            raise ValueError(
+                f"scenario {self.name!r}: declare at least one tenant or a mix"
+            )
+        names = [t.name for t in self.all_tenants()]
+        if len(set(names)) != len(names):
+            raise ValueError(f"scenario {self.name!r}: duplicate tenant names {names}")
+        # The paper's clamped proportional constraint gives every group a
+        # lower bound of 1, so a query is feasible only when k >= C.  The
+        # (conservative) worst case is the full product of category
+        # counts — fail at parse time with a message naming the fix, not
+        # at replay time with a solver infeasibility.
+        defaults = ARCHETYPES[self.archetype]
+        for tenant in self.all_tenants():
+            groups = tenant.groups if tenant.groups is not None else defaults["groups"]
+            combos = math.prod(len(g.categories) for g in groups)
+            if min(self.workload.ks) < combos:
+                raise ValueError(
+                    f"scenario {self.name!r}: tenant {tenant.name!r} can have "
+                    f"up to {combos} (intersectional) groups but the workload's "
+                    f"smallest k is {min(self.workload.ks)}; proportional "
+                    f"constraints need k >= group count — raise ks or drop "
+                    f"group attributes"
+                )
+
+    def all_tenants(self) -> tuple[TenantSpec, ...]:
+        """Explicit tenants plus the expanded heavy-tailed mix, in order."""
+        expanded = list(self.tenants)
+        if self.mix is not None:
+            for i, n in enumerate(self.mix.sizes()):
+                expanded.append(
+                    TenantSpec(
+                        name=f"{self.mix.prefix}{i}",
+                        n=n,
+                        correlation=self.mix.correlation,
+                        groups=self.mix.groups,
+                    )
+                )
+        return tuple(expanded)
+
+    def archetype_defaults(self) -> dict:
+        return ARCHETYPES[self.archetype]
+
+    @property
+    def total_events(self) -> int:
+        return sum(p.ops for p in self.phases)
+
+
+def _reject_unknown(raw: dict, allowed, *, where: str) -> None:
+    unknown = set(raw) - set(allowed)
+    if unknown:
+        raise ValueError(f"{where}: unknown keys {sorted(unknown)}")
+
+
+def _parse_groups(raw_groups, *, where: str):
+    if raw_groups is None:
+        return None
+    if not isinstance(raw_groups, (list, tuple)):
+        raise ValueError(f"{where}: groups must be a list of tables")
+    allowed = {f.name for f in fields(GroupAttributeSpec)}
+    specs = []
+    for entry in raw_groups:
+        if not isinstance(entry, dict):
+            raise ValueError(f"{where}: group entry must be a mapping, got {entry!r}")
+        _reject_unknown(entry, allowed, where=f"{where} group")
+        specs.append(GroupAttributeSpec(**entry))
+    return tuple(specs)
+
+
+def parse_scenario(raw: dict) -> ScenarioSpec:
+    """Validate a raw mapping (parsed TOML/JSON) into a :class:`ScenarioSpec`."""
+    if not isinstance(raw, dict):
+        raise ValueError(f"scenario root must be a mapping, got {type(raw).__name__}")
+    _reject_unknown(
+        raw, ("scenario", "tenants", "mix", "phases", "workload"), where="scenario file"
+    )
+    head = dict(raw.get("scenario", {}))
+    _reject_unknown(
+        head, ("name", "archetype", "seed", "description"), where="[scenario]"
+    )
+
+    tenants = []
+    tenant_fields = {f.name for f in fields(TenantSpec)}
+    for entry in raw.get("tenants", []) or []:
+        if not isinstance(entry, dict):
+            raise ValueError(f"tenant entry must be a mapping, got {entry!r}")
+        _reject_unknown(entry, tenant_fields, where=f"tenant {entry.get('name', '?')!r}")
+        entry = dict(entry)
+        entry["groups"] = _parse_groups(
+            entry.get("groups"), where=f"tenant {entry.get('name', '?')!r}"
+        )
+        if entry.get("dims") is not None:
+            entry["dims"] = tuple(entry["dims"])
+        tenants.append(TenantSpec(**entry))
+
+    mix = None
+    if "mix" in raw and raw["mix"] is not None:
+        entry = dict(raw["mix"])
+        _reject_unknown(entry, {f.name for f in fields(TenantMixSpec)}, where="[mix]")
+        entry["groups"] = _parse_groups(entry.get("groups"), where="[mix]")
+        mix = TenantMixSpec(**entry)
+
+    phases = []
+    phase_fields = {f.name for f in fields(PhaseSpec)}
+    for entry in raw.get("phases", []) or []:
+        if not isinstance(entry, dict):
+            raise ValueError(f"phase entry must be a mapping, got {entry!r}")
+        _reject_unknown(entry, phase_fields, where="[[phases]]")
+        phases.append(PhaseSpec(**entry))
+
+    workload_raw = dict(raw.get("workload", {}))
+    _reject_unknown(
+        workload_raw, {f.name for f in fields(WorkloadSpec)}, where="[workload]"
+    )
+    workload = WorkloadSpec(**workload_raw)
+
+    return ScenarioSpec(
+        tenants=tuple(tenants),
+        mix=mix,
+        phases=tuple(phases),
+        workload=workload,
+        **head,
+    )
+
+
+def load_scenario(path) -> ScenarioSpec:
+    """Parse a ``.toml`` or ``.json`` scenario file."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        if tomllib is None:  # pragma: no cover - py3.10 only
+            raise RuntimeError(
+                "TOML scenarios need Python 3.11+ (stdlib tomllib); "
+                "use an equivalent .json scenario instead"
+            )
+        with open(path, "rb") as fh:
+            raw = tomllib.load(fh)
+    elif suffix == ".json":
+        with open(path) as fh:
+            raw = json.load(fh)
+    else:
+        raise ValueError(
+            f"unsupported scenario format {suffix!r} (expected .toml or .json)"
+        )
+    return parse_scenario(raw)
+
+
+def default_pack_dir() -> Path:
+    """Where the named scenario pack lives.
+
+    ``REPRO_SCENARIO_DIR`` overrides; otherwise the repo's
+    ``examples/scenarios`` (resolved relative to this file, so the CLI
+    finds the pack regardless of the working directory).
+    """
+    env = os.environ.get("REPRO_SCENARIO_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "examples" / "scenarios"
+
+
+def resolve_scenario(name_or_path, *, pack_dir=None) -> ScenarioSpec:
+    """Load a scenario by file path or by pack name (without extension)."""
+    path = Path(name_or_path)
+    if path.suffix.lower() in (".toml", ".json") and path.exists():
+        return load_scenario(path)
+    base = Path(pack_dir) if pack_dir is not None else default_pack_dir()
+    for suffix in (".toml", ".json"):
+        candidate = base / f"{name_or_path}{suffix}"
+        if candidate.exists():
+            return load_scenario(candidate)
+    raise FileNotFoundError(
+        f"no scenario {name_or_path!r} (not a spec file, and not found in {base})"
+    )
+
+
+def shrink_spec(spec: ScenarioSpec, *, max_n: int = 240, max_ops: int = 30,
+                max_requests: int = 24) -> ScenarioSpec:
+    """A CI-sized copy of ``spec``: same shape, bounded cost.
+
+    Tenant sizes, phase event counts, and the request budget are capped;
+    everything else (archetype, groups, correlations, drift, bursts,
+    seed) is preserved, so ``--tiny`` smokes exercise the same code
+    paths the full scenario does.
+    """
+    tenants = tuple(
+        TenantSpec(
+            name=t.name,
+            n=min(t.n, max_n),
+            correlation=t.correlation,
+            dims=t.dims,
+            groups=t.groups,
+        )
+        for t in spec.tenants
+    )
+    mix = spec.mix
+    if mix is not None:
+        mix = TenantMixSpec(
+            count=mix.count,
+            base_n=min(mix.base_n, max_n),
+            tail=mix.tail,
+            min_n=min(mix.min_n, max_n),
+            correlation=mix.correlation,
+            prefix=mix.prefix,
+            groups=mix.groups,
+        )
+    phases = tuple(
+        PhaseSpec(
+            ops=min(p.ops, max_ops),
+            write_frac=p.write_frac,
+            churn=p.churn,
+            drift=p.drift,
+            burst=p.burst,
+        )
+        for p in spec.phases
+    )
+    workload = WorkloadSpec(
+        requests=min(spec.workload.requests, max_requests),
+        ks=spec.workload.ks,
+        eps=spec.workload.eps,
+        alpha=spec.workload.alpha,
+        algorithm=spec.workload.algorithm,
+        hot_frac=spec.workload.hot_frac,
+    )
+    return ScenarioSpec(
+        name=spec.name,
+        archetype=spec.archetype,
+        seed=spec.seed,
+        description=spec.description,
+        tenants=tenants,
+        mix=mix,
+        phases=phases,
+        workload=workload,
+    )

@@ -1,0 +1,223 @@
+"""Scenario timelines: valid-by-construction event streams and traces.
+
+The timeline turns a scenario's phases into two replayable artifacts:
+
+* an **event stream** — a globally ordered list of :class:`Event`s
+  (insert / delete / query, each bound to a tenant and stamped with an
+  abstract arrival time) for replay through
+  :class:`~repro.serving.live.LiveFairHMSIndex` and the service
+  gateway;
+* a **request trace** — the scenario's query workload with arrival
+  offsets, consumable by ``benchmarks/bench_server.py``'s open-loop
+  generator (phase ``burst`` multipliers compress inter-arrival gaps,
+  so flash crowds replay as real schedule spikes).
+
+Event streams are valid by construction, and the guarantees are
+explicit rather than silent fallbacks:
+
+* insert keys are fresh — a per-tenant monotone counter starting past
+  the initial dataset's ids, so no key is ever inserted twice and no
+  delete can precede its insert;
+* deletes target only alive tuples, and never shrink a group below
+  ``max(ks) + 2`` members (every query stays feasible);
+* a delete drawn when every group sits at that floor becomes an insert
+  (the unbounded synthetic pool always admits one) — so an all-writes
+  phase (``write_frac=1.0``) still emits exactly ``ops`` events;
+* an empty timeline (no phases) is a *static* scenario: zero events,
+  and the request trace alone drives the workload.
+
+Inserted points are drawn from the tenant's own utility distribution
+with the phase's ``drift`` added to every coordinate (clipped to the
+unit cube): positive drift makes newer tuples dominate older ones, the
+distribution-shift regime that forces live skyline maintenance to earn
+its keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import ensure_rng
+from ..serving.workload import Op
+from .generate import resolved_tenant, shape_points, utility_points
+from .spec import ScenarioSpec
+
+__all__ = ["Event", "TraceRequest", "build_events", "build_trace"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timeline event: an :class:`Op` for ``tenant`` at time ``at``."""
+
+    at: float
+    tenant: str
+    op: Op
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One HTTP-trace query: dataset + the full Query parameter surface."""
+
+    at: float
+    dataset: str
+    k: int
+    eps: float
+    alpha: float
+    algorithm: str
+
+
+def _zipf_weights(count: int) -> np.ndarray:
+    weights = np.array([1.0 / (i + 1) for i in range(count)])
+    return weights / weights.sum()
+
+
+def _hot_sets(names, ks):
+    # Same idiom as service.workload.build_tenant_workload: per tenant,
+    # three hot ks that repeat often enough to fuel coalescing/memoization.
+    return {
+        name: [ks[(i + j) % len(ks)] for j in range(3)]
+        for i, name in enumerate(names)
+    }
+
+
+def _draw_k(rng, hot, ks, hot_frac) -> int:
+    if rng.random() < hot_frac:
+        return int(hot[int(rng.integers(0, len(hot)))])
+    return int(ks[int(rng.integers(0, len(ks)))])
+
+
+class _TenantState:
+    """Mutable alive-set bookkeeping for one tenant during generation."""
+
+    def __init__(self, spec: ScenarioSpec, tenant, dataset) -> None:
+        defaults = spec.archetype_defaults()
+        dims, _ = resolved_tenant(tenant, defaults)
+        self.d = len(dims)
+        self.correlation = float(tenant.correlation)
+        self.shape = tuple(defaults["shape"])
+        self.num_groups = dataset.num_groups
+        sizes = dataset.group_sizes.astype(np.float64)
+        self.group_p = sizes / sizes.sum()
+        self.group_sizes = {c: int(s) for c, s in enumerate(dataset.group_sizes)}
+        self.alive_by_group = {
+            c: [int(k) for k, lab in zip(dataset.ids, dataset.labels) if lab == c]
+            for c in range(dataset.num_groups)
+        }
+        self.next_key = int(dataset.ids.max()) + 1 if dataset.n else 0
+
+    def insert(self, rng, drift: float) -> Op:
+        point = utility_points(1, self.d, self.correlation, rng)
+        point = shape_points(point, self.shape)[0]
+        if drift:
+            point = np.clip(point + drift, 0.0, 1.0)
+        group = int(rng.choice(self.num_groups, p=self.group_p))
+        key = self.next_key
+        self.next_key += 1
+        self.group_sizes[group] += 1
+        self.alive_by_group[group].append(key)
+        return Op("insert", key=key, point=point, group=group)
+
+    def delete(self, rng, min_group: int) -> Op | None:
+        deletable = [
+            c for c, size in self.group_sizes.items() if size > min_group
+        ]
+        if not deletable:
+            return None
+        group = int(deletable[int(rng.integers(0, len(deletable)))])
+        members = self.alive_by_group[group]
+        key = members.pop(int(rng.integers(0, len(members))))
+        self.group_sizes[group] -= 1
+        return Op("delete", key=key, group=group)
+
+
+def build_events(
+    spec: ScenarioSpec, datasets: dict, *, seed
+) -> list[Event]:
+    """The scenario's globally ordered event stream (see module docstring).
+
+    ``datasets`` is the :func:`~repro.scenarios.generate.tenant_datasets`
+    output for the same spec — the alive-set bookkeeping starts from the
+    materialized initial data, which is what makes the stream valid by
+    construction.
+    """
+    rng = ensure_rng(seed)
+    tenants = spec.all_tenants()
+    names = [t.name for t in tenants]
+    states = {
+        t.name: _TenantState(spec, t, datasets[t.name]) for t in tenants
+    }
+    weights = _zipf_weights(len(names))
+    ks = spec.workload.ks
+    hot_sets = _hot_sets(names, ks)
+    min_group = max(ks) + 2
+    events: list[Event] = []
+    at = 0.0
+    for phase in spec.phases:
+        gap = 1.0 / phase.burst
+        for _ in range(phase.ops):
+            at += gap
+            name = names[int(rng.choice(len(names), p=weights))]
+            state = states[name]
+            if rng.random() < phase.write_frac:
+                op = None
+                if rng.random() < phase.churn:
+                    op = state.delete(rng, min_group)
+                if op is None:
+                    # Either the draw said insert, or every group sits at
+                    # its feasibility floor: inserts are always possible.
+                    op = state.insert(rng, phase.drift)
+            else:
+                op = Op("query", k=_draw_k(rng, hot_sets[name], ks, spec.workload.hot_frac))
+            events.append(Event(at=at, tenant=name, op=op))
+    return events
+
+
+def build_trace(spec: ScenarioSpec, *, seed) -> list[TraceRequest]:
+    """The scenario's HTTP request trace: queries with arrival offsets.
+
+    The ``requests`` budget is spread across the phases proportionally
+    to their ``ops`` (uniformly when the timeline is empty), and each
+    request's inter-arrival gap is divided by its phase's ``burst`` —
+    the flash-crowd spikes land in the schedule itself, so an open-loop
+    replay reproduces them against a real server.
+    """
+    rng = ensure_rng(seed)
+    names = [t.name for t in spec.all_tenants()]
+    weights = _zipf_weights(len(names))
+    workload = spec.workload
+    hot_sets = _hot_sets(names, workload.ks)
+    total = workload.requests
+    phase_ops = [p.ops for p in spec.phases]
+    bursts = []
+    if total and sum(phase_ops) > 0:
+        # Allocate requests to phases by largest remainder so the
+        # split is exact and deterministic.
+        shares = [ops / sum(phase_ops) * total for ops in phase_ops]
+        counts = [int(s) for s in shares]
+        remainders = sorted(
+            range(len(shares)), key=lambda i: shares[i] - counts[i], reverse=True
+        )
+        for i in remainders[: total - sum(counts)]:
+            counts[i] += 1
+        for phase, count in zip(spec.phases, counts):
+            bursts.extend([phase.burst] * count)
+    else:
+        bursts = [1.0] * total
+    trace: list[TraceRequest] = []
+    at = 0.0
+    for burst in bursts:
+        at += 1.0 / burst
+        name = names[int(rng.choice(len(names), p=weights))]
+        trace.append(
+            TraceRequest(
+                at=at,
+                dataset=name,
+                k=_draw_k(rng, hot_sets[name], workload.ks, workload.hot_frac),
+                eps=workload.eps,
+                alpha=workload.alpha,
+                algorithm=workload.algorithm,
+            )
+        )
+    return trace

@@ -167,13 +167,17 @@ class ServiceMetrics:
     loop, and the registry record concurrently.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, scenario: str | None = None) -> None:
         # Reentrant: snapshot() holds it while the histograms (sharing
         # the same lock) take it again for their own snapshots.
         self._lock = threading.RLock()
         self._datasets: dict[str, _DatasetStats] = {}
         self._batches = 0
         self._batched_requests = 0
+        # Optional label naming the scenario the traffic belongs to
+        # (set by workload drivers replaying a `repro.scenarios` spec);
+        # surfaces in snapshot() and the emitted bench JSON.
+        self.scenario = scenario
 
     def _stats(self, dataset: str) -> _DatasetStats:
         stats = self._datasets.get(dataset)
@@ -211,9 +215,12 @@ class ServiceMetrics:
             for stats in self._datasets.values():
                 for name, value in stats.counters.items():
                     totals[name] = totals.get(name, 0) + value
-            return {
+            snap = {
                 "datasets": datasets,
                 "totals": totals,
                 "batches": self._batches,
                 "batched_requests": self._batched_requests,
             }
+            if self.scenario is not None:
+                snap["scenario"] = self.scenario
+            return snap

@@ -87,6 +87,7 @@ class ServiceBenchReport:
     identical: bool
     mismatches: list = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    scenario: str | None = None
 
     @property
     def speedup(self) -> float:
@@ -194,6 +195,8 @@ def run_service_benchmark(
     build_workers: int = 0,
     naive: bool = True,
     verify: bool = True,
+    requests: list[ServiceRequest] | None = None,
+    scenario: str | None = None,
 ) -> ServiceBenchReport:
     """Replay one multi-tenant workload through the gateway and naively.
 
@@ -203,18 +206,33 @@ def run_service_benchmark(
     the gateway.  With ``naive=False`` the serial loop is skipped
     (``naive_total`` is 0 and no identity check runs) — useful for
     profiling the gateway alone.
+
+    ``requests`` overrides the built-in Zipf/hot-set stream with a
+    prepared one — e.g. a scenario trace from ``repro.scenarios`` — in
+    which case the stream-shape parameters (``num_requests``, ``ks``,
+    ``hot_frac``, ``seed``) are ignored.  ``scenario`` labels the report
+    and the metrics snapshot with the scenario name.
     """
-    requests = build_tenant_workload(
-        datasets,
-        num_requests=num_requests,
-        ks=ks,
-        eps=eps,
-        algorithm=algorithm,
-        alpha=alpha,
-        hot_frac=hot_frac,
-        seed=seed,
-    )
+    if requests is None:
+        requests = build_tenant_workload(
+            datasets,
+            num_requests=num_requests,
+            ks=ks,
+            eps=eps,
+            algorithm=algorithm,
+            alpha=alpha,
+            hot_frac=hot_frac,
+            seed=seed,
+        )
+    else:
+        requests = list(requests)
+        unknown = {r.dataset for r in requests} - set(datasets)
+        if unknown:
+            raise ValueError(
+                f"prepared requests target unregistered datasets: {sorted(unknown)}"
+            )
     registry = DatasetRegistry(max_bytes=max_bytes)
+    registry.metrics.scenario = scenario
     for name, data in datasets.items():
         registry.register(
             name, data, build_workers=build_workers, default_seed=default_seed
@@ -271,4 +289,5 @@ def run_service_benchmark(
         identical=identical,
         mismatches=mismatches,
         metrics=snapshot,
+        scenario=scenario,
     )

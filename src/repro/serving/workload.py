@@ -35,6 +35,7 @@ __all__ = [
     "Op",
     "RebuildPerUpdateBaseline",
     "build_mixed_workload",
+    "replay_ops",
     "run_mixed_workload",
 ]
 
@@ -216,34 +217,27 @@ class RebuildPerUpdateBaseline:
         return self.index.query(k, **kwargs)
 
 
-def run_mixed_workload(
-    dataset: Dataset,
+def replay_ops(
+    initial: Dataset,
+    ops,
     *,
-    num_ops: int = 200,
-    write_frac: float = 0.2,
-    ks=(4, 6, 8),
-    initial_frac: float = 0.75,
-    seed: int = 0,
     default_seed: int = 7,
     eps: float = 0.02,
     alpha: float = 0.1,
     algorithm: str = "auto",
     verify: bool = True,
 ) -> WorkloadReport:
-    """Replay one mixed workload on both deployments and compare.
+    """Replay a prepared op sequence on both deployments and compare.
 
-    Returns a :class:`WorkloadReport`; ``report.identical`` is the
-    bit-identity check over every query answered (compared by selected
-    ``ids`` and the solver's own MHR estimate at the matching epoch).
+    The generalized core of :func:`run_mixed_workload`: ``ops`` may come
+    from :func:`build_mixed_workload` or from a scenario's event stream
+    (``repro.scenarios``).  Returns a :class:`WorkloadReport`;
+    ``report.identical`` is the bit-identity check over every query
+    answered (compared by selected ``ids`` and the solver's own MHR
+    estimate at the matching epoch) — vacuously true for an all-writes
+    sequence with no queries.
     """
-    initial, ops = build_mixed_workload(
-        dataset,
-        num_ops=num_ops,
-        write_frac=write_frac,
-        ks=ks,
-        initial_frac=initial_frac,
-        seed=seed,
-    )
+    ops = list(ops)
     num_queries = sum(1 for op in ops if op.kind == "query")
     num_updates = len(ops) - num_queries
     query_kwargs = dict(eps=eps, algorithm=algorithm, alpha=alpha)
@@ -302,4 +296,38 @@ def run_mixed_workload(
         identical=identical,
         epochs=epochs,
         mismatches=mismatches,
+    )
+
+
+def run_mixed_workload(
+    dataset: Dataset,
+    *,
+    num_ops: int = 200,
+    write_frac: float = 0.2,
+    ks=(4, 6, 8),
+    initial_frac: float = 0.75,
+    seed: int = 0,
+    default_seed: int = 7,
+    eps: float = 0.02,
+    alpha: float = 0.1,
+    algorithm: str = "auto",
+    verify: bool = True,
+) -> WorkloadReport:
+    """Build one mixed workload over ``dataset`` and :func:`replay_ops` it."""
+    initial, ops = build_mixed_workload(
+        dataset,
+        num_ops=num_ops,
+        write_frac=write_frac,
+        ks=ks,
+        initial_frac=initial_frac,
+        seed=seed,
+    )
+    return replay_ops(
+        initial,
+        ops,
+        default_seed=default_seed,
+        eps=eps,
+        alpha=alpha,
+        algorithm=algorithm,
+        verify=verify,
     )

@@ -79,6 +79,17 @@ class TestValidateReport:
     def test_non_dict_root(self):
         assert check_bench.validate_report([1, 2]) != []
 
+    def test_scenario_key_is_optional(self):
+        # Legacy reports carry no scenario label and stay valid; when the
+        # label is present it must be a real name.
+        assert check_bench.validate_report(good_report()) == []
+        assert check_bench.validate_report(good_report(scenario="adm")) == []
+
+    def test_scenario_key_must_be_a_nonempty_string(self):
+        for bad in ("", None, 3, ["adm"]):
+            errors = check_bench.validate_report(good_report(scenario=bad))
+            assert any("scenario" in e for e in errors), bad
+
 
 class TestMain:
     def _write(self, directory, name, payload):

@@ -33,6 +33,19 @@ class TestParser:
         assert args.build_workers == 0
         assert not args.no_naive
 
+    def test_scenario_defaults(self):
+        args = build_parser().parse_args(["scenario"])
+        assert args.action is None
+        assert args.targets == []
+        assert args.seed == 7
+        assert not args.tiny and not args.check and not args.no_verify
+        args = build_parser().parse_args(
+            ["scenario", "replay", "admissions-smoke", "--tiny"]
+        )
+        assert args.action == "replay"
+        assert args.targets == ["admissions-smoke"]
+        assert args.tiny
+
 
 class TestCommands:
     def test_demo(self, capsys):
@@ -122,6 +135,78 @@ class TestCommands:
         assert main(["service", "--k", "nope"]) == 2
         out = capsys.readouterr().out
         assert "error" in out
+
+    def test_scenario_list_describe_replay(self, capsys, tmp_path):
+        import json
+
+        raw = {
+            "scenario": {"name": "mini", "archetype": "generic", "seed": 2},
+            "tenants": [{"name": "t0", "n": 120, "correlation": -0.5}],
+            "phases": [{"ops": 20, "write_frac": 0.4, "churn": 0.5}],
+            "workload": {"requests": 6, "ks": [4]},
+        }
+        (tmp_path / "mini.json").write_text(json.dumps(raw))
+        pack = ["--pack", str(tmp_path)]
+
+        assert main(["scenario", "list", *pack]) == 0
+        assert "mini" in capsys.readouterr().out
+
+        assert main(["scenario", "describe", "mini", *pack]) == 0
+        out = capsys.readouterr().out
+        assert "tenant t0" in out and "workload: 6 requests" in out
+
+        assert main(["scenario", "replay", "mini", *pack, "--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to cold per-epoch solves: yes" in out
+
+    def test_scenario_materialize_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        raw = {
+            "scenario": {"name": "mat", "archetype": "generic", "seed": 4},
+            "tenants": [{"name": "t0", "n": 100}],
+            "workload": {"requests": 4, "ks": [4]},
+        }
+        (tmp_path / "mat.json").write_text(json.dumps(raw))
+        out_dir = tmp_path / "export"
+        code = main(
+            [
+                "scenario", "materialize", "mat",
+                "--pack", str(tmp_path), "--out", str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert "materialized mat" in capsys.readouterr().out
+        assert (out_dir / "manifest.json").exists()
+        assert (out_dir / "t0.points.npy").exists()
+
+    def test_scenario_check_flags_bad_specs(self, capsys, tmp_path):
+        import json
+
+        good = tmp_path / "good.json"
+        good.write_text(
+            json.dumps(
+                {
+                    "scenario": {"name": "g", "seed": 1},
+                    "tenants": [{"name": "t0", "n": 100}],
+                    "workload": {"requests": 2, "ks": [4]},
+                }
+            )
+        )
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"scenario": {"name": "b"}, "oops": 1}))
+
+        assert main(["scenario", "check", str(good)]) == 0
+        assert "ok" in capsys.readouterr().out
+        # The CI invocation spells it `--check FILES...`.
+        assert main(["scenario", "--check", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "1 failure(s)" in out
+        assert main(["scenario", "check"]) == 2
+
+    def test_scenario_unknown_target_errors(self, capsys, tmp_path):
+        assert main(["scenario", "replay", "ghost", "--pack", str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().out
 
     def test_experiments_forwards_to_run_all(self, capsys, monkeypatch):
         import repro.cli as cli_module

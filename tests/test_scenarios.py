@@ -1,0 +1,508 @@
+"""The declarative scenario factory (``repro.scenarios``).
+
+Property-style guarantees the factory advertises and this suite holds it
+to:
+
+* **determinism** — the same spec (same seed) materializes byte-identical
+  datasets, event streams, and traces, in-process and across processes;
+* **declared marginals** — sampled group attributes land within each
+  attribute's declared tolerance, and intersectional product groups
+  match the exact contingency table of the per-attribute draws;
+* **event-stream validity** — insert keys are fresh and unique, deletes
+  never precede their insert, and phases emit exactly their declared op
+  counts (an all-writes phase included);
+* **replay identity** — the end-to-end house invariant: live index
+  answers over a scenario's event stream are bit-identical to cold
+  per-epoch solves, including on drifting intersectional data.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.scenarios import (
+    ARCHETYPES,
+    GroupAttributeSpec,
+    PhaseSpec,
+    ScenarioSpec,
+    TenantMixSpec,
+    TenantSpec,
+    WorkloadSpec,
+    load_scenario,
+    materialize,
+    parse_scenario,
+    replay,
+    resolve_scenario,
+    service_requests,
+    shrink_spec,
+    write_scenario,
+)
+from repro.scenarios.replay import load_materialized_events
+from repro.service.metrics import ServiceMetrics
+from repro.service.workload import ServiceRequest, run_service_benchmark
+from repro.serving.index import Query
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PACK_DIR = REPO_ROOT / "examples" / "scenarios"
+
+
+def generic_raw(**overrides):
+    """A small valid generic-archetype scenario as a raw mapping."""
+    raw = {
+        "scenario": {"name": "unit", "archetype": "generic", "seed": 5},
+        "tenants": [{"name": "t0", "n": 120, "correlation": -0.5}],
+        "phases": [
+            {"ops": 40, "write_frac": 0.4, "churn": 0.5, "drift": 0.1},
+        ],
+        "workload": {"requests": 12, "ks": [4, 6]},
+    }
+    raw.update(overrides)
+    return raw
+
+
+class TestSpecValidation:
+    def test_round_trip(self):
+        spec = parse_scenario(generic_raw())
+        assert spec.name == "unit"
+        assert spec.total_events == 40
+        assert spec.workload.ks == (4, 6)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda raw: raw.update(extra={}),
+            lambda raw: raw["scenario"].update(typo=1),
+            lambda raw: raw["tenants"][0].update(size=9),
+            lambda raw: raw["phases"][0].update(burstiness=2),
+            lambda raw: raw["workload"].update(qps=10),
+        ],
+    )
+    def test_unknown_keys_rejected_everywhere(self, mutate):
+        raw = generic_raw()
+        mutate(raw)
+        with pytest.raises(ValueError, match="unknown keys"):
+            parse_scenario(raw)
+
+    def test_unknown_group_key_rejected(self):
+        raw = generic_raw()
+        raw["tenants"][0]["groups"] = [
+            {"attribute": "a", "categories": ["x"], "marginals": [1.0], "freq": 1}
+        ]
+        with pytest.raises(ValueError, match="unknown keys"):
+            parse_scenario(raw)
+
+    def test_marginals_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            GroupAttributeSpec("a", ("x", "y"), (0.7, 0.7))
+
+    def test_marginals_must_be_positive(self):
+        with pytest.raises(ValueError, match="> 0"):
+            GroupAttributeSpec("a", ("x", "y"), (1.2, -0.2))
+
+    def test_marginals_length_must_match(self):
+        with pytest.raises(ValueError, match="categories but"):
+            GroupAttributeSpec("a", ("x", "y"), (1.0,))
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            GroupAttributeSpec("a", ("x", "x"), (0.5, 0.5))
+
+    def test_correlation_range(self):
+        with pytest.raises(ValueError, match="correlation"):
+            TenantSpec("t", n=100, correlation=1.5)
+
+    def test_small_k_vs_group_count_fails_at_parse_time(self):
+        # admissions defaults to sex x race = 8 product groups; the
+        # paper's clamped proportional constraint needs k >= group count.
+        raw = generic_raw()
+        raw["scenario"]["archetype"] = "admissions"
+        with pytest.raises(ValueError, match="k >= group count"):
+            parse_scenario(raw)
+
+    def test_needs_a_tenant_or_mix(self):
+        with pytest.raises(ValueError, match="tenant or a mix"):
+            ScenarioSpec(name="empty")
+
+    def test_duplicate_tenant_names_rejected(self):
+        raw = generic_raw()
+        raw["tenants"].append({"name": "t0", "n": 100})
+        with pytest.raises(ValueError, match="duplicate tenant names"):
+            parse_scenario(raw)
+
+    def test_unknown_archetype_and_algorithm(self):
+        with pytest.raises(ValueError, match="archetype"):
+            parse_scenario(
+                generic_raw(scenario={"name": "x", "archetype": "banking"})
+            )
+        with pytest.raises(ValueError, match="algorithm"):
+            WorkloadSpec(algorithm="Greedy")
+
+    def test_negative_seed_rejected(self):
+        raw = generic_raw()
+        raw["scenario"]["seed"] = -1
+        with pytest.raises(ValueError, match="seed"):
+            parse_scenario(raw)
+
+    def test_mix_sizes_are_heavy_tailed_with_floor(self):
+        mix = TenantMixSpec(count=6, base_n=1000, tail=2.0, min_n=50)
+        sizes = mix.sizes()
+        assert sizes[0] == 1000
+        assert list(sizes) == sorted(sizes, reverse=True)
+        assert all(s >= 50 for s in sizes)
+        # The tail actually bites: the last tenant sits on the floor.
+        assert sizes[-1] == 50
+
+    def test_phase_ranges(self):
+        with pytest.raises(ValueError, match="write_frac"):
+            PhaseSpec(ops=10, write_frac=1.2)
+        with pytest.raises(ValueError, match="burst"):
+            PhaseSpec(ops=10, burst=0.0)
+        with pytest.raises(ValueError, match="drift"):
+            PhaseSpec(ops=10, drift=2.0)
+
+    def test_shrink_preserves_shape_and_caps_cost(self):
+        raw = generic_raw()
+        raw["tenants"][0]["n"] = 5000
+        raw["phases"][0]["ops"] = 500
+        raw["workload"]["requests"] = 400
+        spec = shrink_spec(parse_scenario(raw))
+        assert spec.name == "unit" and spec.seed == 5
+        assert spec.all_tenants()[0].n <= 240
+        assert spec.total_events <= 30
+        assert spec.workload.requests <= 24
+        # Character knobs survive the shrink.
+        assert spec.phases[0].drift == 0.1
+        assert spec.tenants[0].correlation == -0.5
+
+
+class TestDeterminism:
+    def test_same_seed_same_materialization_in_process(self):
+        a = materialize(parse_scenario(generic_raw()))
+        b = materialize(parse_scenario(generic_raw()))
+        for name in a.datasets:
+            assert np.array_equal(a.datasets[name].points, b.datasets[name].points)
+            assert np.array_equal(a.datasets[name].labels, b.datasets[name].labels)
+            assert np.array_equal(a.datasets[name].ids, b.datasets[name].ids)
+        assert len(a.events) == len(b.events)
+        for ea, eb in zip(a.events, b.events):
+            assert (ea.at, ea.tenant, ea.op.kind, ea.op.key, ea.op.group, ea.op.k) == (
+                eb.at, eb.tenant, eb.op.kind, eb.op.key, eb.op.group, eb.op.k
+            )
+            if ea.op.kind == "insert":
+                assert np.array_equal(ea.op.point, eb.op.point)
+        assert a.trace == b.trace
+
+    def test_different_seed_different_data(self):
+        raw = generic_raw()
+        raw["scenario"]["seed"] = 6
+        a = materialize(parse_scenario(generic_raw()))
+        b = materialize(parse_scenario(raw))
+        assert not np.array_equal(a.datasets["t0"].points, b.datasets["t0"].points)
+
+    def test_editing_the_workload_never_perturbs_the_datasets(self):
+        raw = generic_raw()
+        raw["workload"] = {"requests": 99, "ks": [5, 7]}
+        a = materialize(parse_scenario(generic_raw()))
+        b = materialize(parse_scenario(raw))
+        assert np.array_equal(a.datasets["t0"].points, b.datasets["t0"].points)
+        assert np.array_equal(a.datasets["t0"].labels, b.datasets["t0"].labels)
+
+    def test_cross_process_byte_identity(self, tmp_path):
+        """The same spec file exports byte-identical artifacts anywhere."""
+        spec_path = tmp_path / "det.json"
+        spec_path.write_text(json.dumps(generic_raw()))
+        here = write_scenario(
+            materialize(load_scenario(spec_path)), tmp_path / "here"
+        )
+        script = (
+            "import sys\n"
+            "from repro.scenarios import load_scenario, materialize, "
+            "write_scenario\n"
+            "write_scenario(materialize(load_scenario(sys.argv[1])), "
+            "sys.argv[2])\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run(
+            [sys.executable, "-c", script, str(spec_path), str(tmp_path / "there")],
+            check=True,
+            env=env,
+        )
+        there = tmp_path / "there"
+        names = sorted(p.name for p in here.iterdir())
+        assert names == sorted(p.name for p in there.iterdir())
+        for name in names:
+            h = hashlib.sha256((here / name).read_bytes()).hexdigest()
+            t = hashlib.sha256((there / name).read_bytes()).hexdigest()
+            assert h == t, f"{name} differs across processes"
+
+
+class TestGroupMarginals:
+    def test_sampled_marginals_within_declared_tolerance(self):
+        raw = generic_raw()
+        raw["tenants"][0]["n"] = 2000
+        raw["tenants"][0]["groups"] = [
+            {
+                "attribute": "race",
+                "categories": ["a", "b", "c", "d"],
+                "marginals": [0.55, 0.2, 0.15, 0.1],
+            }
+        ]
+        scenario = materialize(parse_scenario(raw))
+        attrs = scenario.attributes["t0"]["race"]
+        counts = np.bincount(attrs["labels"], minlength=len(attrs["categories"]))
+        freqs = counts / counts.sum()
+        for freq, declared in zip(freqs, attrs["marginals"]):
+            assert abs(freq - declared) <= attrs["tolerance"]
+
+    def test_intersectional_groups_match_contingency_table(self):
+        """Product groups == the exact contingency table of the draws."""
+        raw = {
+            "scenario": {"name": "inter", "archetype": "admissions", "seed": 3},
+            "tenants": [{"name": "campus", "n": 600, "correlation": -0.5}],
+            "workload": {"requests": 4, "ks": [8]},
+        }
+        scenario = materialize(parse_scenario(raw))
+        dataset = scenario.datasets["campus"]
+        attrs = scenario.attributes["campus"]
+        assert set(attrs) == {"sex", "race"}
+        assert dataset.group_attribute == "sex+race"
+        label_arrays = [attrs[a]["labels"] for a in attrs]
+        cats = [attrs[a]["categories"] for a in attrs]
+        expected: dict[str, int] = {}
+        for combo in zip(*label_arrays):
+            name = "|".join(c[i] for c, i in zip(cats, combo))
+            expected[name] = expected.get(name, 0) + 1
+        actual = {
+            name: int(size)
+            for name, size in zip(dataset.group_names, dataset.group_sizes)
+        }
+        assert actual == expected
+
+    def test_archetype_defaults_apply_when_groups_omitted(self):
+        scenario = materialize(
+            parse_scenario(
+                {
+                    "scenario": {"name": "h", "archetype": "hiring", "seed": 1},
+                    "tenants": [{"name": "t", "n": 200}],
+                    "workload": {"requests": 2, "ks": [4]},
+                }
+            )
+        )
+        assert set(scenario.attributes["t"]) == {"gender"}
+        assert scenario.datasets["t"].dim == len(ARCHETYPES["hiring"]["dims"])
+
+
+class TestEventStreamValidity:
+    def churny_scenario(self):
+        raw = generic_raw()
+        raw["tenants"] = [
+            {"name": "t0", "n": 200, "correlation": -0.5},
+            {"name": "t1", "n": 120, "correlation": 0.0},
+        ]
+        raw["phases"] = [
+            {"ops": 60, "write_frac": 0.6, "churn": 0.7, "drift": 0.1},
+            {"ops": 40, "write_frac": 0.4, "churn": 0.5, "burst": 4.0},
+        ]
+        return materialize(parse_scenario(raw))
+
+    def test_exact_op_counts_and_monotone_times(self):
+        scenario = self.churny_scenario()
+        assert len(scenario.events) == scenario.spec.total_events
+        ats = [e.at for e in scenario.events]
+        assert all(b > a for a, b in zip(ats, ats[1:]))
+
+    def test_insert_keys_fresh_and_unique_deletes_only_alive(self):
+        scenario = self.churny_scenario()
+        alive = {
+            name: set(int(i) for i in ds.ids)
+            for name, ds in scenario.datasets.items()
+        }
+        seen_inserts: set[tuple[str, int]] = set()
+        for event in scenario.events:
+            op = event.op
+            if op.kind == "insert":
+                assert (event.tenant, op.key) not in seen_inserts
+                assert op.key not in alive[event.tenant], "key re-used"
+                seen_inserts.add((event.tenant, op.key))
+                alive[event.tenant].add(op.key)
+            elif op.kind == "delete":
+                assert op.key in alive[event.tenant], "delete before insert"
+                alive[event.tenant].remove(op.key)
+
+    def test_inserted_points_stay_in_unit_cube(self):
+        scenario = self.churny_scenario()
+        for event in scenario.events:
+            if event.op.kind == "insert":
+                point = event.op.point
+                assert np.all(point >= 0.0) and np.all(point <= 1.0)
+
+    def test_burst_phase_compresses_arrival_gaps(self):
+        scenario = self.churny_scenario()
+        gaps = np.diff([e.at for e in scenario.events])
+        # Phase 0 gap is 1.0; phase 1 (burst 4x) gap is 0.25.
+        assert np.allclose(gaps[:59], 1.0)
+        assert np.allclose(gaps[60:], 0.25)
+
+    def test_trace_follows_phase_bursts(self):
+        scenario = self.churny_scenario()
+        trace = scenario.trace
+        assert len(trace) == scenario.spec.workload.requests
+        offsets, requests = service_requests(scenario)
+        assert len(offsets) == len(requests) == len(trace)
+        assert offsets[0] == 0.0
+        assert all(b >= a for a, b in zip(offsets, offsets[1:]))
+        ks = set(scenario.spec.workload.ks)
+        for r in requests:
+            assert r.dataset in scenario.datasets
+            assert r.query.k in ks
+
+
+class TestReplayIdentity:
+    def test_generic_scenario_live_equals_cold(self):
+        report = replay(materialize(parse_scenario(generic_raw())))
+        assert report.identical
+        assert report.num_queries + report.num_updates == 40
+
+    def test_intersectional_drifting_scenario_live_equals_cold(self):
+        raw = {
+            "scenario": {"name": "adm", "archetype": "admissions", "seed": 9},
+            "tenants": [{"name": "campus", "n": 240, "correlation": -0.6}],
+            "phases": [
+                {"ops": 30, "write_frac": 0.4, "churn": 0.5, "drift": 0.15},
+            ],
+            "workload": {"requests": 8, "ks": [8, 10]},
+        }
+        report = replay(materialize(parse_scenario(raw)))
+        assert report.identical
+        assert report.num_queries + report.num_updates == 30
+
+
+class TestEdgeCases:
+    def test_empty_timeline_is_static(self):
+        raw = generic_raw()
+        del raw["phases"]
+        scenario = materialize(parse_scenario(raw))
+        assert scenario.events == []
+        assert len(scenario.trace) == 12  # trace alone drives the workload
+        report = replay(scenario)
+        assert report.identical  # vacuously: no queries, no updates
+        assert report.num_queries == 0 and report.num_updates == 0
+
+    def test_single_group_degenerates_to_plain_hms(self):
+        raw = generic_raw()
+        raw["tenants"][0]["groups"] = [
+            {"attribute": "everyone", "categories": ["all"], "marginals": [1.0]}
+        ]
+        raw["workload"]["ks"] = [3, 5]
+        scenario = materialize(parse_scenario(raw))
+        assert scenario.datasets["t0"].num_groups == 1
+        report = replay(scenario)
+        assert report.identical
+
+    def test_all_writes_phase_emits_exactly_its_ops(self):
+        raw = generic_raw()
+        raw["phases"] = [{"ops": 50, "write_frac": 1.0, "churn": 0.5}]
+        scenario = materialize(parse_scenario(raw))
+        kinds = [e.op.kind for e in scenario.events]
+        assert len(kinds) == 50
+        assert "query" not in kinds
+        report = replay(scenario)
+        assert report.identical
+        assert report.num_queries == 0 and report.num_updates == 50
+
+
+class TestExportRoundTrip:
+    def test_events_jsonl_round_trips(self, tmp_path):
+        scenario = materialize(parse_scenario(generic_raw()))
+        out = write_scenario(scenario, tmp_path / "export")
+        loaded = load_materialized_events(out / "events.jsonl")
+        assert len(loaded) == len(scenario.events)
+        for orig, back in zip(scenario.events, loaded):
+            assert (orig.at, orig.tenant, orig.op.kind) == (
+                back.at, back.tenant, back.op.kind
+            )
+            assert orig.op.key == back.op.key
+            assert orig.op.k == back.op.k
+            if orig.op.kind == "insert":
+                # JSON floats round-trip exactly (shortest-repr encoding).
+                assert np.array_equal(orig.op.point, back.op.point)
+
+    def test_manifest_inventories_tenants(self, tmp_path):
+        scenario = materialize(parse_scenario(generic_raw()))
+        out = write_scenario(scenario, tmp_path / "export")
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["scenario"] == "unit"
+        assert manifest["tenants"]["t0"]["n"] == 120
+        assert manifest["num_events"] == 40
+        # No wall-clock anywhere: exports must hash identically forever.
+        assert "timestamp" not in json.dumps(manifest)
+
+
+class TestResolveAndPack:
+    def test_resolve_by_path_and_by_name(self, tmp_path):
+        spec_path = tmp_path / "mine.json"
+        spec_path.write_text(json.dumps(generic_raw()))
+        assert resolve_scenario(spec_path).name == "unit"
+        assert resolve_scenario("mine", pack_dir=tmp_path).name == "unit"
+
+    def test_resolve_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            resolve_scenario("nope", pack_dir=tmp_path)
+
+    def test_shipped_pack_is_valid_and_big_enough(self):
+        pytest.importorskip("tomllib")
+        files = sorted(PACK_DIR.glob("*.toml"))
+        assert len(files) >= 10, "the shipped pack must keep >= 10 scenarios"
+        names = []
+        for path in files:
+            spec = load_scenario(path)
+            assert spec.name == path.stem, f"{path.name} name/stem mismatch"
+            names.append(spec.name)
+        assert len(set(names)) == len(names)
+
+    def test_pack_covers_every_archetype_and_edge(self):
+        pytest.importorskip("tomllib")
+        specs = {p.stem: load_scenario(p) for p in PACK_DIR.glob("*.toml")}
+        archetypes = {s.archetype for s in specs.values()}
+        assert archetypes == set(ARCHETYPES)
+        assert any(s.mix is not None for s in specs.values())
+        assert any(not s.phases for s in specs.values())  # static
+        assert any(
+            p.write_frac == 1.0 for s in specs.values() for p in s.phases
+        )  # all-writes
+        assert any(
+            p.burst > 1.0 for s in specs.values() for p in s.phases
+        )  # flash crowd
+
+
+class TestServiceIntegration:
+    def test_metrics_snapshot_carries_scenario_label(self):
+        metrics = ServiceMetrics(scenario="adm")
+        assert metrics.snapshot()["scenario"] == "adm"
+        assert "scenario" not in ServiceMetrics().snapshot()
+
+    def test_service_benchmark_replays_a_scenario_trace(self):
+        scenario = materialize(parse_scenario(generic_raw()))
+        _, requests = service_requests(scenario)
+        report = run_service_benchmark(
+            scenario.datasets, requests=requests, scenario=scenario.name
+        )
+        assert report.identical
+        assert report.scenario == "unit"
+        assert report.metrics["scenario"] == "unit"
+        assert report.num_requests == len(requests)
+
+    def test_service_benchmark_rejects_unknown_targets(self):
+        scenario = materialize(parse_scenario(generic_raw()))
+        bogus = [ServiceRequest(dataset="ghost", query=Query(k=4))]
+        with pytest.raises(ValueError, match="ghost"):
+            run_service_benchmark(scenario.datasets, requests=bogus)
