@@ -11,9 +11,12 @@ Two claims are measured, mirroring the service subsystem's design:
 * **sharded cold builds** — ``build_index_sharded`` versus the
   sequential ``FairHMSIndex`` build on AntiCor n >= 50k, d = 4 (where
   skyline extraction dominates).  The sharded result is bit-identical
-  (ids + answers); the >= 2x speedup floor applies with >= 4 workers,
-  so it is asserted only on machines that actually have 4 cores — the
-  single-core overhead factor is reported either way.
+  (ids + answers).  Sharding now pays off even *inline*: per-shard SFS
+  scans are quadratic in shard size and the merge runs through the
+  vectorized tile filter (``dominated_chunk_mask``) instead of the
+  python-level sequential scan, so a single worker already clears
+  >= 1.5x.  The floor is >= 2x with >= 4 workers (shard and merge
+  phases parallelize across the pool) and >= 1.5x below that.
 
 Run as a script for a smoke check that also writes a machine-readable
 ``BENCH_service.json`` (timings, speedups, workload params, git SHA)::
@@ -44,6 +47,10 @@ KS = (4, 6, 8)
 SEED = 3
 GATEWAY_FLOOR = 3.0
 BUILD_FLOOR = 2.0
+# The vectorized merge + inline sharding beat the sequential build even
+# without a pool (measured ~2.1x at one worker on AntiCor 50k/4-D), so a
+# lower floor applies on machines with < 4 cores.
+BUILD_FLOOR_INLINE = 1.5
 
 
 @pytest.fixture(scope="module")
@@ -167,19 +174,16 @@ def main(argv=None) -> int:
         f"{build_speedup:.2f}x, identical={build_identical}"
     )
 
-    # The perf floors require real parallel hardware and the full-size
-    # workload; identity must hold everywhere.  The report's ``floors``
-    # lists exactly what was enforceable: the build floor needs >= 4
-    # workers, so on smaller machines it is omitted rather than recorded
-    # as a floor the run pretends to have checked.
+    # The report's ``floors`` lists exactly what was enforceable: the 2x
+    # build floor needs >= 4 workers, but the vectorized inline path
+    # clears 1.5x on any machine, so a build floor is always recorded.
     check_floors = not args.tiny
     floors = {"gateway_speedup": GATEWAY_FLOOR}
     gateway_ok = (not check_floors) or report.speedup >= GATEWAY_FLOOR
-    build_ok = True
-    if workers >= 4:
-        floors["build_speedup"] = BUILD_FLOOR
-        build_ok = (not check_floors) or build_speedup >= BUILD_FLOOR
-    elif check_floors:
+    build_floor = BUILD_FLOOR if workers >= 4 else BUILD_FLOOR_INLINE
+    floors["build_speedup"] = build_floor
+    build_ok = (not check_floors) or build_speedup >= build_floor
+    if check_floors and workers < 4:
         print(f"note: {workers} worker(s) available; 2x build floor needs >= 4")
 
     out = write_bench_json(

@@ -20,6 +20,11 @@ Schema (shared by all benches):
   says ``tiny: true``;
 * ``workload``       — mapping with at least a boolean ``tiny``.
 
+Some benches additionally have *required floors*: metrics their report
+must always carry in ``floors``.  The HTTP server bench must floor both
+``throughput_rps`` and ``latency_p99_s`` — the tail-latency bound is
+part of the serving contract, so a report that drops it fails the gate.
+
 One optional key:
 
 * ``scenario``       — non-empty string naming the declarative scenario
@@ -53,6 +58,11 @@ REQUIRED_KEYS = (
     "floors_checked",
     "workload",
 )
+
+#: Per-bench floors that must be present (beyond "floors is non-empty").
+REQUIRED_FLOORS = {
+    "server": ("throughput_rps", "latency_p99_s"),
+}
 
 
 def _is_number(value) -> bool:
@@ -98,6 +108,11 @@ def validate_report(payload) -> list:
         for name, value in floors.items():
             if not (_is_number(value) and value > 0):
                 errors.append(f"floor {name!r} must be a positive number, got {value!r}")
+        for name in REQUIRED_FLOORS.get(bench, ()):
+            if name not in floors:
+                errors.append(
+                    f"bench {bench!r} must floor {name!r} (required floor missing)"
+                )
 
     workload = payload["workload"]
     tiny = None

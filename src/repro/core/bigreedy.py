@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -245,6 +246,7 @@ def bigreedy(
             "fairness constraint is infeasible for this dataset: "
             + constraint.describe(dataset.group_names)
         )
+    t0 = perf_counter()
     if engine is None:
         if net is not None:
             engine = TruncatedEngine(dataset.points, net)
@@ -263,7 +265,9 @@ def bigreedy(
     gamma = max(1, math.ceil(math.log2(2.0 * m / epsilon)))
     matroid = FairnessMatroid(constraint, dataset.labels)
     report = BiGreedyReport(net_size=m, gamma=gamma, mode=mode)
+    t_engine = perf_counter() - t0
 
+    t0 = perf_counter()
     tau = 1.0
     floor = 1.0 / m
     successes: list[MRGreedyOutcome] = []
@@ -296,7 +300,9 @@ def bigreedy(
                 tau=0.0,
             )
         )
+    t_search = perf_counter() - t0
 
+    t0 = perf_counter()
     if mode == "bicriteria":
         best = max(
             successes, key=lambda o: engine.min_ratio_of_selection(o.union)
@@ -328,7 +334,7 @@ def bigreedy(
         report.rounds_used = len(best_outcome.rounds)
         estimate = engine.min_ratio_of_selection(best_round)
 
-    return Solution(
+    solution = Solution(
         indices=np.asarray(indices, dtype=np.int64),
         dataset=dataset,
         algorithm=algorithm_name,
@@ -336,3 +342,12 @@ def bigreedy(
         mhr_estimate=float(estimate),
         stats=report.as_dict(),
     )
+    # Same shape as IntCov's breakdown, feeding the service's per-phase
+    # histograms: where did a slow solve spend its time — building (or
+    # fetching) the net/engine, the cap descent, or the final selection.
+    solution.stats["phases"] = {
+        "engine": t_engine,
+        "search": t_search,
+        "finalize": perf_counter() - t0,
+    }
+    return solution

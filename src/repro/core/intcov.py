@@ -18,13 +18,15 @@ Pipeline (Algorithm 1):
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from ..data.dataset import Dataset
 from ..fairness.constraints import FairnessConstraint
 from ..fairness.matroid import FairnessMatroid
 from ..geometry.envelope import Envelope, tau_intervals_bulk, upper_envelope
-from .intervalcover import fair_interval_cover
+from .intervalcover import GroupIntervals, fair_interval_cover
 from .solution import Solution
 
 __all__ = ["intcov", "candidate_mhr_values"]
@@ -76,16 +78,24 @@ def candidate_mhr_values(points: np.ndarray, envelope: Envelope | None = None) -
 
 def _intervals_by_group(
     points: np.ndarray,
-    labels: np.ndarray,
     envelope: Envelope,
     tau: float,
-    num_groups: int,
-) -> list[list[tuple[float, float, int]]]:
-    """Compute ``I_tau(p)`` for every point, bucketed by group."""
-    buckets: list[list[tuple[float, float, int]]] = [[] for _ in range(num_groups)]
+    group_masks: list[np.ndarray],
+) -> list[GroupIntervals]:
+    """Compute ``I_tau(p)`` for every point, indexed by group.
+
+    Fully array-based: the old per-point tuple loop is replaced by masked
+    slices of the bulk interval arrays, fed straight into the vectorized
+    :meth:`GroupIntervals.from_arrays` constructor.  Within each group the
+    points keep ascending index order, so the resulting interval indexes —
+    and every cover computed from them — are bit-identical to the scalar
+    construction.
+    """
     lo, hi, ok = tau_intervals_bulk(points, envelope, tau)
-    for i in np.nonzero(ok)[0]:
-        buckets[int(labels[i])].append((float(lo[i]), float(hi[i]), int(i)))
+    buckets: list[GroupIntervals] = []
+    for mask in group_masks:
+        sel = np.nonzero(ok & mask)[0]
+        buckets.append(GroupIntervals.from_arrays(lo[sel], hi[sel], sel))
     return buckets
 
 
@@ -132,6 +142,7 @@ def intcov(
     *,
     artifacts=None,
     tau_hint: float | None = None,
+    bucket_cache: dict | None = None,
 ) -> Solution:
     """Exact FairHMS on a two-dimensional dataset (paper Algorithm 1).
 
@@ -144,12 +155,22 @@ def intcov(
             candidate-MHR enumeration across calls — both depend only on
             the points, not on ``constraint``, so results are unchanged.
         tau_hint: optional guess for the optimal MHR (e.g. last epoch's
-            optimum from a live index).  If the hint is a current
-            candidate value, is feasible, and the next larger candidate is
-            not, the binary search collapses to two decision evaluations;
-            any mismatch falls back to the full search.  The returned
-            solution is identical either way — only the
+            optimum from a live index, or a neighboring ``k``'s optimum
+            from a multi-k batch).  The search starts at the hint's rank
+            in the candidate array: when the hint *is* the optimum it is
+            certified in two decision evaluations, and otherwise a
+            bracketed galloping (exponential) search homes in on the
+            optimum in ``O(log(rank distance))`` evaluations instead of
+            ``O(log n^2)``.  Feasibility is monotone in ``tau`` and every
+            probe is a real decision evaluation, so the returned solution
+            is identical with any hint — only the
             ``decision_evaluations`` diagnostic differs.
+        bucket_cache: optional mutable mapping ``tau -> per-group interval
+            indexes``, shared across calls over the *same* point set and
+            envelope (e.g. the ks of one multi-k request).  The entries
+            depend only on ``(points, envelope, tau)`` — never on the
+            constraint — so sharing them across constraints is purely a
+            cache and cannot change any answer.
 
     Returns:
         The optimal fair solution with ``mhr_estimate`` set to its exact
@@ -171,6 +192,7 @@ def intcov(
             "fairness constraint is infeasible for this dataset: "
             + constraint.describe(dataset.group_names)
         )
+    t0 = perf_counter()
     points = dataset.points
     if artifacts is not None and artifacts.matches(dataset):
         envelope = artifacts.envelope()
@@ -178,55 +200,70 @@ def intcov(
     else:
         envelope = upper_envelope(points)
         candidates = candidate_mhr_values(points, envelope)
+    group_masks = [dataset.labels == g for g in range(dataset.num_groups)]
+    t_geometry = perf_counter() - t0
 
     def decide(tau: float):
-        buckets = _intervals_by_group(
-            points, dataset.labels, envelope, tau, dataset.num_groups
-        )
+        buckets = None if bucket_cache is None else bucket_cache.get(tau)
+        if buckets is None:
+            buckets = _intervals_by_group(points, envelope, tau, group_masks)
+            if bucket_cache is not None:
+                bucket_cache[tau] = buckets
         return fair_interval_cover(buckets, constraint)
 
+    t0 = perf_counter()
     best_set: list[int] | None = None
     best_tau = 0.0
     evaluations = 0
-    solved = False
-    lo, hi = 0, candidates.shape[0] - 1
-    if tau_hint is not None and candidates.shape[0]:
-        # Warm start: feasibility is monotone in tau, so "hint feasible
-        # and the next larger candidate infeasible" certifies the hint as
-        # the optimum — the exact value the binary search would return.
-        # Either probe narrows [lo, hi] even when certification fails, so
-        # a stale hint still pays for itself.
-        after = int(np.searchsorted(candidates, tau_hint, side="right"))
-        if after > 0 and candidates[after - 1] == tau_hint:
-            cover = decide(float(tau_hint))
-            evaluations += 1
-            if cover is None:
-                # Optimum < hint: every candidate >= hint is out.
-                hi = int(np.searchsorted(candidates, tau_hint, side="left")) - 1
-            else:
-                best_set, best_tau = cover, float(tau_hint)
-                lo = after
-                if after == candidates.shape[0]:
-                    solved = True
-                else:
-                    cover = decide(float(candidates[after]))
-                    evaluations += 1
-                    if cover is None:
-                        solved = True
-                    else:
-                        best_set, best_tau = cover, float(candidates[after])
-                        lo = after + 1
+    n_cand = int(candidates.shape[0])
+    lo, hi = 0, n_cand - 1
 
-    while not solved and lo <= hi:
-        mid = (lo + hi) // 2
-        tau = float(candidates[mid])
+    def probe(rank: int) -> bool:
+        """One decision evaluation at candidate ``rank``.
+
+        Narrows the live bracket ``[lo, hi]`` using monotonicity of
+        feasibility in ``tau`` and tracks the best cover seen, so any
+        probe order that shrinks the bracket to empty finds exactly the
+        optimum the plain binary search would.
+        """
+        nonlocal best_set, best_tau, lo, hi, evaluations
+        tau = float(candidates[rank])
         cover = decide(tau)
         evaluations += 1
         if cover is None:
-            hi = mid - 1
+            hi = rank - 1
+            return False
+        best_set, best_tau = cover, tau
+        lo = rank + 1
+        return True
+
+    if tau_hint is not None and n_cand:
+        # Warm start: probe at the hint's rank, then gallop away from it.
+        # When the hint is the optimum this certifies it in two decision
+        # evaluations (hint feasible, next candidate not); when it is
+        # merely near the optimum, the exponential bracket reaches it in
+        # O(log(rank distance)) probes instead of O(log n_cand).
+        after = int(np.searchsorted(candidates, tau_hint, side="right"))
+        start = min(max(after - 1, 0), n_cand - 1)
+        if probe(start):
+            step = 1
+            while lo <= hi:
+                if not probe(min(start + step, hi)):
+                    break
+                step *= 2
         else:
-            best_set, best_tau = cover, tau
-            lo = mid + 1
+            step = 1
+            while lo <= hi:
+                if probe(max(start - step, lo)):
+                    break
+                step *= 2
+
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        probe(mid)
+    t_search = perf_counter() - t0
+
+    t0 = perf_counter()
     if best_set is None:
         # Every candidate failed; fall back to the smallest (tau = 0 cover
         # always succeeds with any fair set, so this means numerics — be
@@ -239,11 +276,16 @@ def intcov(
         algorithm="IntCov",
         constraint=constraint,
         stats={
-            "num_candidates": int(candidates.shape[0]),
+            "num_candidates": n_cand,
             "decision_evaluations": evaluations,
             "cover_size": len(best_set),
             "tau": best_tau,
         },
     )
     solution.mhr_estimate = solution.mhr()
+    solution.stats["phases"] = {
+        "geometry": t_geometry,
+        "search": t_search,
+        "finalize": perf_counter() - t0,
+    }
     return solution

@@ -53,20 +53,41 @@ class GroupIntervals:
         if intervals:
             arr = np.array([(lo, hi) for lo, hi, _ in intervals], dtype=np.float64)
             pts = np.array([p for _, _, p in intervals], dtype=np.int64)
-            order = np.argsort(arr[:, 0], kind="stable")
-            left, right, pts = arr[order, 0], arr[order, 1], pts[order]
+            return cls.from_arrays(arr[:, 0], arr[:, 1], pts)
+        return cls.from_arrays(
+            np.empty(0), np.empty(0), np.empty(0, dtype=np.int64)
+        )
+
+    @classmethod
+    def from_arrays(cls, left, right, point) -> "GroupIntervals":
+        """Build from parallel endpoint / point-index arrays.
+
+        Fully vectorized (the per-element prefix-argmax loop is replaced
+        by ``np.maximum.accumulate``); this is the hot constructor — IntCov
+        rebuilds every group's index at every decision evaluation.  Ties in
+        ``right`` keep the *first* attaining interval, exactly as the
+        scalar loop did, so covers (and therefore solutions) are unchanged
+        bit for bit.
+        """
+        left = np.ascontiguousarray(left, dtype=np.float64)
+        right = np.ascontiguousarray(right, dtype=np.float64)
+        pts = np.ascontiguousarray(point, dtype=np.int64)
+        n = right.shape[0]
+        if n:
+            order = np.argsort(left, kind="stable")
+            left, right, pts = left[order], right[order], pts[order]
+            best_right = np.maximum.accumulate(right)
+            # First index attaining each running max: mark strict
+            # improvements, then carry the latest mark forward.
+            improved = np.empty(n, dtype=bool)
+            improved[0] = True
+            np.greater(right[1:], best_right[:-1], out=improved[1:])
+            best_at = np.maximum.accumulate(
+                np.where(improved, np.arange(n, dtype=np.int64), 0)
+            )
         else:
-            left = right = np.empty(0)
-            pts = np.empty(0, dtype=np.int64)
-        best_right = np.empty_like(right)
-        best_at = np.empty_like(pts)
-        best = -np.inf
-        at = -1
-        for i in range(right.shape[0]):
-            if right[i] > best:
-                best, at = right[i], i
-            best_right[i] = best
-            best_at[i] = at
+            best_right = np.empty(0)
+            best_at = np.empty(0, dtype=np.int64)
         return cls(
             left=left,
             right=right,
@@ -104,7 +125,10 @@ def fair_interval_cover(
 
     Args:
         intervals_by_group: for each group ``c``, the nonempty intervals
-            ``(lo, hi, point_index)`` of its points.
+            of its points — either a list of ``(lo, hi, point_index)``
+            triples or a prebuilt :class:`GroupIntervals` (the serving
+            path caches these per ``tau``; they depend only on the point
+            set and the threshold, never on the constraint).
         constraint: the fairness bounds; a returned cover uses at most
             ``h_c`` points of group ``c`` and can be padded to a feasible
             size-``k`` set (its reservation ``sum_c max(l_c, k_c) <= k``).
@@ -121,7 +145,10 @@ def fair_interval_cover(
         raise ValueError(
             f"expected intervals for {num_groups} groups, got {len(intervals_by_group)}"
         )
-    groups = [GroupIntervals.from_intervals(iv) for iv in intervals_by_group]
+    groups = [
+        iv if isinstance(iv, GroupIntervals) else GroupIntervals.from_intervals(iv)
+        for iv in intervals_by_group
+    ]
     upper = [int(u) for u in constraint.upper]
     lower = np.asarray(constraint.lower, dtype=np.int64)
     k = constraint.k

@@ -82,6 +82,7 @@ class TruncatedEngine:
         self._capped_tau: float | None = None
         self._capped: np.ndarray | None = None
         self._margins_buf: np.ndarray | None = None
+        self._cast_buf: np.ndarray | None = None
 
     @classmethod
     def from_ratios(cls, ratios, net) -> "TruncatedEngine":
@@ -109,6 +110,7 @@ class TruncatedEngine:
         engine._capped_tau = None
         engine._capped = None
         engine._margins_buf = None
+        engine._cast_buf = None
         return engine
 
     def _capped_matrix(self, tau: float) -> np.ndarray:
@@ -122,6 +124,21 @@ class TruncatedEngine:
             self._capped = np.minimum(self.ratios, self.ratios.dtype.type(tau))
             self._capped_tau = tau
         return self._capped
+
+    def _state_capped_cast(self, state: "TruncatedState") -> np.ndarray:
+        """``state.capped`` in the ratio dtype, through a reused buffer.
+
+        The greedy loop subtracts the per-direction state vector from the
+        capped matrix thousands of times; casting float64 -> float32 into
+        a persistent buffer (``np.copyto`` rounds exactly like
+        ``astype``) replaces a fresh allocation per gain evaluation.
+        """
+        if state.capped.dtype == self.ratios.dtype:
+            return state.capped
+        if self._cast_buf is None or self._cast_buf.shape != state.capped.shape:
+            self._cast_buf = np.empty(state.capped.shape, dtype=self.ratios.dtype)
+        np.copyto(self._cast_buf, state.capped)
+        return self._cast_buf
 
     # ------------------------------------------------------------------ #
 
@@ -171,8 +188,12 @@ class TruncatedEngine:
         if self._margins_buf is None or self._margins_buf.shape != capped.shape:
             self._margins_buf = np.empty_like(capped)
         margins = self._margins_buf
-        np.subtract(capped, state.capped[:, None].astype(capped.dtype), out=margins)
+        np.subtract(
+            capped, self._state_capped_cast(state)[:, None], out=margins
+        )
         np.maximum(margins, 0.0, out=margins)
+        # float32 storage, float64 accumulation: the mean is the
+        # exactness-preserving step — summing in float32 would drift.
         gains = margins.mean(axis=0, dtype=np.float64)
         gains[~mask] = -1.0
         return gains
@@ -189,7 +210,7 @@ class TruncatedEngine:
         need refreshing.
         """
         capped = self._capped_matrix(state.tau)
-        margins = capped[:, indices] - state.capped[:, None].astype(capped.dtype)
+        margins = capped[:, indices] - self._state_capped_cast(state)[:, None]
         np.maximum(margins, 0.0, out=margins)
         return margins.mean(axis=0, dtype=np.float64)
 

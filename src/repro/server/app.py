@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import math
 import signal as _signal
 import time
 
@@ -49,6 +50,7 @@ from ..fairness.constraints import FairnessConstraint
 from ..service.gateway import Gateway
 from ..service.metrics import LatencyHistogram
 from ..service.registry import DatasetRegistry
+from ..service.warmup import Warmer
 from .config import ServerConfig, build_registry
 from .http import HttpError, HttpRequest, read_request, send_json
 
@@ -123,6 +125,8 @@ class FairHMSServer:
         max_batch: int = 256,
         drain_timeout: float = 30.0,
         max_body_bytes: int = 1 << 20,
+        warmup: bool = False,
+        warmup_ks=(4, 6, 8),
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -130,6 +134,11 @@ class FairHMSServer:
         self.metrics = registry.metrics
         self.gateway = Gateway(
             registry, batch_window=batch_window, max_batch=max_batch
+        )
+        #: Speculative warm-up thread (None unless enabled): primes
+        #: registered-but-cold datasets so first queries skip cold start.
+        self.warmer: Warmer | None = (
+            Warmer(registry, ks=warmup_ks) if warmup else None
         )
         self.host = str(host)
         self.port = int(port)
@@ -170,6 +179,8 @@ class FairHMSServer:
             max_batch=config.max_batch,
             drain_timeout=config.drain_timeout,
             max_body_bytes=config.max_body_bytes,
+            warmup=config.warmup,
+            warmup_ks=config.warmup_ks,
         )
 
     # ------------------------------------------------------------------ #
@@ -195,6 +206,8 @@ class FairHMSServer:
             self._serve_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.warmer is not None:
+            self.warmer.start()
         return self
 
     def install_signal_handlers(self, signals=(_signal.SIGTERM, _signal.SIGINT)):
@@ -256,7 +269,10 @@ class FairHMSServer:
         self._stopped.set()
 
     def _shutdown_blocking(self) -> None:
-        """Worker-side shutdown: gateway stop, then registry spill."""
+        """Worker-side shutdown: warmer first (so no speculative build
+        races the drain), then gateway stop, then registry spill."""
+        if self.warmer is not None:
+            self.warmer.stop()
         self.gateway.stop()
         if self.registry.store is not None:
             for name in self.registry.resident_names():
@@ -383,7 +399,7 @@ class FairHMSServer:
 
     def server_stats(self) -> dict:
         """HTTP-layer observability block for ``/v1/metrics``."""
-        return {
+        stats = {
             "inflight": self._inflight,
             "max_inflight": self.max_inflight,
             "draining": self._draining,
@@ -392,10 +408,31 @@ class FairHMSServer:
             "endpoints": dict(self._endpoint_hits),
             "http_latency": self.http_latency.snapshot(),
         }
+        if self.warmer is not None:
+            stats["warmup"] = self.warmer.stats()
+        return stats
 
     # ------------------------------------------------------------------ #
     # query / write
     # ------------------------------------------------------------------ #
+
+    def _retry_after(self) -> str:
+        """Seconds a shed client should back off, from observed latency.
+
+        Estimates the time to drain the current in-flight backlog as
+        ``solve-latency p50 x inflight`` (the gateway serializes per
+        dataset but overlaps datasets, so this overestimates mildly —
+        the right direction for a backoff hint).  Before any solve has
+        been observed there is nothing to extrapolate from; fall back to
+        the old fixed 1 second.  Clamped to [1, 60]: integer seconds are
+        what the header grammar allows, and a p99 blip must not tell
+        clients to go away for minutes.
+        """
+        p50 = self.metrics.solve_quantile(0.5)
+        if p50 is None:
+            return "1"
+        estimate = p50 * max(1, self._inflight)
+        return str(max(1, min(60, math.ceil(estimate))))
 
     def _admit(self, dataset: str):
         """Admission check; returns a shed response or None when admitted.
@@ -417,7 +454,7 @@ class FairHMSServer:
                     ),
                     "shed": True,
                 },
-                {"Retry-After": "1"},
+                {"Retry-After": self._retry_after()},
             )
         return None
 

@@ -139,6 +139,12 @@ class ServerConfig:
     (metrics/health reads are always admitted).  ``drain_timeout`` caps
     how long a SIGTERM-triggered drain waits for in-flight requests
     before shutting the gateway down anyway.
+
+    ``warmup`` enables the speculative warm-up thread
+    (:class:`~repro.service.warmup.Warmer`): registered-but-cold datasets
+    are built and their solver artifacts primed in the background, so
+    first queries never pay the cold-start tail.  ``warmup_ks`` is the
+    set of solution sizes it warms.
     """
 
     host: str = "127.0.0.1"
@@ -150,6 +156,8 @@ class ServerConfig:
     max_body_bytes: int = 1 << 20
     budget_mb: float | None = None
     spill_dir: str | None = None
+    warmup: bool = False
+    warmup_ks: tuple[int, ...] = (4, 6, 8)
     datasets: tuple[DatasetSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -157,6 +165,13 @@ class ServerConfig:
             raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
         if self.drain_timeout < 0:
             raise ValueError(f"drain_timeout must be >= 0, got {self.drain_timeout}")
+        # TOML/JSON deliver warmup_ks as a list; normalize so the frozen
+        # config stays hashable and validates early.
+        object.__setattr__(
+            self, "warmup_ks", tuple(int(k) for k in self.warmup_ks)
+        )
+        if any(k < 1 for k in self.warmup_ks):
+            raise ValueError(f"warmup_ks must be positive: {self.warmup_ks}")
         names = [spec.name for spec in self.datasets]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate dataset names in config: {names}")

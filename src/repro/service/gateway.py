@@ -435,6 +435,24 @@ class Gateway:
         self.metrics.observe_request(name, time.perf_counter() - op.enqueued)
         op.future.set_result(version)
 
+    def _record_phases(self, name: str, solution) -> None:
+        """Feed a solve's per-phase breakdown into the metrics, once.
+
+        Solutions are memoized and fanned out to coalesced peers, so the
+        phase timings (recorded by the solver at solve time) are consumed
+        exactly once per underlying solve — a marker in the stats dict
+        keeps cache hits from re-reporting the original solve's phases.
+        """
+        stats = getattr(solution, "stats", None)
+        if not isinstance(stats, dict):
+            return
+        phases = stats.get("phases")
+        if not isinstance(phases, dict) or stats.get("_phases_recorded"):
+            return
+        stats["_phases_recorded"] = True
+        for phase, seconds in phases.items():
+            self.metrics.observe_phase(name, str(phase), float(seconds))
+
     def _solve_run(self, name: str, run: list[_PendingOp]) -> None:
         """Coalesce one uninterrupted query run and solve each key once."""
         if not run:
@@ -459,10 +477,37 @@ class Gateway:
             if key is None:
                 key = object()  # unique: never coalesced
             groups.setdefault(key, []).append(op)
+        # Multi-k families: coalesce groups that are identical except for
+        # the requested k (same scheme/alpha/options, all resolved to the
+        # exact IntCov, built from k — not an explicit constraint) are
+        # answered by ONE ``index.query_multi`` call, which grows a single
+        # anchored tau search across the ks instead of solving each from
+        # scratch.  Answers are bit-identical to per-k solves, so this is
+        # pure work sharing — the same argument that justifies coalescing.
+        families: dict[tuple, list[tuple]] = {}
+        singles: list[list[_PendingOp]] = []
+        for key, peers in groups.items():
+            q = peers[0].query
+            if (
+                isinstance(key, tuple)
+                and key[2] == "IntCov"
+                and q.constraint is None
+                and q.k is not None
+            ):
+                fam = (key[0][1:],) + key[1:]  # drop k, keep (alpha, scheme)
+                families.setdefault(fam, []).append(peers)
+            else:
+                singles.append(peers)
+        multi_runs: list[list[list[_PendingOp]]] = []
+        for members in families.values():
+            if len(members) > 1:
+                multi_runs.append(members)
+            else:
+                singles.extend(members)
         # Fence: remember the data version this run is answered at; a
         # change mid-run means someone wrote around the gateway.
         fence = getattr(index, "version", None)
-        for peers in groups.values():
+        for peers in singles:
             live = [op for op in peers if op.future.set_running_or_notify_cancel()]
             if not live:
                 continue
@@ -487,12 +532,58 @@ class Gateway:
             solve_seconds = time.perf_counter() - t0
             self.metrics.observe_solve(name, solve_seconds)
             self.metrics.incr(name, "solves")
+            self._record_phases(name, solution)
             if len(live) > 1:
                 self.metrics.incr(name, "coalesced", len(live) - 1)
             done = time.perf_counter()
             for op in live:
                 self.metrics.observe_request(name, done - op.enqueued)
                 op.future.set_result(solution)
+        for members in multi_runs:
+            livesets = []
+            for peers in members:
+                live = [
+                    op for op in peers if op.future.set_running_or_notify_cancel()
+                ]
+                if live:
+                    livesets.append(live)
+            if not livesets:
+                continue
+            ks = [int(live[0].query.k) for live in livesets]
+            q = livesets[0][0].query
+            all_live = [op for live in livesets for op in live]
+            t0 = time.perf_counter()
+            try:
+                solutions = index.query_multi(
+                    ks,
+                    eps=q.eps,
+                    algorithm=q.algorithm,
+                    seed=q.seed,
+                    alpha=q.alpha,
+                    scheme=q.scheme,
+                    **q.options,
+                )
+            except Exception as exc:  # noqa: BLE001 - forwarded to callers
+                self.metrics.incr(name, "errors", len(all_live))
+                for op in all_live:
+                    op.future.set_exception(exc)
+                continue
+            self.metrics.observe_solve(name, time.perf_counter() - t0)
+            # One "solves" per answered key keeps the counter's meaning
+            # (answers computed, memoized or not) stable for dashboards;
+            # "multi_shared" records how many of them rode a shared
+            # search instead of paying their own.
+            self.metrics.incr(name, "solves", len(ks))
+            self.metrics.incr(name, "multi_shared", len(ks) - 1)
+            coalesced = len(all_live) - len(livesets)
+            if coalesced:
+                self.metrics.incr(name, "coalesced", coalesced)
+            done = time.perf_counter()
+            for live, solution in zip(livesets, solutions):
+                self._record_phases(name, solution)
+                for op in live:
+                    self.metrics.observe_request(name, done - op.enqueued)
+                    op.future.set_result(solution)
         if getattr(index, "version", None) != fence:
             # Only reachable when an index is mutated outside the
             # gateway while a batch was in flight.

@@ -119,13 +119,14 @@ class LatencyHistogram:
 class _DatasetStats:
     """Mutable per-dataset counter block (guarded by the parent lock)."""
 
-    __slots__ = ("counters", "request_latency", "solve_latency")
+    __slots__ = ("counters", "request_latency", "solve_latency", "phases", "_lock")
 
     def __init__(self, lock) -> None:
         self.counters = {
             "requests": 0,
             "solves": 0,
             "coalesced": 0,
+            "multi_shared": 0,
             "updates": 0,
             "shed": 0,
             "errors": 0,
@@ -135,16 +136,32 @@ class _DatasetStats:
             "spills": 0,
             "spill_loads": 0,
             "fence_violations": 0,
+            "warmups": 0,
         }
         # Histograms share the owning ServiceMetrics lock, so the whole
         # sink is consistent under one lock (snapshot vs record races).
+        self._lock = lock
         self.request_latency = LatencyHistogram(lock=lock)
         self.solve_latency = LatencyHistogram(lock=lock)
+        # Per-phase solve breakdown (e.g. IntCov's geometry / search /
+        # finalize), keyed by the phase names solvers report; created
+        # lazily so datasets that never report phases carry no entry.
+        self.phases: dict[str, LatencyHistogram] = {}
+
+    def phase(self, name: str) -> LatencyHistogram:
+        hist = self.phases.get(name)
+        if hist is None:
+            hist = self.phases.setdefault(name, LatencyHistogram(lock=self._lock))
+        return hist
 
     def snapshot(self) -> dict:
         out = dict(self.counters)
         out["request_latency"] = self.request_latency.snapshot()
         out["solve_latency"] = self.solve_latency.snapshot()
+        if self.phases:
+            out["solve_phases"] = {
+                name: hist.snapshot() for name, hist in self.phases.items()
+            }
         return out
 
 
@@ -198,6 +215,41 @@ class ServiceMetrics:
         """Wall time of one actual solver run (coalesced peers pay 0)."""
         with self._lock:
             self._stats(dataset).solve_latency.observe(seconds)
+
+    def observe_phase(self, dataset: str, phase: str, seconds: float) -> None:
+        """One solver-internal phase timing (recorded once per solve).
+
+        Phase names come from the solver's ``Solution.stats["phases"]``
+        breakdown — e.g. IntCov reports ``geometry`` (envelope +
+        candidate enumeration), ``search`` (the tau descent), and
+        ``finalize`` (padding + exact MHR) — and say *where* a slow
+        solve spent its time, which the aggregate solve histogram can't.
+        """
+        with self._lock:
+            self._stats(dataset).phase(phase).observe(seconds)
+
+    def solve_quantile(self, q: float) -> float | None:
+        """Cross-dataset solve-latency quantile, or ``None`` if unobserved.
+
+        Merges every dataset's solve histogram bucket-wise under the one
+        metrics lock — cheap enough for a per-request caller (the HTTP
+        server derives ``Retry-After`` for shed clients from the p50).
+        """
+        with self._lock:
+            hists = [s.solve_latency for s in self._datasets.values()]
+            count = sum(h.count for h in hists)
+            if count == 0:
+                return None
+            target = max(1.0, q * count)
+            observed_max = max(h.max for h in hists)
+            seen = 0
+            for i in range(len(_BUCKET_EDGES) + 1):
+                seen += sum(h._counts[i] for h in hists)
+                if seen >= target:
+                    if i >= len(_BUCKET_EDGES):
+                        return observed_max
+                    return min(_BUCKET_EDGES[i], observed_max)
+            return observed_max
 
     def record_batch(self, num_requests: int) -> None:
         """One gateway dispatch cycle covering ``num_requests`` requests."""

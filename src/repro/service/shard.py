@@ -167,10 +167,13 @@ def parallel_preprocess(
     """
     workers = resolve_workers(max_workers)
     if num_shards is None:
-        # One worker gets one shard: the per-shard phase then already
-        # yields the exact skyline and the merge is skipped, so the
-        # degenerate case costs the same as the sequential build.
-        num_shards = max(2 * workers, 1) if workers > 1 else 1
+        # At least 8 shards even inline: sharding pays off *without* a
+        # pool, because per-shard SFS scans are quadratic in shard size
+        # (8 shards do ~1/8 the comparisons of one full scan) and the
+        # vectorized merge filter runs at numpy speed where the
+        # sequential scan pays a python-level loop per row.  More
+        # workers still get proportionally more shards.
+        num_shards = max(2 * workers, 8)
     normalized = dataset.normalized()
     scale = dataset.points.max(axis=0)
     spans = shard_spans(dataset.n, num_shards)

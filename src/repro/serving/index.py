@@ -157,8 +157,18 @@ class FairHMSIndex:
         # Last known optimal tau per IntCov query key.  Deliberately NOT
         # dropped on epoch changes: a hint is only ever *verified* by the
         # solver (two decision evaluations), so a stale hint costs a
-        # fallback to the full binary search, never a wrong answer.
-        self._tau_hints: dict[tuple, float] = {}
+        # galloping fallback search, never a wrong answer.  Evicted LRU
+        # (like ``_results``): hits refresh recency, so the hot working
+        # set survives a burst of one-off keys instead of being wiped
+        # wholesale and paying a full-search latency cliff for every key.
+        self._tau_hints: OrderedDict[tuple, float] = OrderedDict()
+        self._max_tau_hints = 4 * self._max_cached_results
+        # Multi-k sharing diagnostics (see query_multi): how many ks paid
+        # a full anchored-from-nothing search, how many rode a neighboring
+        # k's optimum, and how many fell back to independent solves.
+        self._multi_growths = 0
+        self._multi_prefix_hits = 0
+        self._multi_fallbacks = 0
 
     @classmethod
     def from_preprocessed(
@@ -279,6 +289,9 @@ class FairHMSIndex:
             info["result_misses"] = self._result_misses
             info["results_cached"] = len(self._results)
             info["cache_bytes"] = self.cache_bytes()
+            info["multi_growths"] = self._multi_growths
+            info["multi_prefix_hits"] = self._multi_prefix_hits
+            info["multi_fallbacks"] = self._multi_fallbacks
             return info
 
     def cache_bytes(self) -> int:
@@ -511,7 +524,7 @@ class FairHMSIndex:
                     self._results.move_to_end(key)  # true LRU: hits refresh
                     return cached
             if algorithm == "IntCov" and key is not None:
-                hint = self._tau_hints.get(key)
+                hint = self._tau_hint_for(key)
                 if hint is not None:
                     solver_kwargs["tau_hint"] = hint
             solution = solve_fairhms(
@@ -522,15 +535,35 @@ class FairHMSIndex:
                 **solver_kwargs,
             )
             if key is not None:
-                if algorithm == "IntCov" and "tau" in solution.stats:
-                    if len(self._tau_hints) >= 4 * self._max_cached_results:
-                        self._tau_hints.clear()
-                    self._tau_hints[key] = float(solution.stats["tau"])
+                if algorithm == "IntCov":
+                    self._record_tau_hint(key, solution)
                 self._result_misses += 1
                 while len(self._results) >= self._max_cached_results:
                     self._results.popitem(last=False)  # least recently used
                 self._results[key] = solution
             return solution
+
+    def _tau_hint_for(self, key: tuple) -> float | None:
+        """Fetch a tau hint, refreshing its LRU recency on the hit."""
+        hint = self._tau_hints.get(key)
+        if hint is not None:
+            self._tau_hints.move_to_end(key)
+        return hint
+
+    def _record_tau_hint(self, key: tuple, solution: Solution) -> None:
+        """Remember a solved query's optimal tau, evicting LRU past the cap.
+
+        Per-entry eviction (not a wholesale ``clear``): under key churn the
+        old behavior dropped every hot hint with the cold ones, forcing a
+        full-search latency cliff on the next solve of each hot key.
+        """
+        tau = solution.stats.get("tau")
+        if tau is None:
+            return
+        self._tau_hints[key] = float(tau)
+        self._tau_hints.move_to_end(key)
+        while len(self._tau_hints) > self._max_tau_hints:
+            self._tau_hints.popitem(last=False)
 
     def query_batch(self, queries) -> list[Solution]:
         """Answer a heterogeneous batch of queries in one call.
@@ -555,6 +588,106 @@ class FairHMSIndex:
             )
             for q in specs
         ]
+
+    def query_multi(
+        self,
+        ks,
+        *,
+        eps: float = 0.02,
+        algorithm: str = "auto",
+        seed: int | None = None,
+        alpha: float = 0.1,
+        scheme: str = "proportional",
+        **options,
+    ) -> list[Solution]:
+        """Solve one request asking several solution sizes, sharing work.
+
+        Answers are **bit-identical** to calling :meth:`query` once per
+        ``k`` — the sharing is pure reuse, never approximation:
+
+        * On the exact IntCov path the ks are solved in ascending order as
+          *one grown search*: the first uncached ``k`` pays a full
+          tau-descent ("growth"), and every later ``k`` anchors its search
+          at the previous optimum ("prefix snapshot") — feasibility is
+          monotone in ``tau`` per constraint, and the returned cover is a
+          deterministic function of the optimal ``tau`` alone, so any
+          search route to the same optimum yields the same solution.  The
+          per-``tau`` interval indexes (which depend only on the point
+          set, not on ``k``) are additionally shared across the ks through
+          a bucket cache.
+        * Sizes that resolve to the BiGreedy family fall back to
+          independent :meth:`query` calls — their delta-net size is
+          ``k``-dependent and the tau-cap descent is not prefix-nested, so
+          no exact sharing exists there.
+
+        Diagnostics land in :meth:`cache_info`: ``multi_growths`` /
+        ``multi_prefix_hits`` / ``multi_fallbacks``.
+
+        Returns:
+            Solutions aligned with ``ks`` (duplicates allowed; each
+            distinct size is solved once).
+        """
+        with self._serve_lock:
+            self._refresh()
+            if self._skyline is None:
+                raise ValueError("no tuples alive; insert data before querying")
+            ks_list = [int(k) for k in ks]
+            solutions: dict[int, Solution] = {}
+            bucket_cache: dict = {}
+            prev_tau: float | None = None
+            for k in sorted(set(ks_list)):
+                constraint = self.constraint_for(k, alpha=alpha, scheme=scheme)
+                resolved = resolve_algorithm(self._skyline, constraint, algorithm)
+                if resolved != "IntCov":
+                    self._multi_fallbacks += 1
+                    solutions[k] = self.query(
+                        k,
+                        eps=eps,
+                        algorithm=algorithm,
+                        seed=seed,
+                        alpha=alpha,
+                        scheme=scheme,
+                        **options,
+                    )
+                    continue
+                solver_kwargs = dict(options)
+                key = self._result_key(resolved, constraint, solver_kwargs)
+                if key is not None:
+                    cached = self._results.get(key)
+                    if cached is not None:
+                        self._result_hits += 1
+                        self._results.move_to_end(key)
+                        solutions[k] = cached
+                        tau = cached.stats.get("tau")
+                        prev_tau = float(tau) if tau is not None else prev_tau
+                        continue
+                anchor = self._tau_hint_for(key) if key is not None else None
+                if anchor is None:
+                    anchor = prev_tau
+                if anchor is None:
+                    self._multi_growths += 1
+                else:
+                    self._multi_prefix_hits += 1
+                    solver_kwargs["tau_hint"] = anchor
+                # The bucket cache is keyed on tau only and never affects
+                # results, so it stays out of the memo key.
+                solver_kwargs["bucket_cache"] = bucket_cache
+                solution = solve_fairhms(
+                    self._skyline,
+                    constraint,
+                    algorithm=resolved,
+                    artifacts=self._artifacts,
+                    **solver_kwargs,
+                )
+                if key is not None:
+                    self._record_tau_hint(key, solution)
+                    self._result_misses += 1
+                    while len(self._results) >= self._max_cached_results:
+                        self._results.popitem(last=False)
+                    self._results[key] = solution
+                prev_tau = float(solution.stats["tau"])
+                solutions[k] = solution
+            return [solutions[k] for k in ks_list]
 
     def _result_key(self, algorithm, constraint, solver_kwargs) -> tuple | None:
         """Memoization key, or ``None`` when the query must not be cached

@@ -26,7 +26,7 @@ def good_report(**overrides):
         "git_sha": "a" * 40,
         "timestamp": 1_700_000_000.0,
         "identical": True,
-        "floors": {"throughput_rps": 50.0},
+        "floors": {"throughput_rps": 50.0, "latency_p99_s": 0.1},
         "floors_checked": True,
         "workload": {"tiny": False},
     }
@@ -46,6 +46,19 @@ class TestValidateReport:
         report = good_report(floors_checked=False)
         errors = check_bench.validate_report(report)
         assert any("non-tiny" in e for e in errors)
+
+    def test_server_bench_must_floor_the_latency_tail(self):
+        # The p99 bound is part of the serving contract: a server report
+        # that drops it (or the throughput floor) fails the gate.
+        report = good_report(floors={"throughput_rps": 50.0})
+        errors = check_bench.validate_report(report)
+        assert any("latency_p99_s" in e for e in errors)
+        report = good_report(floors={"latency_p99_s": 0.1})
+        errors = check_bench.validate_report(report)
+        assert any("throughput_rps" in e for e in errors)
+        # Other benches carry no extra requirement beyond non-empty floors.
+        report = good_report(bench="serving", floors={"speedup": 2.0})
+        assert check_bench.validate_report(report) == []
 
     def test_identical_must_be_true(self):
         errors = check_bench.validate_report(good_report(identical=False))

@@ -26,6 +26,7 @@ from repro.service import DatasetRegistry
 from repro.service.store import SnapshotStore
 from repro.server import (
     DatasetSpec,
+    FairHMSServer,
     ServerConfig,
     ServerThread,
     build_registry,
@@ -371,6 +372,59 @@ class TestAdmissionControl:
             assert results[0][0] == 200
 
 
+class TestRetryAfter:
+    """429 Retry-After derived from observed solve latency, not hardcoded."""
+
+    def test_cold_server_hints_one_second(self):
+        # No solve observed yet: nothing to derive from, fall back to 1.
+        assert FairHMSServer(make_registry())._retry_after() == "1"
+
+    def test_derived_from_solve_p50_and_inflight(self):
+        registry = make_registry()
+        server = FairHMSServer(registry)
+        for _ in range(4):
+            registry.metrics.observe_solve("alpha", 2.0)
+        assert server._retry_after() == "2"  # ceil(p50), nothing in flight
+        server._inflight = 3
+        assert server._retry_after() == "6"  # ceil(2s p50 * 3 in flight)
+
+    def test_clamped_to_sixty_seconds(self):
+        registry = make_registry()
+        server = FairHMSServer(registry)
+        registry.metrics.observe_solve("alpha", 120.0)
+        assert server._retry_after() == "60"
+
+    def test_shed_response_carries_the_header(self):
+        factory = GatedFactory()
+        registry = DatasetRegistry()
+        registry.register("slow", factory=factory, default_seed=7)
+        with ServerThread(registry, max_inflight=1) as (host, port):
+            results = [None]
+            blocked = threading.Thread(
+                target=_post_in_thread,
+                args=(host, port, "/v1/query", {"dataset": "slow", "k": 3},
+                      results, 0),
+            )
+            blocked.start()
+            _wait_for_inflight(host, port, 1)
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+            conn.request(
+                "POST",
+                "/v1/query",
+                body=json.dumps({"dataset": "slow", "k": 4}),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            retry = resp.getheader("Retry-After")
+            resp.read()
+            conn.close()
+            assert resp.status == 429
+            assert retry is not None and retry.isdigit() and int(retry) >= 1
+            factory.gate.set()
+            blocked.join(timeout=120)
+            assert results[0][0] == 200
+
+
 class TestGracefulDrain:
     def test_drain_resolves_inflight_and_spills_reloadable(self, tmp_path):
         """The SIGTERM path end to end (triggered via drain()):
@@ -521,6 +575,19 @@ class TestConfig:
             DatasetSpec(name="x", kind="parquet")
         with pytest.raises(ValueError, match="sequentially"):
             DatasetSpec(name="x", live=True, build_workers=4)
+
+    def test_warmup_knob_parsed_and_validated(self):
+        config = ServerConfig()
+        assert config.warmup is False  # off by default: no surprise threads
+        config = parse_config({"server": {"warmup": True, "warmup_ks": [3, 5]}})
+        assert config.warmup is True
+        assert config.warmup_ks == (3, 5)
+        with pytest.raises(ValueError, match="warmup_ks"):
+            ServerConfig(warmup_ks=(0,))
+        server = FairHMSServer.from_config(config, registry=make_registry())
+        assert server.warmer is not None
+        assert server.warmer.ks == (3, 5)
+        assert FairHMSServer(make_registry()).warmer is None
 
     def test_parse_rejects_unknown_keys(self):
         with pytest.raises(ValueError, match="unknown \\[server\\] keys"):

@@ -465,6 +465,71 @@ class TestQueryBatch:
         assert solution.stats["mode"] == "bicriteria"
 
 
+class TestQueryMulti:
+    """Shared multi-k prefixes: one grown search, bit-identical answers."""
+
+    def test_one_growth_rest_prefix_hits(self, small2d):
+        index = FairHMSIndex(small2d)
+        index.query_multi([4, 6, 8])
+        info = index.cache_info()
+        assert info["multi_growths"] == 1  # only the first k pays a descent
+        assert info["multi_prefix_hits"] == 2
+        assert info["multi_fallbacks"] == 0
+
+    def test_bit_identical_to_independent_cold_solves(self, small2d):
+        index = FairHMSIndex(small2d)
+        shared = index.query_multi([4, 6, 8])
+        for k, warm in zip((4, 6, 8), shared):
+            constraint = index.constraint_for(k)
+            cold = solve_fairhms(index.skyline, constraint, algorithm="IntCov")
+            np.testing.assert_array_equal(cold.indices, warm.indices)
+            assert cold.mhr_estimate == warm.mhr_estimate
+            # ... and to a fresh index answering each k on its own.
+            fresh = FairHMSIndex(small2d).query(k)
+            np.testing.assert_array_equal(fresh.indices, warm.indices)
+            assert fresh.mhr_estimate == warm.mhr_estimate
+
+    def test_second_call_served_from_memo(self, small2d):
+        index = FairHMSIndex(small2d)
+        first = index.query_multi([4, 6, 8])
+        hits_before = index.cache_info()["result_hits"]
+        second = index.query_multi([4, 6, 8])
+        for a, b in zip(first, second):
+            assert b is a
+        assert index.cache_info()["result_hits"] == hits_before + 3
+
+    def test_duplicate_and_unsorted_ks(self, small2d):
+        index = FairHMSIndex(small2d)
+        solutions = index.query_multi([8, 4, 8])
+        assert solutions[0] is solutions[2]  # duplicates solved once
+        np.testing.assert_array_equal(
+            solutions[1].indices, FairHMSIndex(small2d).query(4).indices
+        )
+        assert index.cache_info()["multi_growths"] == 1
+
+    def test_plain_query_anchor_shares_the_search(self, small2d):
+        # A single k solved the ordinary way leaves a tau hint; the next
+        # multi-k request anchors on it instead of growing from scratch.
+        index = FairHMSIndex(small2d)
+        index.query(4)
+        index.query_multi([4, 6])
+        info = index.cache_info()
+        assert info["multi_growths"] == 0
+        assert info["multi_prefix_hits"] == 1
+        assert info["result_hits"] == 1  # k=4 came straight from the memo
+
+    def test_bigreedy_family_falls_back_per_k(self, small3d):
+        index = FairHMSIndex(small3d)
+        shared = index.query_multi([4, 5], seed=9)
+        info = index.cache_info()
+        assert info["multi_fallbacks"] == 2  # no exact sharing in >2-D
+        assert info["multi_growths"] == 0
+        for k, warm in zip((4, 5), shared):
+            cold = FairHMSIndex(small3d).query(k, seed=9)
+            np.testing.assert_array_equal(cold.indices, warm.indices)
+            assert cold.mhr_estimate == warm.mhr_estimate
+
+
 class TestMhrEvaluatorPreseeding:
     def test_preseeded_candidates_and_net_are_used(self, small6d):
         base = MhrEvaluator(small6d.points, seed=1)
