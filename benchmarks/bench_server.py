@@ -52,6 +52,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.benchio import write_bench_json
+from repro.obs.prometheus import parse_prometheus, validate_exposition
 from repro.scenarios import (
     materialize,
     resolve_scenario,
@@ -259,6 +260,27 @@ def fetch_metrics(host, port) -> dict:
     return payload
 
 
+def fetch_exposition(host, port) -> str:
+    """Scrape the Prometheus text exposition from ``/metrics``."""
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    conn.request("GET", "/metrics")
+    resp = conn.getresponse()
+    ctype = resp.getheader("Content-Type", "")
+    text = resp.read().decode("utf-8")
+    conn.close()
+    assert resp.status == 200, f"GET /metrics -> {resp.status}"
+    assert ctype.startswith("text/plain; version=0.0.4"), ctype
+    return text
+
+
+def fetch_traces(host, port, *, limit=20) -> dict:
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    conn.request("GET", f"/v1/traces?limit={limit}")
+    payload = json.loads(conn.getresponse().read())
+    conn.close()
+    return payload
+
+
 def wait_warm(host, port, names, *, timeout=120.0) -> float:
     """Block until the server's warmer has primed every named dataset.
 
@@ -342,6 +364,74 @@ def test_open_loop_sheds_match_server_counter():
     assert verify_http_answers(answers, oracle) == []
     assert counts["error"] == 0
     assert metrics["service"]["totals"]["shed"] == counts["shed"]
+
+
+def test_prometheus_scrape_and_tracing_tail():
+    """The CI observability perf gate (run via ``pytest -k prometheus``).
+
+    A warmed server under a tiny closed loop — with tracing **on** (the
+    default) — must (a) serve a valid Prometheus exposition carrying the
+    request counters and SLO gauges, (b) have recorded traces whose span
+    trees contain the queue-wait and solve spans, and (c) keep the
+    client-observed p99 under the 100 ms serving ceiling: tracing
+    overhead is part of the serving contract, not an excuse.
+    """
+    datasets = build_tenant_datasets(350)
+    requests = build_tenant_workload(datasets, num_requests=24, ks=KS, seed=SEED)
+    registry = DatasetRegistry()
+    for name, data in datasets.items():
+        registry.register(name, data, default_seed=DEFAULT_SEED)
+    with ServerThread(registry, warmup=True) as (host, port):
+        wait_warm(host, port, datasets, timeout=60.0)
+        _, answers, latencies, _ = closed_loop(host, port, requests, clients=4)
+        text = fetch_exposition(host, port)
+        traces = fetch_traces(host, port)
+        metrics = fetch_metrics(host, port)
+    assert all(a is not None and a[0] == 200 for a in answers)
+
+    # (a) valid exposition, counters present with dataset labels, SLO gauges.
+    validate_exposition(text)
+    families = parse_prometheus(text)
+    assert "repro_requests_total" in families
+    req_samples = families["repro_requests_total"]["samples"]
+    assert {s[1]["dataset"] for s in req_samples} == set(datasets)
+    assert sum(s[2] for s in req_samples) == len(requests)
+    assert "repro_request_latency_seconds" in families
+    assert families["repro_request_latency_seconds"]["type"] == "histogram"
+    for gauge in ("repro_slo_attained", "repro_slo_latency_ok_ratio",
+                  "repro_process_max_rss_bytes", "repro_traces_buffered"):
+        assert gauge in families, gauge
+
+    # (b) traces recorded, span trees carry queue_wait + solve.
+    assert traces["tracing"] is True
+    assert traces["stats"]["recorded"] >= len(requests)
+    query_traces = [
+        t for t in traces["recent"] if t["root"]["name"] == "POST /v1/query"
+    ]
+    assert query_traces, "no query traces in the ring"
+    span_names = {
+        c["name"] for t in query_traces for c in t["root"].get("children", [])
+    }
+    assert "queue_wait" in span_names
+    # Every query trace must explain where its answer came from: its own
+    # solve span, a result-cache hit, or coalescing onto another trace's
+    # solve (followers carry ``coalesced_into``/``multi_shared_with``
+    # instead of a duplicate solve span).
+    explained = [
+        t for t in query_traces
+        if "solve" in {c["name"] for c in t["root"].get("children", [])}
+        or t["root"]["tags"].get("result_cache_hit")
+        or "coalesced_into" in t["root"]["tags"]
+        or "multi_shared_with" in t["root"]["tags"]
+    ]
+    assert len(explained) == len(query_traces)
+
+    # (c) the tracing-enabled serving tail, client-observed.
+    p99 = float(np.percentile(np.asarray(latencies), 99))
+    assert p99 <= LATENCY_P99_CEIL_S, f"p99 {p99 * 1e3:.1f}ms with tracing on"
+    # And the SLO tracker agrees the window was healthy.
+    slo = metrics["slo"]
+    assert all(d["attained"] for d in slo["datasets"].values()), slo
 
 
 def main(argv=None) -> int:
@@ -453,8 +543,25 @@ def main(argv=None) -> int:
         )
 
         metrics = fetch_metrics(host, port)
+        exposition = fetch_exposition(host, port)
+    validate_exposition(exposition)
     totals = metrics["service"]["totals"]
     server_stats = metrics["server"]
+    slo = metrics["slo"]
+    slo_attained = all(d["attained"] for d in slo["datasets"].values())
+    obj = slo["objectives"]
+    worst_burn = max(
+        (d["error_budget_burn"] for d in slo["datasets"].values()
+         if d["error_budget_burn"] is not None),
+        default=0.0,
+    )
+    print(
+        f"slo:     p{obj['latency_quantile'] * 100:g} <= "
+        f"{obj['latency_target_s'] * 1e3:.0f}ms, errors <= "
+        f"{obj['error_rate'] * 100:g}% -> attained={slo_attained} "
+        f"across {len(slo['datasets'])} tenant(s), "
+        f"worst error-budget burn {worst_burn:.2f}x"
+    )
 
     closed_mismatches = verify_http_answers(
         closed_answers, oracle, require_all=True
@@ -517,6 +624,12 @@ def main(argv=None) -> int:
         "solves": totals.get("solves", 0),
         "coalesced": totals.get("coalesced", 0),
         "http_errors": server_stats["http_errors"],
+        "slo": {
+            "objectives": obj,
+            "attained": slo_attained,
+            "worst_error_budget_burn": worst_burn,
+            "datasets": slo["datasets"],
+        },
         "identical": identical,
         "floors": {
             "throughput_rps": THROUGHPUT_FLOOR,

@@ -25,11 +25,14 @@ must always carry in ``floors``.  The HTTP server bench must floor both
 ``throughput_rps`` and ``latency_p99_s`` — the tail-latency bound is
 part of the serving contract, so a report that drops it fails the gate.
 
-One optional key:
+Optional keys:
 
 * ``scenario``       — non-empty string naming the declarative scenario
   the numbers were measured under (``repro.scenarios``); legacy reports
   without it stay valid.
+* ``slo``            — per-tenant SLO attainment block from the server
+  bench: an object with at least a boolean ``attained`` and an
+  ``objectives`` mapping; legacy reports without it stay valid.
 
 Usage::
 
@@ -139,6 +142,21 @@ def validate_report(payload) -> list:
                 f"scenario, when present, must be a non-empty string, "
                 f"got {scenario!r}"
             )
+
+    if "slo" in payload:
+        slo = payload["slo"]
+        if not isinstance(slo, dict):
+            errors.append(f"slo, when present, must be an object, got {slo!r}")
+        else:
+            if not isinstance(slo.get("attained"), bool):
+                errors.append(
+                    f"slo.attained must be a boolean, got {slo.get('attained')!r}"
+                )
+            if not isinstance(slo.get("objectives"), dict):
+                errors.append(
+                    f"slo.objectives must be an object, "
+                    f"got {slo.get('objectives')!r}"
+                )
     return errors
 
 

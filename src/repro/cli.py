@@ -30,6 +30,10 @@ Commands:
   stream + HTTP trace, byte-deterministic), or ``replay`` its event
   stream through a ``LiveFairHMSIndex`` against cold per-epoch solves,
   verifying bit-identical answers (see docs/SCENARIOS.md).
+* ``trace``       — fetch ``GET /v1/traces`` from a running server and
+  pretty-print the recorded request traces as indented span trees
+  (``--slowest`` shows the retained worst offenders instead of the
+  recent ring; see docs/OBSERVABILITY.md).
 * ``table2``      — print the dataset-statistics table.
 * ``experiments`` — forward to ``repro.experiments.run_all``.
 """
@@ -424,6 +428,52 @@ def _cmd_server(args) -> int:
             print(f"  {name}: {kind}{warm}")
         return 0
     serve_forever(config, registry=registry)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Fetch and pretty-print request traces from a running server."""
+    import http.client
+    import json
+    import urllib.parse
+
+    from .obs.trace import format_trace
+
+    raw = args.url if "//" in args.url else f"//{args.url}"
+    url = urllib.parse.urlsplit(raw)
+    host = url.hostname or "127.0.0.1"
+    port = url.port or 8080
+    limit = max(1, min(100, args.limit))
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=args.timeout)
+        conn.request("GET", f"/v1/traces?limit={limit}")
+        resp = conn.getresponse()
+        payload = json.loads(resp.read())
+        conn.close()
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot fetch traces from {host}:{port}: {exc}")
+        return 2
+    if resp.status != 200:
+        print(f"error: GET /v1/traces -> {resp.status}: {payload.get('error')}")
+        return 2
+    if not payload.get("tracing", False):
+        print(f"tracing is disabled on {host}:{port}")
+        return 1
+    which = "slowest" if args.slowest else "recent"
+    entries = payload.get(which, [])
+    stats = payload.get("stats", {})
+    print(
+        f"{host}:{port} — {stats.get('recorded', 0)} trace(s) recorded, "
+        f"{stats.get('slow', 0)} slow "
+        f"(>= {stats.get('slow_threshold_s', '?')}s), "
+        f"{stats.get('buffered', 0)}/{stats.get('capacity', '?')} buffered"
+    )
+    if not entries:
+        print(f"no {which} traces yet")
+        return 0
+    for entry in entries:
+        print()
+        print(format_trace(entry))
     return 0
 
 
@@ -854,6 +904,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay without the bit-identity check against cold solves",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="pretty-print request traces from a running server "
+        "(GET /v1/traces)",
+    )
+    trace.add_argument(
+        "url",
+        nargs="?",
+        default="127.0.0.1:8080",
+        help="server address, host:port or URL (default: 127.0.0.1:8080)",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=10, help="traces to fetch (1..100)"
+    )
+    trace.add_argument(
+        "--slowest",
+        action="store_true",
+        help="show the retained slowest traces instead of the recent ring",
+    )
+    trace.add_argument(
+        "--timeout", type=float, default=10.0, help="HTTP timeout seconds"
+    )
+
     table2 = sub.add_parser("table2", help="print dataset statistics")
     table2.add_argument("--scale", type=float, default=0.25)
 
@@ -875,6 +948,7 @@ def main(argv=None) -> int:
         "snapshot": _cmd_snapshot,
         "server": _cmd_server,
         "scenario": _cmd_scenario,
+        "trace": _cmd_trace,
         "table2": _cmd_table2,
         "experiments": _cmd_experiments,
     }

@@ -1,0 +1,67 @@
+"""Process-level gauges: RSS, uptime, GC generation counts, threads.
+
+Bench regressions are easiest to diagnose when the perf trajectory can
+be correlated with memory growth — a p99 that creeps up alongside RSS
+points at cache bloat, not solver work.  These gauges ride along in
+``/v1/metrics`` (JSON) and the Prometheus exposition.
+
+Stdlib only: ``resource.getrusage`` for the resident set (``ru_maxrss``
+is the peak RSS — kilobytes on Linux, bytes on macOS), ``gc.get_count``
+for per-generation pending-object counts, ``threading.active_count``
+for live threads.  Uptime is measured from process start when the
+platform exposes it (``/proc/self`` on Linux) and from first import of
+this module otherwise.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+import time
+
+try:  # POSIX; absent on Windows — gauges degrade, never fail.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    resource = None
+
+__all__ = ["process_stats"]
+
+
+def _start_time() -> float:
+    """Best-effort process start (unix seconds)."""
+    try:  # Linux: /proc/self mtime is the process creation time.
+        return os.stat("/proc/self").st_mtime
+    except OSError:  # pragma: no cover - non-Linux fallback
+        return _IMPORT_TIME
+
+
+_IMPORT_TIME = time.time()
+_START_TIME = _start_time()
+
+
+def _max_rss_bytes() -> int | None:
+    """Peak resident set size in bytes, or ``None`` when unavailable."""
+    if resource is None:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss unit is platform-defined: kilobytes on Linux, bytes on
+    # macOS.  Normalize to bytes.
+    if sys.platform == "darwin":  # pragma: no cover - CI runs Linux
+        return int(rss)
+    return int(rss) * 1024
+
+
+def process_stats() -> dict:
+    """JSON-ready process gauges (keys stable; missing values are None)."""
+    gen0, gen1, gen2 = gc.get_count()
+    return {
+        "max_rss_bytes": _max_rss_bytes(),
+        "uptime_s": round(max(0.0, time.time() - _START_TIME), 3),
+        "gc_gen0": gen0,
+        "gc_gen1": gen1,
+        "gc_gen2": gen2,
+        "gc_collections": sum(s["collections"] for s in gc.get_stats()),
+        "threads": threading.active_count(),
+    }

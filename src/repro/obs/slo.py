@@ -1,0 +1,163 @@
+"""Per-tenant SLO tracking: latency/availability attainment + budget burn.
+
+Each dataset is a tenant.  :class:`SloObjectives` declares the targets
+(default: p99 latency <= 100 ms, error rate <= 0.1%) — either the
+defaults or an ``[slo]`` section in the server config.  :class:`SloTracker`
+keeps a count-based rolling window of ``(latency, ok)`` samples per
+dataset and derives:
+
+* **latency attainment** — the observed objective-quantile latency over
+  the window vs. the target, plus the fraction of requests under target;
+* **availability** — the windowed error rate vs. the objective;
+* **error-budget burn** — observed error rate divided by the allowed
+  rate (1.0 = burning exactly the budget, >1.0 = out of SLO).
+
+A *count*-based window (last N admitted requests) rather than a wall
+-clock one keeps the math deterministic under test and bench load and
+means an idle tenant's status freezes instead of decaying to vacuous
+attainment.  Shed requests (429) never enter the window: admission
+control refusing work by design is not an SLO violation by the work
+that was admitted (documented in ``docs/OBSERVABILITY.md``).
+
+The window is a few hundred samples, so snapshots sort raw latencies
+for an *exact* quantile — no histogram bucketing error on the number
+operators alert on.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass, fields
+
+__all__ = ["SloObjectives", "SloTracker"]
+
+
+@dataclass(frozen=True)
+class SloObjectives:
+    """Declared per-tenant objectives; immutable once parsed.
+
+    ``latency_quantile``/``latency_target_s``: the latency objective
+    ("p99 <= 100 ms" is ``0.99`` / ``0.1``).  ``error_rate``: allowed
+    fraction of failed (5xx) requests.  ``window``: rolling-window size
+    in requests per dataset.
+    """
+
+    latency_quantile: float = 0.99
+    latency_target_s: float = 0.1
+    error_rate: float = 0.001
+    window: int = 512
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.latency_quantile < 1.0:
+            raise ValueError(
+                f"latency_quantile must be in (0, 1), got {self.latency_quantile!r}"
+            )
+        if not self.latency_target_s > 0.0:
+            raise ValueError(
+                f"latency_target_s must be positive, got {self.latency_target_s!r}"
+            )
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ValueError(
+                f"error_rate must be in [0, 1), got {self.error_rate!r}"
+            )
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window!r}")
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SloObjectives":
+        """Build from a parsed ``[slo]`` config section; rejects unknowns."""
+        if not isinstance(raw, dict):
+            raise ValueError(f"[slo] section must be a table, got {type(raw).__name__}")
+        valid = {f.name: f.type for f in fields(cls)}
+        unknown = set(raw) - set(valid)
+        if unknown:
+            raise ValueError(
+                f"unknown [slo] keys: {sorted(unknown)}; valid: {sorted(valid)}"
+            )
+        kwargs = {}
+        for name, value in raw.items():
+            if name == "window":
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ValueError(f"[slo] window must be an integer, got {value!r}")
+                kwargs[name] = value
+            else:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ValueError(f"[slo] {name} must be a number, got {value!r}")
+                kwargs[name] = float(value)
+        return cls(**kwargs)
+
+    def to_dict(self) -> dict:
+        return {
+            "latency_quantile": self.latency_quantile,
+            "latency_target_s": self.latency_target_s,
+            "error_rate": self.error_rate,
+            "window": self.window,
+        }
+
+
+class SloTracker:
+    """Rolling-window SLO attainment per dataset, thread-safe.
+
+    ``record(dataset, seconds, ok=...)`` appends one admitted request's
+    outcome; :meth:`snapshot` derives attainment and budget burn for
+    every dataset seen.  One plain lock guards the windows — recording
+    is an O(1) deque append, far below request cost.
+    """
+
+    def __init__(self, objectives: SloObjectives | None = None) -> None:
+        self.objectives = objectives if objectives is not None else SloObjectives()
+        self._lock = threading.Lock()
+        self._windows: dict[str, deque] = {}
+
+    def record(self, dataset: str, seconds: float, *, ok: bool = True) -> None:
+        """One admitted request: end-to-end latency + success flag."""
+        with self._lock:
+            window = self._windows.get(dataset)
+            if window is None:
+                window = self._windows.setdefault(
+                    dataset, deque(maxlen=self.objectives.window)
+                )
+            window.append((max(0.0, float(seconds)), bool(ok)))
+
+    def _status(self, samples: list) -> dict:
+        obj = self.objectives
+        n = len(samples)
+        latencies = sorted(s for s, _ in samples)
+        errors = sum(1 for _, ok in samples if not ok)
+        # Nearest-rank quantile over the raw window — exact, not bucketed.
+        rank = min(n, max(1, math.ceil(obj.latency_quantile * n)))
+        observed = latencies[rank - 1]
+        ok_rate = sum(1 for s in latencies if s <= obj.latency_target_s) / n
+        error_rate = errors / n
+        if obj.error_rate > 0.0:
+            burn = error_rate / obj.error_rate
+        else:
+            # A zero-error objective has no budget to burn; undefined
+            # once an error lands (attainment already says "violated").
+            burn = 0.0 if errors == 0 else None
+        latency_attained = observed <= obj.latency_target_s
+        availability_attained = error_rate <= obj.error_rate
+        return {
+            "window": n,
+            "latency_observed_s": round(observed, 6),
+            "latency_ok_rate": round(ok_rate, 6),
+            "latency_attained": latency_attained,
+            "errors": errors,
+            "error_rate": round(error_rate, 6),
+            "error_budget_burn": None if burn is None else round(burn, 4),
+            "availability_attained": availability_attained,
+            "attained": latency_attained and availability_attained,
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-ready: objectives + per-dataset attainment blocks."""
+        with self._lock:
+            windows = {name: list(win) for name, win in self._windows.items()}
+        datasets = {
+            name: self._status(samples)
+            for name, samples in sorted(windows.items())
+            if samples
+        }
+        return {"objectives": self.objectives.to_dict(), "datasets": datasets}

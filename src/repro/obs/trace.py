@@ -1,0 +1,416 @@
+"""Request tracing: spans, traces, context propagation, and the ring buffer.
+
+One :class:`Trace` explains one request end-to-end.  The HTTP server
+opens a trace per ``/v1/query`` / ``/v1/write`` (honoring a
+caller-supplied ``x-repro-trace`` id), the gateway adds queue-wait and
+coalescing annotations, the registry adds build/spill-load/evict spans,
+and the solver index turns its per-phase timings into child spans — so a
+slow answer decomposes into *which stage* was slow instead of a single
+opaque latency sample.
+
+Design constraints, in order:
+
+* **Lock-cheap.**  A span is a plain ``__slots__`` object mutated only
+  by the thread currently executing that part of the request (the
+  gateway serializes per-dataset work, and the server only touches a
+  trace after its future resolves), so spans themselves carry **no
+  lock**.  The only synchronized structure is the :class:`TraceStore`
+  ring buffer, touched once per *completed* request.
+* **Zero cost when off.**  Stage code asks :func:`current_span` /
+  :func:`child_of_current`; with no active trace those return ``None`` /
+  :data:`NULL_SPAN` without allocating, so the solve hot path pays one
+  contextvar read and nothing else.
+* **Bounded.**  A trace caps its span count (runaway instrumentation
+  degrades to dropped spans, tagged, never unbounded memory) and the
+  store is a fixed-size ring plus a bounded slowest list.
+
+Clocks: span ``start``/``stop`` are ``time.perf_counter()`` readings
+(monotonic; what every latency number in this repo uses); each trace
+additionally records one wall-clock anchor so exported traces can be
+placed in real time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+import secrets
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Trace",
+    "TraceStore",
+    "child_of_current",
+    "current_span",
+    "current_trace",
+    "format_trace",
+    "use_trace",
+]
+
+logger = logging.getLogger("repro.obs")
+
+#: Hard cap on spans per trace; past it, children become NULL_SPAN and
+#: the root is tagged ``spans_dropped``.
+MAX_SPANS_PER_TRACE = 512
+
+#: Caller-supplied trace ids are clamped to this length and must be
+#: printable ASCII without whitespace (they round-trip through an HTTP
+#: header and the exposition endpoints).
+_MAX_TRACE_ID = 128
+
+
+class _NullSpan:
+    """The no-op span: every mutator is a cheap pass, children are itself.
+
+    Returned wherever tracing is off or a trace hit its span cap, so
+    instrumented code never branches on "is tracing on" — it just talks
+    to a span that happens to discard everything.
+    """
+
+    __slots__ = ()
+
+    def child(self, name, *, start=None, **tags):  # noqa: ARG002
+        return self
+
+    def annotate(self, **tags):  # noqa: ARG002
+        return self
+
+    def end(self, at=None):  # noqa: ARG002
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return "NULL_SPAN"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed stage of a trace: name, tags, children, monotonic bounds.
+
+    Mutated only by the thread executing the stage (see module
+    docstring); ``end()`` is idempotent.  Usable as a context manager —
+    ``with parent.child("build") as sp:`` ends the span on exit.
+    """
+
+    __slots__ = ("name", "start", "stop", "tags", "children", "_trace")
+
+    def __init__(self, name: str, *, trace: "Trace", start=None, tags=None) -> None:
+        self.name = str(name)
+        self.start = time.perf_counter() if start is None else float(start)
+        self.stop: float | None = None
+        self.tags: dict = dict(tags) if tags else {}
+        self.children: list[Span] = []
+        self._trace = trace
+
+    def child(self, name: str, *, start=None, **tags) -> "Span | _NullSpan":
+        """Open a child span (ended by the caller or a ``with`` block)."""
+        trace = self._trace
+        if trace.spans >= MAX_SPANS_PER_TRACE:
+            trace.root.tags["spans_dropped"] = (
+                trace.root.tags.get("spans_dropped", 0) + 1
+            )
+            return NULL_SPAN
+        trace.spans += 1
+        span = Span(name, trace=trace, start=start, tags=tags or None)
+        self.children.append(span)
+        return span
+
+    def annotate(self, **tags) -> "Span":
+        self.tags.update(tags)
+        return self
+
+    def end(self, at=None) -> "Span":
+        if self.stop is None:
+            self.stop = time.perf_counter() if at is None else float(at)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and "error" not in self.tags:
+            self.tags["error"] = exc_type.__name__
+        self.end()
+        return False
+
+    @property
+    def duration(self) -> float:
+        stop = self.stop if self.stop is not None else time.perf_counter()
+        return max(0.0, stop - self.start)
+
+    def to_dict(self, origin: float) -> dict:
+        """JSON-ready view; times become offsets from ``origin`` seconds."""
+        out = {
+            "name": self.name,
+            "start_s": round(self.start - origin, 6),
+            "duration_s": round(self.duration, 6),
+        }
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        if self.children:
+            out["children"] = [c.to_dict(origin) for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, {self.duration * 1e3:.2f}ms)"
+
+
+def _clean_trace_id(trace_id) -> str | None:
+    """A caller-supplied id, validated; ``None`` when unusable."""
+    if not isinstance(trace_id, str):
+        return None
+    trace_id = trace_id.strip()
+    if not trace_id or len(trace_id) > _MAX_TRACE_ID:
+        return None
+    if not all(33 <= ord(c) <= 126 for c in trace_id):
+        return None
+    return trace_id
+
+
+class Trace:
+    """One request's span tree plus its identity and wall-clock anchor.
+
+    Args:
+        name: root span name (e.g. ``"POST /v1/query"``).
+        trace_id: caller-supplied id (the ``x-repro-trace`` header);
+            invalid or missing ids are replaced by a fresh random one.
+        tags: initial root-span tags.
+    """
+
+    __slots__ = ("trace_id", "root", "wall_start", "spans")
+
+    def __init__(self, name: str = "request", *, trace_id=None, **tags) -> None:
+        self.trace_id = _clean_trace_id(trace_id) or secrets.token_hex(8)
+        self.wall_start = time.time()
+        self.spans = 1
+        self.root = Span(name, trace=self, tags=tags or None)
+
+    # Delegates so holders of a Trace never reach into .root for the
+    # common operations (the gateway and registry only ever need these).
+    def child(self, name: str, *, start=None, **tags):
+        return self.root.child(name, start=start, **tags)
+
+    def annotate(self, **tags) -> "Trace":
+        self.root.annotate(**tags)
+        return self
+
+    def finish(self, at=None) -> "Trace":
+        self.root.end(at)
+        return self
+
+    @property
+    def duration(self) -> float:
+        return self.root.duration
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "start_unix": round(self.wall_start, 6),
+            "duration_s": round(self.duration, 6),
+            "spans": self.spans,
+            "root": self.root.to_dict(self.root.start),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trace({self.trace_id!r}, {self.root.name!r}, "
+            f"{self.duration * 1e3:.2f}ms, spans={self.spans})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# context propagation
+# --------------------------------------------------------------------- #
+
+# Thread/task-local active trace.  Each thread starts with None; the
+# gateway worker sets it around exactly the stretch of work belonging to
+# one request, so downstream code (registry builds, solver phases) finds
+# the right trace without plumbing arguments through every layer.
+_ACTIVE = threading.local()
+
+
+def current_trace() -> Trace | None:
+    """The trace the calling thread is currently working for, if any."""
+    return getattr(_ACTIVE, "trace", None)
+
+
+def current_span() -> Span | None:
+    """The active trace's root span, or ``None`` (tracing off / no trace)."""
+    trace = getattr(_ACTIVE, "trace", None)
+    return None if trace is None else trace.root
+
+
+@contextlib.contextmanager
+def use_trace(trace: Trace | None):
+    """Make ``trace`` the calling thread's active trace for the block.
+
+    Always sets (even to ``None``): a worker thread reused across
+    requests must never leak one request's trace into the next untraced
+    op.  Restores the previous value on exit, so nesting works.
+    """
+    previous = getattr(_ACTIVE, "trace", None)
+    _ACTIVE.trace = trace
+    try:
+        yield trace
+    finally:
+        _ACTIVE.trace = previous
+
+
+def child_of_current(name: str, *, start=None, **tags):
+    """A child span under the active trace, or :data:`NULL_SPAN`.
+
+    The annotation entry point for code that may or may not run inside a
+    request (registry builds, spill loads, evictions): with no active
+    trace this is one attribute read and no allocation.
+    """
+    trace = getattr(_ACTIVE, "trace", None)
+    if trace is None:
+        return NULL_SPAN
+    return trace.root.child(name, start=start, **tags)
+
+
+# --------------------------------------------------------------------- #
+# the ring buffer
+# --------------------------------------------------------------------- #
+
+
+class TraceStore:
+    """Bounded store of completed traces: recent ring + slowest list.
+
+    Traces are serialized to plain dicts at :meth:`record` time (they
+    are immutable afterwards), so readers never share mutable state with
+    request threads.  A trace slower than ``slow_threshold`` seconds is
+    additionally counted and logged through the ``repro.obs`` logger —
+    the slow-trace log an operator tails.
+
+    Args:
+        capacity: recent-ring size (completed traces kept, FIFO).
+        slow_threshold: seconds past which a trace is logged as slow.
+        keep_slowest: how many all-time-slowest traces are retained.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 256,
+        slow_threshold: float = 1.0,
+        keep_slowest: int = 32,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if keep_slowest < 1:
+            raise ValueError(f"keep_slowest must be >= 1, got {keep_slowest}")
+        if not slow_threshold > 0.0:
+            raise ValueError(
+                f"slow_threshold must be positive, got {slow_threshold}"
+            )
+        self.capacity = int(capacity)
+        self.slow_threshold = float(slow_threshold)
+        self.keep_slowest = int(keep_slowest)
+        self._lock = threading.Lock()
+        self._recent: deque[dict] = deque(maxlen=self.capacity)
+        self._slowest: list[dict] = []  # sorted by duration, descending
+        self._recorded = 0
+        self._slow = 0
+
+    def record(self, trace: Trace) -> dict:
+        """Finish (if needed) and store one trace; returns its dict form."""
+        trace.finish()
+        entry = trace.to_dict()
+        duration = entry["duration_s"]
+        slow = duration >= self.slow_threshold
+        with self._lock:
+            self._recorded += 1
+            self._recent.append(entry)
+            if (
+                len(self._slowest) < self.keep_slowest
+                or duration > self._slowest[-1]["duration_s"]
+            ):
+                self._slowest.append(entry)
+                self._slowest.sort(key=lambda t: t["duration_s"], reverse=True)
+                del self._slowest[self.keep_slowest :]
+            if slow:
+                self._slow += 1
+        if slow:
+            logger.warning(
+                "slow trace %s (%s): %.1fms >= %.1fms threshold",
+                entry["trace_id"],
+                entry["root"]["name"],
+                duration * 1e3,
+                self.slow_threshold * 1e3,
+            )
+        return entry
+
+    def recent(self, limit: int | None = None) -> list[dict]:
+        """Most recently completed traces, newest first."""
+        with self._lock:
+            entries = list(self._recent)
+        entries.reverse()
+        return entries if limit is None else entries[: max(0, int(limit))]
+
+    def slowest(self, limit: int | None = None) -> list[dict]:
+        """The slowest recorded traces, slowest first."""
+        with self._lock:
+            entries = list(self._slowest)
+        return entries if limit is None else entries[: max(0, int(limit))]
+
+    def stats(self) -> dict:
+        """JSON-ready store state (recorded/slow counts, configuration)."""
+        with self._lock:
+            return {
+                "recorded": self._recorded,
+                "slow": self._slow,
+                "buffered": len(self._recent),
+                "capacity": self.capacity,
+                "slow_threshold_s": self.slow_threshold,
+            }
+
+    def snapshot(self, *, limit: int = 20) -> dict:
+        """The ``GET /v1/traces`` payload: recent + slowest + stats."""
+        return {
+            "recent": self.recent(limit),
+            "slowest": self.slowest(limit),
+            "stats": self.stats(),
+        }
+
+
+# --------------------------------------------------------------------- #
+# rendering (the ``repro trace`` CLI)
+# --------------------------------------------------------------------- #
+
+
+def _format_tags(tags: dict) -> str:
+    return " ".join(f"{k}={tags[k]}" for k in sorted(tags))
+
+
+def _format_span(span: dict, *, depth: int, lines: list[str]) -> None:
+    pad = "  " * depth
+    ms = span["duration_s"] * 1e3
+    at = span["start_s"] * 1e3
+    tags = span.get("tags")
+    suffix = f"  [{_format_tags(tags)}]" if tags else ""
+    lines.append(f"{pad}{span['name']:<24s} +{at:8.2f}ms  {ms:9.2f}ms{suffix}")
+    for child in span.get("children", ()):
+        _format_span(child, depth=depth + 1, lines=lines)
+
+
+def format_trace(entry: dict) -> str:
+    """Pretty-print one serialized trace as an indented span tree."""
+    root = entry["root"]
+    lines = [
+        f"trace {entry['trace_id']}  {root['name']}  "
+        f"{entry['duration_s'] * 1e3:.2f}ms  ({entry['spans']} spans)"
+    ]
+    _format_span(root, depth=1, lines=lines)
+    return "\n".join(lines)

@@ -13,8 +13,24 @@ Endpoints (all JSON):
 * ``POST /v1/write``  — ``{"dataset", "op": "insert"|"delete", ...}``
   applied to a live dataset, in submission order against queries.
 * ``GET /v1/datasets`` — registered datasets with residency/live flags.
-* ``GET /v1/metrics``  — service metrics + registry + HTTP-layer stats.
+* ``GET /v1/metrics``  — service metrics + registry + HTTP-layer stats +
+  process gauges + per-tenant SLO attainment;
+  ``?format=prometheus`` (or the ``/metrics`` alias) renders the same
+  data in the Prometheus text exposition format.
+* ``GET /v1/traces``   — recent + slowest completed request traces.
 * ``GET /healthz``     — liveness plus the draining flag.
+
+**Tracing**: with ``tracing`` on (the default) every query/write gets a
+:class:`~repro.obs.trace.Trace` — honoring a caller-supplied
+``x-repro-trace`` id and echoing it as a response header — that the
+gateway, registry, and solver index annotate with queue-wait, build,
+and solve/phase spans.  Completed traces land in a bounded
+:class:`~repro.obs.trace.TraceStore` ring (``trace_buffer`` entries;
+traces slower than ``slow_trace_s`` are logged), served by
+``/v1/traces`` and the ``repro trace`` CLI.  Admitted requests also
+feed the per-tenant :class:`~repro.obs.slo.SloTracker` (shed 429s stay
+out of the SLO window: refusing work by design is not a violation of
+the work admitted).
 
 **Admission control**: at most ``max_inflight`` queries/writes are in
 flight at once; excess requests are shed immediately with HTTP 429 (and
@@ -47,22 +63,34 @@ import time
 import numpy as np
 
 from ..fairness.constraints import FairnessConstraint
+from ..obs.process import process_stats
+from ..obs.prometheus import render_prometheus
+from ..obs.slo import SloObjectives, SloTracker
+from ..obs.trace import Trace, TraceStore
 from ..service.gateway import Gateway
 from ..service.metrics import LatencyHistogram
 from ..service.registry import DatasetRegistry
 from ..service.warmup import Warmer
 from .config import ServerConfig, build_registry
-from .http import HttpError, HttpRequest, read_request, send_json
+from .http import HttpError, HttpRequest, read_request, send_json, send_text
 
 __all__ = ["FairHMSServer"]
 
 _ENDPOINTS = {
     ("GET", "/healthz"),
     ("GET", "/v1/metrics"),
+    ("GET", "/metrics"),
+    ("GET", "/v1/traces"),
     ("GET", "/v1/datasets"),
     ("POST", "/v1/query"),
     ("POST", "/v1/write"),
 }
+
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _PlainText(str):
+    """Dispatch payload marker: send as plain text, not JSON (exposition)."""
 
 
 def _solution_payload(dataset: str, solution) -> dict:
@@ -127,6 +155,10 @@ class FairHMSServer:
         max_body_bytes: int = 1 << 20,
         warmup: bool = False,
         warmup_ks=(4, 6, 8),
+        tracing: bool = True,
+        trace_buffer: int = 256,
+        slow_trace_s: float = 1.0,
+        slo: SloObjectives | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -135,10 +167,18 @@ class FairHMSServer:
         self.gateway = Gateway(
             registry, batch_window=batch_window, max_batch=max_batch
         )
+        #: Completed-trace ring buffer (None with tracing disabled).
+        self.traces: TraceStore | None = (
+            TraceStore(capacity=trace_buffer, slow_threshold=slow_trace_s)
+            if tracing
+            else None
+        )
+        #: Per-tenant SLO attainment over a rolling request window.
+        self.slo = SloTracker(slo if slo is not None else SloObjectives())
         #: Speculative warm-up thread (None unless enabled): primes
         #: registered-but-cold datasets so first queries skip cold start.
         self.warmer: Warmer | None = (
-            Warmer(registry, ks=warmup_ks) if warmup else None
+            Warmer(registry, ks=warmup_ks, traces=self.traces) if warmup else None
         )
         self.host = str(host)
         self.port = int(port)
@@ -181,6 +221,10 @@ class FairHMSServer:
             max_body_bytes=config.max_body_bytes,
             warmup=config.warmup,
             warmup_ks=config.warmup_ks,
+            tracing=config.tracing,
+            trace_buffer=config.trace_buffer,
+            slow_trace_s=config.slow_trace_s,
+            slo=config.slo,
         )
 
     # ------------------------------------------------------------------ #
@@ -315,9 +359,19 @@ class FairHMSServer:
                     if status >= 500:
                         self._http_errors += 1
                     close = not request.keep_alive or self._draining
-                    await send_json(
-                        writer, status, payload, close=close, extra_headers=extra
-                    )
+                    if isinstance(payload, _PlainText):
+                        await send_text(
+                            writer,
+                            status,
+                            str(payload),
+                            content_type=_PROMETHEUS_CONTENT_TYPE,
+                            close=close,
+                            extra_headers=extra,
+                        )
+                    else:
+                        await send_json(
+                            writer, status, payload, close=close, extra_headers=extra
+                        )
                 finally:
                     self._end_request()
                 if close:
@@ -346,18 +400,37 @@ class FairHMSServer:
                 if method != "GET":
                     return 405, {"error": "use GET"}, None
                 return 200, self._health_payload(), None
-            if path == "/v1/metrics":
+            if path in ("/v1/metrics", "/metrics"):
                 if method != "GET":
                     return 405, {"error": "use GET"}, None
-                return (
-                    200,
-                    {
-                        "service": self.metrics.snapshot(),
-                        "registry": self.registry.snapshot(),
-                        "server": self.server_stats(),
-                    },
-                    None,
-                )
+                # /metrics is the conventional scrape alias: always the
+                # exposition format.  /v1/metrics defaults to JSON and
+                # opts into exposition via ?format=prometheus.
+                if path == "/metrics" or request.param("format") == "prometheus":
+                    return 200, _PlainText(self.prometheus_exposition()), None
+                payload = {
+                    "service": self.metrics.snapshot(),
+                    "registry": self.registry.snapshot(),
+                    "server": self.server_stats(),
+                    "slo": self.slo.snapshot(),
+                    "process": process_stats(),
+                }
+                if self.traces is not None:
+                    payload["traces"] = self.traces.stats()
+                return 200, payload, None
+            if path == "/v1/traces":
+                if method != "GET":
+                    return 405, {"error": "use GET"}, None
+                if self.traces is None:
+                    return 200, {"tracing": False, "recent": [], "slowest": []}, None
+                limit = request.param("limit")
+                try:
+                    limit = 20 if limit is None else max(1, min(100, int(limit)))
+                except ValueError:
+                    raise HttpError(400, f"limit must be an integer: {limit!r}") from None
+                payload = self.traces.snapshot(limit=limit)
+                payload["tracing"] = True
+                return 200, payload, None
             if path == "/v1/datasets":
                 if method != "GET":
                     return 405, {"error": "use GET"}, None
@@ -411,6 +484,42 @@ class FairHMSServer:
         if self.warmer is not None:
             stats["warmup"] = self.warmer.stats()
         return stats
+
+    def prometheus_exposition(self) -> str:
+        """The ``/metrics`` scrape body (Prometheus text exposition).
+
+        Every ``ServiceMetrics`` counter and histogram (with ``dataset``
+        /``scenario`` labels), the server/registry/warm-up gauges, the
+        per-tenant SLO gauges, process gauges, and trace-store counters
+        — rendered in one consistent pass.
+        """
+        reg = self.registry.snapshot()
+        gauges = {
+            "inflight": self._inflight,
+            "max_inflight": self.max_inflight,
+            "draining": self._draining,
+            "http_active_requests": self._active,
+            "http_shed": self._shed_total,
+            "http_errors": self._http_errors,
+            "http_latency_p99_seconds": self.http_latency.quantile(0.99),
+            "registry_cache_bytes": reg["total_cache_bytes"],
+            "registry_resident_indexes": len(reg["resident"]),
+            "registry_registered_datasets": len(reg["registered"]),
+        }
+        if self.warmer is not None:
+            warm = self.warmer.stats()
+            gauges["warmup_primed"] = len(warm["primed"])
+            gauges["warmup_backlog"] = max(
+                0, len(self.registry) - len(warm["primed"])
+            )
+            gauges["warmup_errors"] = warm["errors"]
+        return render_prometheus(
+            self.metrics,
+            gauges=gauges,
+            slo=self.slo.snapshot(),
+            process=process_stats(),
+            traces=None if self.traces is None else self.traces.stats(),
+        )
 
     # ------------------------------------------------------------------ #
     # query / write
@@ -466,6 +575,34 @@ class FairHMSServer:
         finally:
             self._inflight -= 1
 
+    def _open_trace(self, request: HttpRequest, name: str, dataset: str):
+        """A per-request trace honoring an inbound ``x-repro-trace`` id."""
+        if self.traces is None:
+            return None
+        return Trace(
+            name,
+            trace_id=request.headers.get("x-repro-trace"),
+            dataset=dataset,
+        )
+
+    def _close_request(self, trace, headers, started: float, dataset: str, status: int):
+        """Account one admitted request: SLO sample + trace; returns headers.
+
+        Only requests that made it past admission reach here, so shed
+        429s never burn error budget; client errors (4xx) count against
+        latency but not availability.
+        """
+        self.slo.record(dataset, time.perf_counter() - started, ok=status < 500)
+        if trace is None:
+            return headers
+        trace.annotate(status=int(status))
+        if status >= 400:
+            trace.annotate(error=True)
+        self.traces.record(trace)
+        headers = dict(headers or {})
+        headers["x-repro-trace"] = trace.trace_id
+        return headers
+
     @staticmethod
     def _error_response(exc: Exception):
         if isinstance(exc, KeyError):
@@ -504,6 +641,8 @@ class FairHMSServer:
         if constraint is not None:
             constraint = _parse_constraint(constraint)
         k = body.get("k")
+        trace = self._open_trace(request, "POST /v1/query", dataset)
+        started = time.perf_counter()
         try:
             future = self.gateway.submit(
                 dataset,
@@ -514,12 +653,18 @@ class FairHMSServer:
                 seed=body.get("seed"),
                 alpha=float(body.get("alpha", 0.1)),
                 scheme=str(body.get("scheme", "proportional")),
+                trace=trace,
                 **options,
             )
             solution = await self._await_future(future)
         except Exception as exc:  # noqa: BLE001 - mapped to an HTTP status
-            return self._error_response(exc)
-        return 200, _solution_payload(dataset, solution), None
+            status, payload, headers = self._error_response(exc)
+            return status, payload, self._close_request(
+                trace, headers, started, dataset, status
+            )
+        return 200, _solution_payload(dataset, solution), self._close_request(
+            trace, None, started, dataset, 200
+        )
 
     async def _handle_write(self, request: HttpRequest):
         body = request.json()
@@ -547,11 +692,16 @@ class FairHMSServer:
             raise
         except Exception as exc:  # noqa: BLE001 - malformed write payload
             raise HttpError(400, f"invalid write payload: {exc}") from None
+        trace = self._open_trace(request, "POST /v1/write", dataset)
+        started = time.perf_counter()
         try:
-            future = self.gateway.submit_update(dataset, op, *args)
+            future = self.gateway.submit_update(dataset, op, *args, trace=trace)
             version = await self._await_future(future)
         except Exception as exc:  # noqa: BLE001 - mapped to an HTTP status
-            return self._error_response(exc)
+            status, payload, headers = self._error_response(exc)
+            return status, payload, self._close_request(
+                trace, headers, started, dataset, status
+            )
         return (
             200,
             {
@@ -560,5 +710,5 @@ class FairHMSServer:
                 "key": key,
                 "version": None if version is None else int(version),
             },
-            None,
+            self._close_request(trace, None, started, dataset, 200),
         )

@@ -44,6 +44,7 @@ try:  # Python 3.11+
 except ModuleNotFoundError:  # pragma: no cover - py3.10 fallback path
     tomllib = None
 
+from ..obs.slo import SloObjectives
 from ..service.metrics import ServiceMetrics
 from ..service.registry import DatasetRegistry
 
@@ -145,6 +146,13 @@ class ServerConfig:
     are built and their solver artifacts primed in the background, so
     first queries never pay the cold-start tail.  ``warmup_ks`` is the
     set of solution sizes it warms.
+
+    ``tracing`` enables per-request tracing (on by default — overhead is
+    a bounded ring buffer, see ``docs/OBSERVABILITY.md``);
+    ``trace_buffer`` sizes the completed-trace ring and ``slow_trace_s``
+    is the slow-trace log threshold.  ``slo`` holds the per-tenant
+    objectives parsed from the top-level ``[slo]`` config section
+    (defaults: p99 <= 100 ms, error rate <= 0.1%).
     """
 
     host: str = "127.0.0.1"
@@ -158,6 +166,10 @@ class ServerConfig:
     spill_dir: str | None = None
     warmup: bool = False
     warmup_ks: tuple[int, ...] = (4, 6, 8)
+    tracing: bool = True
+    trace_buffer: int = 256
+    slow_trace_s: float = 1.0
+    slo: SloObjectives = SloObjectives()
     datasets: tuple[DatasetSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -165,6 +177,10 @@ class ServerConfig:
             raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
         if self.drain_timeout < 0:
             raise ValueError(f"drain_timeout must be >= 0, got {self.drain_timeout}")
+        if self.trace_buffer < 1:
+            raise ValueError(f"trace_buffer must be >= 1, got {self.trace_buffer}")
+        if self.slow_trace_s <= 0:
+            raise ValueError(f"slow_trace_s must be > 0, got {self.slow_trace_s}")
         # TOML/JSON deliver warmup_ks as a list; normalize so the frozen
         # config stays hashable and validates early.
         object.__setattr__(
@@ -186,15 +202,18 @@ def parse_config(raw: dict, *, base_dir=None) -> ServerConfig:
     """
     if not isinstance(raw, dict):
         raise ValueError(f"config root must be a mapping, got {type(raw).__name__}")
-    unknown = set(raw) - {"server", "datasets"}
+    unknown = set(raw) - {"server", "datasets", "slo"}
     if unknown:
         raise ValueError(f"unknown top-level config keys: {sorted(unknown)}")
 
     server_raw = dict(raw.get("server", {}))
-    allowed = {f.name for f in fields(ServerConfig)} - {"datasets"}
+    # `slo` is its own top-level section, never a [server] key.
+    allowed = {f.name for f in fields(ServerConfig)} - {"datasets", "slo"}
     unknown = set(server_raw) - allowed
     if unknown:
         raise ValueError(f"unknown [server] keys: {sorted(unknown)}")
+    if "slo" in raw:
+        server_raw["slo"] = SloObjectives.from_dict(raw["slo"])
 
     specs = []
     datasets_raw = raw.get("datasets", [])

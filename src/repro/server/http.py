@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from urllib.parse import parse_qs
 
-__all__ = ["HttpError", "HttpRequest", "read_request", "send_json"]
+__all__ = ["HttpError", "HttpRequest", "read_request", "send_json", "send_text"]
 
 _MAX_LINE = 8192
 _MAX_HEADERS = 100
@@ -73,6 +74,15 @@ class HttpRequest:
     def keep_alive(self) -> bool:
         """HTTP/1.1 keep-alive semantics (``Connection: close`` opts out)."""
         return self.headers.get("connection", "").lower() != "close"
+
+    def param(self, name: str) -> str | None:
+        """Last value of a query-string parameter, or ``None``.
+
+        Last-wins matches common proxy/client behavior for repeated
+        parameters; garbage query strings simply yield no parameters.
+        """
+        values = parse_qs(self.query, keep_blank_values=True).get(name)
+        return values[-1] if values else None
 
     def json(self):
         """The body parsed as JSON; :class:`HttpError` 400 on garbage."""
@@ -150,6 +160,33 @@ async def send_json(
     head = [
         f"HTTP/1.1 {status} {reason}",
         "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+    try:
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # the client went away; nothing left to deliver
+
+
+async def send_text(
+    writer,
+    status: int,
+    text: str,
+    *,
+    content_type: str = "text/plain; charset=utf-8",
+    close: bool = False,
+    extra_headers: dict | None = None,
+) -> None:
+    """Send a plain-text response (the Prometheus exposition endpoint)."""
+    body = text.encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'close' if close else 'keep-alive'}",
     ]

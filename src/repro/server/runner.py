@@ -8,6 +8,11 @@ after a graceful drain completes.
 event loop — what the test suite and ``benchmarks/bench_server.py`` use
 to exercise the server over real sockets from the same process, with an
 explicit :meth:`~ServerThread.drain` standing in for SIGTERM.
+
+Both paths accept the observability knobs (``tracing``,
+``trace_buffer``, ``slow_trace_s``, ``slo``) — ``serve_forever`` via
+:class:`~repro.server.config.ServerConfig`, ``ServerThread`` as keyword
+arguments forwarded verbatim to :class:`FairHMSServer`.
 """
 
 from __future__ import annotations

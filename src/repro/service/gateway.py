@@ -49,6 +49,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..fairness.constraints import FairnessConstraint
+from ..obs.trace import Trace, child_of_current, use_trace
 from ..serving.index import Query
 from .metrics import ServiceMetrics
 from .registry import DatasetRegistry
@@ -66,6 +67,7 @@ class _PendingOp:
     args: tuple
     future: Future
     enqueued: float
+    trace: Trace | None = None
 
 
 def _coalesce_key(q: Query, resolved: str | None = None) -> tuple | None:
@@ -180,12 +182,17 @@ class Gateway:
         seed=None,
         alpha: float = 0.1,
         scheme: str = "proportional",
+        trace: Trace | None = None,
         **options,
     ) -> Future:
         """Enqueue one query; returns a future resolving to its Solution.
 
         Parameters mirror :meth:`repro.serving.FairHMSIndex.query`.  The
         future raises whatever the solve raises (e.g. infeasibility).
+        ``trace`` attaches a request trace: queue wait, the cold build
+        (if any), the solve with its phases, and coalescing outcomes are
+        recorded as spans/tags on it while the op moves through the
+        gateway.
         """
         if dataset not in self.registry:
             raise KeyError(f"unknown dataset {dataset!r}")
@@ -206,9 +213,11 @@ class Gateway:
             scheme=scheme,
             options=dict(options),
         )
-        return self._enqueue(dataset, "query", spec, ())
+        return self._enqueue(dataset, "query", spec, (), trace=trace)
 
-    def submit_update(self, dataset: str, kind: str, *args) -> Future:
+    def submit_update(
+        self, dataset: str, kind: str, *args, trace: Trace | None = None
+    ) -> Future:
         """Enqueue a write for a live dataset; future resolves when applied.
 
         ``kind`` is ``"insert"`` (args: ``key, point, group``) or
@@ -220,9 +229,9 @@ class Gateway:
             raise ValueError(f"unknown update kind {kind!r}")
         if dataset not in self.registry:
             raise KeyError(f"unknown dataset {dataset!r}")
-        return self._enqueue(dataset, kind, None, args)
+        return self._enqueue(dataset, kind, None, args, trace=trace)
 
-    def _enqueue(self, dataset, kind, spec, args) -> Future:
+    def _enqueue(self, dataset, kind, spec, args, *, trace=None) -> Future:
         op = _PendingOp(
             dataset=dataset,
             kind=kind,
@@ -230,6 +239,7 @@ class Gateway:
             args=args,
             future=Future(),
             enqueued=time.perf_counter(),
+            trace=trace,
         )
         self.metrics.incr(dataset, "requests" if kind == "query" else "updates")
         self._inbox.put(op)
@@ -419,17 +429,25 @@ class Gateway:
     def _apply_write(self, name: str, op: _PendingOp) -> None:
         if not op.future.set_running_or_notify_cancel():
             return
+        if op.trace is not None:
+            op.trace.child("queue_wait", start=op.enqueued).end()
         try:
-            index = self.registry.get(name)
-            if op.kind == "insert":
-                key, point, group = op.args
-                index.insert(key, point, group)
-            else:
-                (key,) = op.args
-                index.delete(key)
-            version = getattr(index, "version", None)
+            # The op's trace is the thread's active trace for the whole
+            # write, so a cold build triggered here lands in it too.
+            with use_trace(op.trace):
+                index = self.registry.get(name)
+                with child_of_current("apply_write", kind=op.kind):
+                    if op.kind == "insert":
+                        key, point, group = op.args
+                        index.insert(key, point, group)
+                    else:
+                        (key,) = op.args
+                        index.delete(key)
+                version = getattr(index, "version", None)
         except Exception as exc:  # noqa: BLE001 - forwarded to the caller
             self.metrics.incr(name, "errors")
+            if op.trace is not None:
+                op.trace.annotate(error=type(exc).__name__)
             op.future.set_exception(exc)
             return
         self.metrics.observe_request(name, time.perf_counter() - op.enqueued)
@@ -458,7 +476,11 @@ class Gateway:
         if not run:
             return
         try:
-            index = self.registry.get(name)
+            # A cold build pays for every op in the run; attribute it to
+            # the first traced one (the request that would have paid it
+            # alone) — peers learn the index was cold from the metrics.
+            with use_trace(next((op.trace for op in run if op.trace is not None), None)):
+                index = self.registry.get(name)
         except Exception as exc:  # noqa: BLE001 - e.g. unregistered mid-run
             self._fail_ops(name, run, exc)
             return
@@ -511,22 +533,34 @@ class Gateway:
             live = [op for op in peers if op.future.set_running_or_notify_cancel()]
             if not live:
                 continue
+            pickup = time.perf_counter()
+            leader = None
+            for op in live:
+                if op.trace is not None:
+                    op.trace.child("queue_wait", start=op.enqueued).end(pickup)
+                    if leader is None:
+                        leader = op.trace
             q = live[0].query
             t0 = time.perf_counter()
             try:
-                solution = index.query(
-                    q.k,
-                    constraint=q.constraint,
-                    eps=q.eps,
-                    algorithm=q.algorithm,
-                    seed=q.seed,
-                    alpha=q.alpha,
-                    scheme=q.scheme,
-                    **q.options,
-                )
+                # The group leader's trace is active for the solve: the
+                # index records the solve span (and its phases) on it.
+                with use_trace(leader):
+                    solution = index.query(
+                        q.k,
+                        constraint=q.constraint,
+                        eps=q.eps,
+                        algorithm=q.algorithm,
+                        seed=q.seed,
+                        alpha=q.alpha,
+                        scheme=q.scheme,
+                        **q.options,
+                    )
             except Exception as exc:  # noqa: BLE001 - forwarded to callers
                 self.metrics.incr(name, "errors", len(live))
                 for op in live:
+                    if op.trace is not None:
+                        op.trace.annotate(error=type(exc).__name__)
                     op.future.set_exception(exc)
                 continue
             solve_seconds = time.perf_counter() - t0
@@ -535,6 +569,18 @@ class Gateway:
             self._record_phases(name, solution)
             if len(live) > 1:
                 self.metrics.incr(name, "coalesced", len(live) - 1)
+            for op in live:
+                tr = op.trace
+                if tr is None:
+                    continue
+                if tr is leader:
+                    tr.annotate(coalesce_group=len(live))
+                else:
+                    # A follower shares the leader's solve — its trace
+                    # points at it instead of duplicating the solve span.
+                    tr.annotate(
+                        coalesced_into=leader.trace_id, coalesce_group=len(live)
+                    )
             done = time.perf_counter()
             for op in live:
                 self.metrics.observe_request(name, done - op.enqueued)
@@ -552,20 +598,33 @@ class Gateway:
             ks = [int(live[0].query.k) for live in livesets]
             q = livesets[0][0].query
             all_live = [op for live in livesets for op in live]
+            pickup = time.perf_counter()
+            leader = None
+            leader_set = None
+            for live in livesets:
+                for op in live:
+                    if op.trace is not None:
+                        op.trace.child("queue_wait", start=op.enqueued).end(pickup)
+                        if leader is None:
+                            leader = op.trace
+                            leader_set = live
             t0 = time.perf_counter()
             try:
-                solutions = index.query_multi(
-                    ks,
-                    eps=q.eps,
-                    algorithm=q.algorithm,
-                    seed=q.seed,
-                    alpha=q.alpha,
-                    scheme=q.scheme,
-                    **q.options,
-                )
+                with use_trace(leader):
+                    solutions = index.query_multi(
+                        ks,
+                        eps=q.eps,
+                        algorithm=q.algorithm,
+                        seed=q.seed,
+                        alpha=q.alpha,
+                        scheme=q.scheme,
+                        **q.options,
+                    )
             except Exception as exc:  # noqa: BLE001 - forwarded to callers
                 self.metrics.incr(name, "errors", len(all_live))
                 for op in all_live:
+                    if op.trace is not None:
+                        op.trace.annotate(error=type(exc).__name__)
                     op.future.set_exception(exc)
                 continue
             self.metrics.observe_solve(name, time.perf_counter() - t0)
@@ -578,6 +637,20 @@ class Gateway:
             coalesced = len(all_live) - len(livesets)
             if coalesced:
                 self.metrics.incr(name, "coalesced", coalesced)
+            if leader is not None:
+                leader.annotate(multi_ks=",".join(str(k) for k in ks))
+            for live in livesets:
+                for op in live:
+                    tr = op.trace
+                    if tr is None or tr is leader:
+                        continue
+                    if live is leader_set:
+                        tr.annotate(coalesced_into=leader.trace_id)
+                    else:
+                        # Answered by the shared multi-k search the
+                        # leader's trace carries — a distinct k, so it's
+                        # "shared with", not "coalesced into".
+                        tr.annotate(multi_shared_with=leader.trace_id)
             done = time.perf_counter()
             for live, solution in zip(livesets, solutions):
                 self._record_phases(name, solution)
@@ -588,3 +661,6 @@ class Gateway:
             # Only reachable when an index is mutated outside the
             # gateway while a batch was in flight.
             self.metrics.incr(name, "fence_violations")
+            for op in run:
+                if op.trace is not None:
+                    op.trace.annotate(fence_violation=True)

@@ -23,11 +23,35 @@ from __future__ import annotations
 
 import threading
 
-__all__ = ["LatencyHistogram", "ServiceMetrics"]
+__all__ = ["BUCKET_EDGES", "LatencyHistogram", "ServiceMetrics", "merge_quantile"]
 
 # Powers of two from 1 microsecond to ~67 seconds; the final bucket is
 # open-ended.  Log-scaled buckets keep quantile error proportional.
 _BUCKET_EDGES = tuple(1e-6 * 2.0**i for i in range(27))
+
+# Public alias: renderers (e.g. the Prometheus exposition) need the
+# bucket boundaries to emit cumulative `le=` labels that match what the
+# histograms actually recorded.
+BUCKET_EDGES = _BUCKET_EDGES
+
+# The full counter schema, fixed up front: every dataset block carries
+# exactly these keys, so totals and exposition output never drift.
+_COUNTER_NAMES = (
+    "requests",
+    "solves",
+    "coalesced",
+    "multi_shared",
+    "updates",
+    "shed",
+    "errors",
+    "builds",
+    "evictions",
+    "cache_clears",
+    "spills",
+    "spill_loads",
+    "fence_violations",
+    "warmups",
+)
 
 
 class LatencyHistogram:
@@ -115,6 +139,61 @@ class LatencyHistogram:
                 "p99_s": self._quantile(0.99),
             }
 
+    def export(self) -> dict:
+        """Raw point-in-time export: bucket counts + running stats.
+
+        For renderers that need the buckets themselves (the Prometheus
+        exposition emits cumulative ``_bucket{le=...}`` series) rather
+        than the derived quantiles :meth:`snapshot` reports.  ``edges``
+        is the shared module-level tuple; ``counts`` has one extra slot
+        for the open-ended overflow bucket.
+        """
+        with self._lock:
+            return {
+                "edges": _BUCKET_EDGES,
+                "counts": list(self._counts),
+                "count": self.count,
+                "total": self.total,
+                "min": self.min if self.count else 0.0,
+                "max": self.max,
+            }
+
+
+def merge_quantile(hists, q: float) -> float | None:
+    """Quantile of the bucket-wise merge of several histograms.
+
+    Returns ``None`` when no histogram has observed a sample.  Same
+    semantics as :meth:`LatencyHistogram.quantile` on the merged counts:
+    bucket upper bounds, capped at the observed maximum, and overflow
+    samples report that maximum rather than a lying edge.
+
+    Each histogram's lock is taken one at a time while its buckets are
+    copied — safe whether the histograms share one reentrant lock (as
+    inside :class:`ServiceMetrics`) or each carry their own.
+    """
+    merged = [0] * (len(_BUCKET_EDGES) + 1)
+    count = 0
+    observed_max = 0.0
+    for hist in hists:
+        with hist._lock:
+            if hist.count == 0:
+                continue
+            count += hist.count
+            observed_max = max(observed_max, hist.max)
+            for i, c in enumerate(hist._counts):
+                merged[i] += c
+    if count == 0:
+        return None
+    target = max(1.0, q * count)
+    seen = 0
+    for i, c in enumerate(merged):
+        seen += c
+        if seen >= target:
+            if i >= len(_BUCKET_EDGES):
+                return observed_max
+            return min(_BUCKET_EDGES[i], observed_max)
+    return observed_max
+
 
 class _DatasetStats:
     """Mutable per-dataset counter block (guarded by the parent lock)."""
@@ -122,22 +201,7 @@ class _DatasetStats:
     __slots__ = ("counters", "request_latency", "solve_latency", "phases", "_lock")
 
     def __init__(self, lock) -> None:
-        self.counters = {
-            "requests": 0,
-            "solves": 0,
-            "coalesced": 0,
-            "multi_shared": 0,
-            "updates": 0,
-            "shed": 0,
-            "errors": 0,
-            "builds": 0,
-            "evictions": 0,
-            "cache_clears": 0,
-            "spills": 0,
-            "spill_loads": 0,
-            "fence_violations": 0,
-            "warmups": 0,
-        }
+        self.counters = dict.fromkeys(_COUNTER_NAMES, 0)
         # Histograms share the owning ServiceMetrics lock, so the whole
         # sink is consistent under one lock (snapshot vs record races).
         self._lock = lock
@@ -203,6 +267,13 @@ class ServiceMetrics:
         return stats
 
     def incr(self, dataset: str, name: str, n: int = 1) -> None:
+        if name not in _COUNTER_NAMES:
+            # Checked before touching state: a typo'd call site must not
+            # create a dataset block or grow the schema silently.
+            raise ValueError(
+                f"unknown counter {name!r}; valid counters: "
+                + ", ".join(_COUNTER_NAMES)
+            )
         with self._lock:
             self._stats(dataset).counters[name] += n
 
@@ -236,20 +307,43 @@ class ServiceMetrics:
         server derives ``Retry-After`` for shed clients from the p50).
         """
         with self._lock:
-            hists = [s.solve_latency for s in self._datasets.values()]
-            count = sum(h.count for h in hists)
-            if count == 0:
-                return None
-            target = max(1.0, q * count)
-            observed_max = max(h.max for h in hists)
-            seen = 0
-            for i in range(len(_BUCKET_EDGES) + 1):
-                seen += sum(h._counts[i] for h in hists)
-                if seen >= target:
-                    if i >= len(_BUCKET_EDGES):
-                        return observed_max
-                    return min(_BUCKET_EDGES[i], observed_max)
-            return observed_max
+            return merge_quantile(
+                [s.solve_latency for s in self._datasets.values()], q
+            )
+
+    def request_quantile(self, q: float) -> float | None:
+        """Cross-dataset end-to-end request-latency quantile, or ``None``."""
+        with self._lock:
+            return merge_quantile(
+                [s.request_latency for s in self._datasets.values()], q
+            )
+
+    def exposition_data(self) -> dict:
+        """Raw per-dataset export for renderers (Prometheus exposition).
+
+        Unlike :meth:`snapshot`, histograms come out as raw bucket
+        counts (via :meth:`LatencyHistogram.export`) so a renderer can
+        emit cumulative ``_bucket``/``_sum``/``_count`` series.  Taken
+        under the one metrics lock — a consistent point-in-time view.
+        """
+        with self._lock:
+            datasets = {}
+            for name, stats in self._datasets.items():
+                datasets[name] = {
+                    "counters": dict(stats.counters),
+                    "request_latency": stats.request_latency.export(),
+                    "solve_latency": stats.solve_latency.export(),
+                    "phases": {
+                        phase: hist.export()
+                        for phase, hist in stats.phases.items()
+                    },
+                }
+            return {
+                "scenario": self.scenario,
+                "datasets": datasets,
+                "batches": self._batches,
+                "batched_requests": self._batched_requests,
+            }
 
     def record_batch(self, num_requests: int) -> None:
         """One gateway dispatch cycle covering ``num_requests`` requests."""

@@ -51,6 +51,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..data.dataset import Dataset
+from ..obs.trace import child_of_current
 from ..serving.index import FairHMSIndex
 from ..serving.live import LiveFairHMSIndex
 from .metrics import ServiceMetrics
@@ -262,7 +263,10 @@ class DatasetRegistry:
             if recorded != spec.registration():
                 return None
         try:
-            index = store.load_index(spec.name)
+            # Child of the requesting trace when this reload runs inside
+            # a request (gateway cold path); NULL_SPAN otherwise.
+            with child_of_current("spill_load", dataset=spec.name):
+                index = store.load_index(spec.name)
         except SnapshotError:
             if spec.live:
                 raise
@@ -290,18 +294,19 @@ class DatasetRegistry:
         return index
 
     def _build(self, spec: _Spec) -> FairHMSIndex:
-        data = spec.load_dataset()
-        if spec.live:
-            index: FairHMSIndex = LiveFairHMSIndex(data, **spec.index_kwargs)
-        elif spec.build_workers > 1:
-            index = build_index_sharded(
-                data,
-                num_shards=spec.build_shards,
-                max_workers=spec.build_workers,
-                **spec.index_kwargs,
-            )
-        else:
-            index = FairHMSIndex(data, **spec.index_kwargs)
+        with child_of_current("build", dataset=spec.name, live=spec.live):
+            data = spec.load_dataset()
+            if spec.live:
+                index: FairHMSIndex = LiveFairHMSIndex(data, **spec.index_kwargs)
+            elif spec.build_workers > 1:
+                index = build_index_sharded(
+                    data,
+                    num_shards=spec.build_shards,
+                    max_workers=spec.build_workers,
+                    **spec.index_kwargs,
+                )
+            else:
+                index = FairHMSIndex(data, **spec.index_kwargs)
         self.metrics.incr(spec.name, "builds")
         return index
 
@@ -406,48 +411,53 @@ class DatasetRegistry:
             spec = self._specs.get(name)
         live = spec is not None and spec.live
         spilled = False
-        if live and not force:
-            if self.store is not None and spec.lock.acquire(blocking=False):
-                try:
-                    self.store.save_index(
-                        name, index, registration=spec.registration()
-                    )
-                    spilled = True
-                    # Drop while still fencing the dataset: a write that
-                    # arrives after this point re-enters through get()
-                    # and lands on the reloaded snapshot.
-                    with self._lock:
-                        self._resident.pop(name, None)
-                except OSError:
-                    spilled = False
-                finally:
-                    spec.lock.release()
-            if not spilled:
-                # Pinned: reclaim engines and memos, keep the data.
-                index.clear_caches()
-                self.metrics.incr(name, "cache_clears")
-                return False
-        else:
-            if self.store is not None and spec is not None and not force:
-                # Frozen spill is an optimization (rebuilds are
-                # deterministic and bit-identical): a failed write just
-                # means the next get() rebuilds instead of reloading.
-                try:
-                    self.store.save_index(
-                        name, index, registration=spec.registration()
-                    )
-                    spilled = True
-                except OSError:
-                    pass
-            with self._lock:
-                if self._resident.pop(name, None) is None:
-                    return False  # a racing evict won (and did the books)
-        # clear_caches serializes on the index's serve lock; never wait
-        # for a busy index while holding the registry lock.
-        index.clear_caches()
-        self.metrics.incr(name, "evictions")
-        if spilled:
-            self.metrics.incr(name, "spills")
+        # Budget-pressure evictions triggered while serving a request
+        # (enforce_budget inside get()) land in that request's trace.
+        with child_of_current("evict", dataset=name) as span:
+            if live and not force:
+                if self.store is not None and spec.lock.acquire(blocking=False):
+                    try:
+                        self.store.save_index(
+                            name, index, registration=spec.registration()
+                        )
+                        spilled = True
+                        # Drop while still fencing the dataset: a write that
+                        # arrives after this point re-enters through get()
+                        # and lands on the reloaded snapshot.
+                        with self._lock:
+                            self._resident.pop(name, None)
+                    except OSError:
+                        spilled = False
+                    finally:
+                        spec.lock.release()
+                if not spilled:
+                    # Pinned: reclaim engines and memos, keep the data.
+                    index.clear_caches()
+                    self.metrics.incr(name, "cache_clears")
+                    span.annotate(outcome="cache_clear")
+                    return False
+            else:
+                if self.store is not None and spec is not None and not force:
+                    # Frozen spill is an optimization (rebuilds are
+                    # deterministic and bit-identical): a failed write just
+                    # means the next get() rebuilds instead of reloading.
+                    try:
+                        self.store.save_index(
+                            name, index, registration=spec.registration()
+                        )
+                        spilled = True
+                    except OSError:
+                        pass
+                with self._lock:
+                    if self._resident.pop(name, None) is None:
+                        return False  # a racing evict won (and did the books)
+            # clear_caches serializes on the index's serve lock; never wait
+            # for a busy index while holding the registry lock.
+            index.clear_caches()
+            self.metrics.incr(name, "evictions")
+            if spilled:
+                self.metrics.incr(name, "spills")
+                span.annotate(spilled=True)
         return True
 
     def enforce_budget(self) -> int:

@@ -30,6 +30,8 @@ from __future__ import annotations
 import threading
 import weakref
 
+from ..obs.trace import Trace, use_trace
+
 __all__ = ["Warmer"]
 
 #: The standard multi-k workload sizes; also the default speculative set.
@@ -56,6 +58,10 @@ class Warmer:
         interval: seconds between registry scans; new registrations (and
             indexes rebuilt after an explicit eviction) are picked up on
             the next pass.
+        traces: optional :class:`~repro.obs.trace.TraceStore`; each
+            dataset actually primed records one ``warmup`` trace (build +
+            pre-solve spans), so speculative work is as explainable as
+            request work.
     """
 
     def __init__(
@@ -65,11 +71,13 @@ class Warmer:
         ks=DEFAULT_WARMUP_KS,
         solve: bool = True,
         interval: float = 1.0,
+        traces=None,
     ) -> None:
         self.registry = registry
         self.ks = tuple(int(k) for k in ks)
         self.solve = bool(solve)
         self.interval = float(interval)
+        self.traces = traces
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
@@ -156,6 +164,18 @@ class Warmer:
         return primed
 
     def _prime_dataset(self, name: str) -> bool:
+        trace = (
+            Trace("warmup", dataset=name) if self.traces is not None else None
+        )
+        with use_trace(trace):
+            primed = self._prime_dataset_traced(name)
+        if primed and trace is not None:
+            # Only datasets that actually did work record a trace — the
+            # steady-state "already primed" scan stays out of the ring.
+            self.traces.record(trace)
+        return primed
+
+    def _prime_dataset_traced(self, name: str) -> bool:
         index = self.registry.peek(name)
         if index is None:
             with self._lock:

@@ -23,6 +23,7 @@ the seed-derived stream the cold path would use.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -33,11 +34,39 @@ from ..core.solve import resolve_algorithm, solve_fairhms
 from ..data.dataset import Dataset
 from ..fairness.constraints import FairnessConstraint
 from ..hms.evaluation import MhrEvaluation, MhrEvaluator
+from ..obs.trace import current_span
 from .artifacts import SolverArtifacts
 
 __all__ = ["FairHMSIndex", "Query"]
 
 _CONSTRAINT_SCHEMES = ("proportional", "balanced", "unconstrained")
+
+
+def _trace_solve(parent, started, algorithm, constraint, solution) -> None:
+    """Attach a ``solve`` span (with per-phase children) to a request trace.
+
+    The solver already timed its phases into ``Solution.stats["phases"]``
+    (recorded in execution order); they are replayed as back-to-back
+    child spans offset from the solve's start — same numbers the phase
+    histograms aggregate, now visible per request.  Only called when a
+    trace is active, so the untraced hot path never allocates here.
+    """
+    span = parent.child(
+        "solve", start=started, algorithm=str(algorithm), k=int(constraint.k)
+    )
+    stats = getattr(solution, "stats", None)
+    phases = stats.get("phases") if isinstance(stats, dict) else None
+    if isinstance(phases, dict):
+        cursor = started
+        for phase, seconds in phases.items():
+            try:
+                seconds = max(0.0, float(seconds))
+            except (TypeError, ValueError):
+                continue
+            child = span.child(str(phase), start=cursor)
+            cursor += seconds
+            child.end(cursor)
+    span.end()
 
 
 @dataclass(frozen=True)
@@ -517,16 +546,22 @@ class FairHMSIndex:
                 solver_kwargs.setdefault("epsilon", float(eps))
                 solver_kwargs.setdefault("seed", seed)
             key = self._result_key(algorithm, constraint, solver_kwargs)
+            parent = current_span()
             if key is not None:
                 cached = self._results.get(key)
                 if cached is not None:
                     self._result_hits += 1
                     self._results.move_to_end(key)  # true LRU: hits refresh
+                    if parent is not None:
+                        parent.annotate(
+                            result_cache_hit=True, algorithm=str(algorithm)
+                        )
                     return cached
             if algorithm == "IntCov" and key is not None:
                 hint = self._tau_hint_for(key)
                 if hint is not None:
                     solver_kwargs["tau_hint"] = hint
+            started = time.perf_counter() if parent is not None else 0.0
             solution = solve_fairhms(
                 self._skyline,
                 constraint,
@@ -534,6 +569,8 @@ class FairHMSIndex:
                 artifacts=self._artifacts,
                 **solver_kwargs,
             )
+            if parent is not None:
+                _trace_solve(parent, started, algorithm, constraint, solution)
             if key is not None:
                 if algorithm == "IntCov":
                     self._record_tau_hint(key, solution)
@@ -658,6 +695,9 @@ class FairHMSIndex:
                         self._result_hits += 1
                         self._results.move_to_end(key)
                         solutions[k] = cached
+                        parent = current_span()
+                        if parent is not None:
+                            parent.annotate(result_cache_hit=True)
                         tau = cached.stats.get("tau")
                         prev_tau = float(tau) if tau is not None else prev_tau
                         continue
@@ -672,6 +712,8 @@ class FairHMSIndex:
                 # The bucket cache is keyed on tau only and never affects
                 # results, so it stays out of the memo key.
                 solver_kwargs["bucket_cache"] = bucket_cache
+                parent = current_span()
+                started = time.perf_counter() if parent is not None else 0.0
                 solution = solve_fairhms(
                     self._skyline,
                     constraint,
@@ -679,6 +721,8 @@ class FairHMSIndex:
                     artifacts=self._artifacts,
                     **solver_kwargs,
                 )
+                if parent is not None:
+                    _trace_solve(parent, started, resolved, constraint, solution)
                 if key is not None:
                     self._record_tau_hint(key, solution)
                     self._result_misses += 1
