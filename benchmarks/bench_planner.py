@@ -1,0 +1,317 @@
+"""Benchmark: the adaptive query planner against always-static dispatch.
+
+Three claims are measured, mirroring the planner's contract
+(``docs/PLANNER.md``):
+
+* **bit-identity** — every planned answer equals
+  ``solve_fairhms(skyline, constraint, algorithm=plan.algorithm,
+  **plan.solver_kwargs())`` bit for bit: the planner only ever chooses
+  *which exact configuration* runs, never what that configuration
+  answers.  Verified for every distinct (tenant, k) instance before any
+  number is reported.
+* **plan efficiency** — after warm-up the planner never picks a plan
+  more than 1.5x slower than the best static choice for the instance.
+  Reported as ``plan_efficiency`` = best-static seconds / planned
+  seconds (min-of-repeats both sides), floored at ~0.667.
+* **adaptive speedup** — on a mixed two-tenant workload (a 2-D
+  IntCov-eligible tenant plus a 5-D BiGreedy+ tenant under a latency
+  budget), warmed-up adaptive dispatch beats always-static dispatch:
+  ``adaptive_speedup`` = static total / adaptive total, floored at 1.0.
+  The win comes from the eps ladder: the budget steers the 5-D tenant's
+  cap search to a coarser (cheaper, still bit-identical-to-its-config)
+  rung.
+
+Run as a script for a smoke check that also writes a machine-readable
+``BENCH_planner.json``::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py --tiny
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.benchio import write_bench_json
+from repro.core.solve import solve_fairhms
+from repro.data.synthetic import anticorrelated_dataset
+from repro.planner import Planner, PlannerConfig
+from repro.serving import FairHMSIndex, Query
+
+KS = (4, 6, 8)
+SEED = 7
+EPS = 0.02
+#: planned may be at most 1.5x slower than the best static choice.
+PLAN_EFFICIENCY_FLOOR = 1.0 / 1.5
+ADAPTIVE_SPEEDUP_FLOOR = 1.0
+#: Far below any real solve: forces the eps ladder to its coarsest rung,
+#: making the adaptive decision sequence deterministic for the bench.
+TIGHT_TARGET_S = 1e-4
+
+
+def build_tenants(n2d: int, n5d: int) -> dict:
+    """The mixed workload population: one IntCov tenant, one BiGreedy+."""
+    return {
+        "flat2d": anticorrelated_dataset(n2d, 2, 3, seed=40, name="flat2d"),
+        "wide5d": anticorrelated_dataset(n5d, 5, 3, seed=41, name="wide5d"),
+    }
+
+
+def build_indexes(tenants: dict) -> dict:
+    """One index per tenant, memoization off so every solve is real work
+    (warm *artifacts* — engines, geometry — are exactly what production
+    keeps, and stay)."""
+    return {
+        name: FairHMSIndex(data, default_seed=SEED, cache_results=False)
+        for name, data in tenants.items()
+    }
+
+
+def workload(repeat: int) -> list:
+    """The mixed trace: tenants interleaved, the k sweep repeated."""
+    trace = []
+    for _ in range(repeat):
+        for k in KS:
+            trace.append(("flat2d", k))
+            trace.append(("wide5d", k))
+    return trace
+
+
+def replay(indexes: dict, planner: Planner, trace, *, observe: bool) -> float:
+    """Answer the trace through ``planner``; returns total solve seconds.
+
+    Mirrors the gateway's flow: plan once, execute the pinned plan, feed
+    the measured seconds back to the planner (when ``observe``).
+    """
+    for index in indexes.values():
+        index.set_planner(planner)
+    total = 0.0
+    for name, k in trace:
+        index = indexes[name]
+        plan = index.plan_query(Query(k=k, eps=EPS), dataset=name)
+        t0 = time.perf_counter()
+        index.query(k, plan=plan)
+        dt = time.perf_counter() - t0
+        total += dt
+        if observe:
+            planner.observe(
+                name,
+                plan.algorithm,
+                k,
+                dt,
+                eps=plan.solver_kwargs().get("epsilon"),
+            )
+    return total
+
+
+def observe_candidates(indexes: dict, planner: Planner, *, rounds: int) -> None:
+    """Give every static candidate a mature estimate on every (tenant, k).
+
+    The adaptive planner refuses to deviate from the static rule until
+    *all* candidates have ``min_observations`` — this pass is the
+    explicit warm-up that unlocks observed-cost steering.
+    """
+    for index in indexes.values():
+        index.set_planner(planner)
+    for _ in range(rounds):
+        for name, index in indexes.items():
+            candidates = (
+                ("IntCov", "BiGreedy+")
+                if index.skyline.dim == 2
+                else ("BiGreedy+",)
+            )
+            for k in KS:
+                for algorithm in candidates:
+                    t0 = time.perf_counter()
+                    index.query(k, eps=EPS, algorithm=algorithm)
+                    dt = time.perf_counter() - t0
+                    planner.observe(
+                        name,
+                        algorithm,
+                        k,
+                        dt,
+                        eps=None if algorithm == "IntCov" else EPS,
+                    )
+
+
+def verify_bit_identity(indexes: dict) -> list:
+    """Planned answers vs their unplanned equivalents; returns mismatches."""
+    mismatches = []
+    for name, index in indexes.items():
+        for k in KS:
+            plan = index.plan_query(Query(k=k, eps=EPS), dataset=name, record=False)
+            planned = index.query(k, plan=plan)
+            unplanned = solve_fairhms(
+                index.skyline,
+                index.constraint_for(k),
+                algorithm=plan.algorithm,
+                **plan.solver_kwargs(),
+            )
+            if not np.array_equal(planned.ids, unplanned.ids):
+                mismatches.append((name, k, plan.algorithm))
+    return mismatches
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_plan_efficiency(indexes: dict) -> tuple:
+    """Worst-case best-static/planned time ratio over the matrix.
+
+    For each (tenant, k): time the planner's pick, time every static
+    candidate explicitly, compare min-of-repeats.  >= 1/1.5 means no
+    plan is ever more than 1.5x slower than the best static choice.
+    """
+    worst = float("inf")
+    rows = []
+    for name, index in indexes.items():
+        candidates = (
+            ("IntCov", "BiGreedy+") if index.skyline.dim == 2 else ("BiGreedy+",)
+        )
+        for k in KS:
+            plan = index.plan_query(Query(k=k, eps=EPS), dataset=name, record=False)
+            planned_s = _best_of(lambda: index.query(k, plan=plan))
+            best_static_s = min(
+                _best_of(
+                    lambda a=a: index.query(k, eps=EPS, algorithm=a)
+                )
+                for a in candidates
+            )
+            ratio = best_static_s / max(planned_s, 1e-12)
+            worst = min(worst, ratio)
+            rows.append(
+                {
+                    "tenant": name,
+                    "k": k,
+                    "algorithm": plan.algorithm,
+                    "reason": plan.reason,
+                    "planned_s": planned_s,
+                    "best_static_s": best_static_s,
+                    "efficiency": ratio,
+                }
+            )
+    return worst, rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="small smoke workload (n=300/250, fewer repeats) for CI",
+    )
+    parser.add_argument("--n2d", type=int, default=2_000, help="2-D tenant size")
+    parser.add_argument("--n5d", type=int, default=1_500, help="5-D tenant size")
+    parser.add_argument(
+        "--repeat", type=int, default=10, help="k-sweep repeats per phase"
+    )
+    parser.add_argument(
+        "--warmup-rounds", type=int, default=3, help="candidate warm-up rounds"
+    )
+    args = parser.parse_args(argv)
+    if args.tiny:
+        args.n2d, args.n5d, args.repeat, args.warmup_rounds = 300, 250, 3, 2
+
+    tenants = build_tenants(args.n2d, args.n5d)
+    trace = workload(args.repeat)
+
+    # Phase 0: identical artifact warmth for both measurements (engines +
+    # geometry are per-index state; plans only pick configurations).
+    static_indexes = build_indexes(tenants)
+    adaptive_indexes = build_indexes(tenants)
+    for indexes in (static_indexes, adaptive_indexes):
+        observe_candidates(indexes, Planner(), rounds=1)
+
+    # Phase 1: always-static dispatch (the pre-planner behavior).
+    static_total = replay(static_indexes, Planner(), trace, observe=False)
+
+    # Phase 2: adaptive warm-up, then the measured adaptive pass.
+    adaptive = Planner(
+        PlannerConfig(
+            mode="adaptive", target_p99_s=TIGHT_TARGET_S, min_observations=2
+        )
+    )
+    observe_candidates(adaptive_indexes, adaptive, rounds=args.warmup_rounds)
+    replay(adaptive_indexes, adaptive, trace, observe=True)  # ladder warm-up
+    adaptive_total = replay(adaptive_indexes, adaptive, trace, observe=True)
+    adaptive_speedup = static_total / max(adaptive_total, 1e-12)
+
+    # Phase 3: per-instance plan quality under the warmed-up planner.
+    plan_efficiency, rows = measure_plan_efficiency(adaptive_indexes)
+
+    # Phase 4: bit-identity of planned answers (both planners).
+    mismatches = verify_bit_identity(static_indexes)
+    mismatches += verify_bit_identity(adaptive_indexes)
+    identical = not mismatches
+
+    print(
+        f"mixed workload ({len(trace)} queries): static {static_total:.3f}s "
+        f"vs adaptive {adaptive_total:.3f}s = {adaptive_speedup:.2f}x"
+    )
+    for row in rows:
+        print(
+            f"  {row['tenant']:8s} k={row['k']:2d} -> {row['algorithm']:9s} "
+            f"({row['reason']}) planned {row['planned_s'] * 1e3:7.2f}ms "
+            f"best-static {row['best_static_s'] * 1e3:7.2f}ms "
+            f"eff={row['efficiency']:.2f}"
+        )
+    print(
+        f"plan_efficiency (worst instance): {plan_efficiency:.2f} "
+        f"(floor {PLAN_EFFICIENCY_FLOOR:.3f})"
+    )
+    print(f"planned answers identical to unplanned equivalents: {identical}")
+
+    check_floors = not args.tiny
+    floors = {
+        "plan_efficiency": PLAN_EFFICIENCY_FLOOR,
+        "adaptive_speedup": ADAPTIVE_SPEEDUP_FLOOR,
+    }
+    out = write_bench_json(
+        "planner",
+        {
+            "workload": {
+                "n2d": args.n2d,
+                "n5d": args.n5d,
+                "ks": list(KS),
+                "repeat": args.repeat,
+                "warmup_rounds": args.warmup_rounds,
+                "queries": len(trace),
+                "eps": EPS,
+                "target_p99_s": TIGHT_TARGET_S,
+                "tiny": args.tiny,
+            },
+            "timings": {
+                "static_s": static_total,
+                "adaptive_s": adaptive_total,
+            },
+            "adaptive_speedup": adaptive_speedup,
+            "plan_efficiency": plan_efficiency,
+            "plans": rows,
+            "plan_counters": adaptive.counters_export(),
+            "identical": identical,
+            "floors": floors,
+            "floors_checked": check_floors,
+        },
+    )
+    print(f"wrote {out}")
+    if not identical:
+        print(f"FAIL: planned answers diverged at {mismatches}")
+        return 1
+    if check_floors and (
+        plan_efficiency < PLAN_EFFICIENCY_FLOOR
+        or adaptive_speedup < ADAPTIVE_SPEEDUP_FLOOR
+    ):
+        print("FAIL: planner floor not met")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

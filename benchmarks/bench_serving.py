@@ -24,8 +24,9 @@ import numpy as np
 import pytest
 
 from repro.benchio import write_bench_json
-from repro.core.solve import resolve_algorithm, solve_fairhms
+from repro.core.solve import solve_fairhms
 from repro.data.synthetic import anticorrelated_dataset
+from repro.planner import default_planner
 from repro.serving import FairHMSIndex, Query
 
 SEED = 7
@@ -51,7 +52,7 @@ def run_cold(data, index):
     for q in workload():
         sky = data.normalized().skyline(per_group=True)
         constraint = index.constraint_for(q.k, alpha=q.alpha)
-        algorithm = resolve_algorithm(sky, constraint, q.algorithm)
+        algorithm = default_planner().resolve(sky, constraint, q.algorithm)
         kwargs = {} if algorithm == "IntCov" else {"epsilon": q.eps, "seed": SEED}
         solutions.append(
             solve_fairhms(sky, constraint, algorithm=algorithm, **kwargs)

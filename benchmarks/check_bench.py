@@ -24,6 +24,11 @@ Some benches additionally have *required floors*: metrics their report
 must always carry in ``floors``.  The HTTP server bench must floor both
 ``throughput_rps`` and ``latency_p99_s`` — the tail-latency bound is
 part of the serving contract, so a report that drops it fails the gate.
+The planner bench must floor ``plan_efficiency`` (best-static seconds
+over planned seconds — the "never pick a plan more than 1.5x slower
+than the best static choice" bound, as a floor of ~0.667) and
+``adaptive_speedup`` (static total over adaptive total on the mixed
+workload after warm-up; >= 1.0 means feedback never loses).
 
 Optional keys:
 
@@ -65,6 +70,7 @@ REQUIRED_KEYS = (
 #: Per-bench floors that must be present (beyond "floors is non-empty").
 REQUIRED_FLOORS = {
     "server": ("throughput_rps", "latency_p99_s"),
+    "planner": ("plan_efficiency", "adaptive_speedup"),
 }
 
 

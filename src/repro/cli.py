@@ -104,6 +104,35 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    """Show the planner's dispatch decision for one query, without solving.
+
+    ``--explain`` prints the full decision breakdown (instance stats,
+    warm-artifact state, per-candidate predicted costs); ``--json`` emits
+    the recorded :class:`~repro.planner.Plan` value itself.
+    """
+    import json
+
+    from .serving import FairHMSIndex, Query
+
+    data = _load_cli_dataset(args)
+    index = FairHMSIndex(data, default_seed=args.seed)
+    plan = index.plan_query(
+        Query(k=args.k, eps=args.eps, algorithm=args.algorithm, alpha=args.alpha),
+        record=False,
+    )
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+    elif args.explain:
+        print(plan.explain())
+    else:
+        print(
+            f"{plan.algorithm} (reason={plan.reason}, "
+            f"predicted {plan.predicted_cost_s:.6f}s)"
+        )
+    return 0
+
+
 def _parse_ks(text: str) -> tuple[int, ...] | None:
     """Parse a comma-separated ``--k`` list; None (with a message) on error."""
     try:
@@ -129,7 +158,8 @@ def _cmd_serve(args) -> int:
 
     import numpy as np
 
-    from .core.solve import resolve_algorithm, solve_fairhms
+    from .core.solve import solve_fairhms
+    from .planner import default_planner
     from .serving import FairHMSIndex, Query
 
     ks = _parse_ks(args.k)
@@ -176,7 +206,7 @@ def _cmd_serve(args) -> int:
     for q in queries:
         sky = data.normalized().skyline(per_group=True)
         constraint = index.constraint_for(q.k, alpha=q.alpha)
-        algorithm = resolve_algorithm(sky, constraint, q.algorithm)
+        algorithm = default_planner().resolve(sky, constraint, q.algorithm)
         kwargs = (
             {} if algorithm == "IntCov" else {"epsilon": q.eps, "seed": args.seed}
         )
@@ -665,6 +695,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--seed", type=int, default=7)
 
+    plan = sub.add_parser(
+        "plan", help="show the planner's dispatch decision for a query"
+    )
+    plan.add_argument(
+        "dataset",
+        choices=["Lawschs", "Adult", "Compas", "Credit", "anticor"],
+    )
+    plan.add_argument("--attribute", default=None, help="group attribute")
+    plan.add_argument("-k", type=int, default=10, help="solution size")
+    plan.add_argument("--alpha", type=float, default=0.1)
+    plan.add_argument("--eps", type=float, default=0.02)
+    plan.add_argument("--n", type=int, default=None, help="row-count override")
+    plan.add_argument("--d", type=int, default=6, help="dimension (anticor)")
+    plan.add_argument("--groups", type=int, default=3, help="groups (anticor)")
+    plan.add_argument(
+        "--algorithm",
+        default="auto",
+        choices=["auto", "IntCov", "BiGreedy", "BiGreedy+"],
+    )
+    plan.add_argument("--seed", type=int, default=7)
+    plan.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the full decision breakdown (stats + candidate costs)",
+    )
+    plan.add_argument(
+        "--json", action="store_true", help="emit the Plan record as JSON"
+    )
+
     serve = sub.add_parser(
         "serve", help="index a dataset and replay a query workload against it"
     )
@@ -942,6 +1001,7 @@ def main(argv=None) -> int:
     handlers = {
         "demo": _cmd_demo,
         "solve": _cmd_solve,
+        "plan": _cmd_plan,
         "serve": _cmd_serve,
         "live": _cmd_live,
         "service": _cmd_service,

@@ -18,10 +18,17 @@ from .bigreedy import bigreedy
 from .intcov import intcov
 from .solution import Solution
 
-__all__ = ["solve_fairhms", "resolve_algorithm", "CORE_ALGORITHMS"]
+__all__ = [
+    "solve_fairhms",
+    "resolve_algorithm",
+    "dp_state_count",
+    "CORE_ALGORITHMS",
+    "DP_STATE_LIMIT",
+]
 
 # Beyond ~2e6 DP states IntCov stops being interactive; BiGreedy+ takes over.
-_DP_STATE_LIMIT = 2_000_000
+DP_STATE_LIMIT = 2_000_000
+_DP_STATE_LIMIT = DP_STATE_LIMIT  # backwards-compatible alias
 
 CORE_ALGORITHMS = {
     "IntCov": intcov,
@@ -30,13 +37,28 @@ CORE_ALGORITHMS = {
 }
 
 
-def _dp_states(constraint: FairnessConstraint) -> int:
+def dp_state_count(
+    constraint: FairnessConstraint, *, limit: int = DP_STATE_LIMIT
+) -> int:
+    """Interval-cover DP state count, saturated at ``limit + 1``.
+
+    The exact count is ``prod(upper_c + 1)``; past ``limit`` only the
+    fact that it is exceeded matters (dispatch tests ``<= limit``), so
+    the product short-circuits *before* the multiplication that would
+    cross it — a many-group constraint (census-manygroups has 10) never
+    materializes an astronomically large integer.
+    """
     states = 1
     for h in constraint.upper:
-        states *= int(h) + 1
-        if states > _DP_STATE_LIMIT:
-            return states
+        width = int(h) + 1
+        if states > limit // width:
+            return limit + 1
+        states *= width
     return states
+
+
+def _dp_states(constraint: FairnessConstraint) -> int:
+    return dp_state_count(constraint)
 
 
 def resolve_algorithm(
@@ -50,7 +72,7 @@ def resolve_algorithm(
         ValueError: if ``algorithm`` names no registered algorithm.
     """
     if algorithm == "auto":
-        if dataset.dim == 2 and _dp_states(constraint) <= _DP_STATE_LIMIT:
+        if dataset.dim == 2 and dp_state_count(constraint) <= DP_STATE_LIMIT:
             return "IntCov"
         return "BiGreedy+"
     if algorithm not in CORE_ALGORITHMS:

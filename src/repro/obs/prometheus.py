@@ -178,6 +178,7 @@ def render_prometheus(
     slo: dict | None = None,
     process: dict | None = None,
     traces: dict | None = None,
+    plans: list | None = None,
     namespace: str = "repro",
 ) -> str:
     """Render the full exposition for one scrape.
@@ -190,6 +191,8 @@ def render_prometheus(
         slo: a :meth:`SloTracker.snapshot` dict -> per-dataset SLO gauges.
         process: a :func:`process_stats` dict -> ``repro_process_*`` gauges.
         traces: a :meth:`TraceStore.stats` dict -> trace-store series.
+        plans: a :meth:`Planner.counters_export` list -> the
+            ``repro_plan_total{algorithm,reason}`` decision counter.
     """
     r = PrometheusRenderer(namespace=namespace)
     if metrics is not None:
@@ -306,6 +309,14 @@ def render_prometheus(
                 status["attained"],
                 labels,
                 help="1 when both latency and availability objectives hold.",
+            )
+    if plans:
+        for row in plans:
+            r.counter(
+                "plan_total",
+                row["count"],
+                {"algorithm": row["algorithm"], "reason": row["reason"]},
+                help="Planner dispatch decisions by algorithm and reason.",
             )
     if process:
         renames = {

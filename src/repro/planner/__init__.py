@@ -1,0 +1,35 @@
+"""Adaptive query planner: cost-model dispatch with live latency feedback.
+
+The package turns solver dispatch into a first-class, observable
+decision.  :class:`Planner` produces :class:`Plan` values — frozen,
+replayable records of exactly which algorithm and parameters run — from
+:class:`InstanceStats` (what the instance looks like), an analytic
+:func:`predict_cost` model (how expensive each candidate should be), and
+a :class:`CostEstimator` of live observed costs (how expensive each
+candidate actually is, per dataset / algorithm / k-bucket / eps rung).
+
+See ``docs/PLANNER.md`` for the full design; the short version:
+``static`` mode (the default) is byte-for-byte today's
+``resolve_algorithm`` dispatch, and ``adaptive`` mode only ever chooses
+*which exact configuration* runs, so planned answers stay bit-identical
+to the same configuration run by hand.
+"""
+
+from .cost import predict_cost, predict_costs
+from .feedback import CostEstimate, CostEstimator, k_bucket
+from .plan import Plan, Planner, PlannerConfig, default_planner
+from .stats import InstanceStats, instance_stats
+
+__all__ = [
+    "Plan",
+    "Planner",
+    "PlannerConfig",
+    "InstanceStats",
+    "instance_stats",
+    "predict_cost",
+    "predict_costs",
+    "CostEstimate",
+    "CostEstimator",
+    "k_bucket",
+    "default_planner",
+]

@@ -1,0 +1,129 @@
+"""Observed-cost estimators: the planner's live feedback loop.
+
+The gateway times every actual solver run (the same measurement it
+records into ``ServiceMetrics.observe_solve`` and the per-phase solve
+histograms) and feeds it here.  The estimator keeps one exponentially
+weighted moving average per ``(dataset, algorithm, k-bucket, eps-bucket)``
+— coarse enough that repeated traffic converges fast, fine enough that
+an expensive configuration never poisons a cheap one's estimate:
+
+* ``k`` is bucketed by powers of two (k=3 and k=4 share a bucket; k=9
+  does not), because solve cost moves with the magnitude of ``k``, not
+  its exact value;
+* ``eps`` (BiGreedy family only) is part of the key, so the eps ladder
+  the planner tunes along learns a separate cost per rung.
+
+Determinism contract: estimates are a pure function of the observation
+sequence — replaying the same observations in the same order into a
+fresh estimator reproduces every estimate bit for bit, which is what
+makes a :class:`~repro.planner.plan.Plan` a replayable value.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["CostEstimate", "CostEstimator", "k_bucket"]
+
+#: EWMA smoothing weight for new observations; 0.25 converges in a few
+#: repeats while riding out one-off scheduling hiccups.
+EWMA_ALPHA = 0.25
+
+
+def k_bucket(k: int) -> int:
+    """Power-of-two bucket index for a solution size (1→0, 2→1, 3-4→2...)."""
+    return max(0, int(k) - 1).bit_length()
+
+
+def _eps_key(eps) -> float | None:
+    """Stable eps bucket: rounded so float noise never splits a rung."""
+    return None if eps is None else round(float(eps), 6)
+
+
+class CostEstimate:
+    """One EWMA cell: smoothed mean seconds plus the observation count."""
+
+    __slots__ = ("mean", "count")
+
+    def __init__(self, mean: float, count: int) -> None:
+        self.mean = float(mean)
+        self.count = int(count)
+
+    def to_dict(self) -> dict:
+        return {"mean_s": round(self.mean, 9), "count": self.count}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CostEstimate(mean={self.mean:.6f}, count={self.count})"
+
+
+class CostEstimator:
+    """Thread-safe per-configuration observed-cost EWMAs.
+
+    Args:
+        alpha: EWMA weight of each new observation.
+        max_cells: bound on distinct configuration cells; past it, new
+            keys are dropped (never evicting hot ones mid-flight) — a
+            backstop against unbounded client-controlled cardinality.
+    """
+
+    def __init__(self, *, alpha: float = EWMA_ALPHA, max_cells: int = 4096) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must lie in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self.max_cells = int(max_cells)
+        self._lock = threading.Lock()
+        self._cells: dict[tuple, CostEstimate] = {}
+
+    @staticmethod
+    def key(dataset: str, algorithm: str, k: int, eps=None) -> tuple:
+        return (str(dataset), str(algorithm), k_bucket(k), _eps_key(eps))
+
+    def observe(
+        self, dataset: str, algorithm: str, k: int, seconds: float, *, eps=None
+    ) -> None:
+        """Fold one measured solve into the matching cell's EWMA."""
+        seconds = max(0.0, float(seconds))
+        cell_key = self.key(dataset, algorithm, k, eps)
+        with self._lock:
+            cell = self._cells.get(cell_key)
+            if cell is None:
+                if len(self._cells) >= self.max_cells:
+                    return
+                self._cells[cell_key] = CostEstimate(seconds, 1)
+                return
+            cell.mean += self.alpha * (seconds - cell.mean)
+            cell.count += 1
+
+    def estimate(
+        self, dataset: str, algorithm: str, k: int, *, eps=None
+    ) -> CostEstimate | None:
+        """The current estimate for a configuration, or ``None`` if unseen."""
+        with self._lock:
+            cell = self._cells.get(self.key(dataset, algorithm, k, eps))
+            if cell is None:
+                return None
+            return CostEstimate(cell.mean, cell.count)
+
+    def observations(self) -> int:
+        """Total observations folded in across every cell."""
+        with self._lock:
+            return sum(cell.count for cell in self._cells.values())
+
+    def snapshot(self) -> dict:
+        """JSON-ready export of every cell (diagnostics / ``/v1/metrics``)."""
+        with self._lock:
+            cells = {}
+            for (dataset, algorithm, bucket, eps), cell in sorted(
+                self._cells.items(), key=lambda item: repr(item[0])
+            ):
+                label = f"{dataset}/{algorithm}/k2^{bucket}"
+                if eps is not None:
+                    label += f"/eps={eps}"
+                cells[label] = cell.to_dict()
+            return {"cells": cells, "observations": sum(
+                cell["count"] for cell in cells.values()
+            )}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cells.clear()

@@ -1,0 +1,453 @@
+"""The adaptive query planner: one decision point for solver dispatch.
+
+Every layer that used to call ``resolve_algorithm`` directly now asks a
+:class:`Planner` for a :class:`Plan` — a frozen, replayable record of
+*which exact configuration runs*: the concrete algorithm, the full
+solver parameters, the predicted cost, and the reason the pick was made.
+The planner never alters a chosen algorithm's output; answers therefore
+stay bit-identical to an explicit call with the plan's algorithm and
+parameters, which is the invariant ``benchmarks/bench_planner.py``
+verifies on every run.
+
+Two modes (``PlannerConfig.mode``):
+
+* ``"static"`` (the default) — the planner *is* today's dispatch:
+  ``"auto"`` resolves through :func:`repro.core.solve.resolve_algorithm`
+  (kept as the fallback path), parameters pass through untouched, and a
+  cold planner is byte-for-byte equivalent to the pre-planner stack.
+* ``"adaptive"`` (opt-in via the ``[planner]`` server config section) —
+  observed per-(dataset, algorithm, k-bucket) solve costs fed by the
+  gateway steer ``"auto"`` picks toward the measured-cheaper algorithm,
+  and ``eps`` is auto-tuned along a bounded ladder toward the ``[slo]``
+  latency budget (tightened under queue pressure).  Explicit algorithm
+  requests are never overridden, and with no observations the adaptive
+  planner reproduces the static rule exactly.
+
+Determinism contract: same :class:`~repro.planner.stats.InstanceStats`
+plus the same observation sequence produce a byte-identical
+:class:`Plan` — decisions are pure functions of (stats, estimator
+state, config), with no wall clock and no randomness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, fields
+
+from ..core.solve import DP_STATE_LIMIT, resolve_algorithm
+from .cost import predict_cost
+from .feedback import CostEstimator
+from .stats import InstanceStats, instance_stats
+
+__all__ = ["Plan", "Planner", "PlannerConfig", "default_planner"]
+
+_MODES = ("static", "adaptive")
+
+#: Queue depth at which the latency budget is halved: deeper backlogs
+#: tighten the per-solve budget so the tail does not compound under load.
+_PRESSURE_SCALE = 8.0
+
+
+def _json_scalar(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)  # e.g. a live Generator seed: recorded, not replayed
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Validated ``[planner]`` settings (server config section).
+
+    Args:
+        mode: ``"static"`` or ``"adaptive"`` (see module docstring).
+        target_p99_s: per-solve latency budget the adaptive mode tunes
+            toward; ``None`` defers to the ``[slo]`` latency target.
+        eps_ladder: the only eps values auto-tuning may step through
+            (ascending; the requested eps is always the starting rung).
+        min_observations: observations a configuration needs before its
+            estimate may steer a pick — below it the static rule holds.
+    """
+
+    mode: str = "static"
+    target_p99_s: float | None = None
+    eps_ladder: tuple[float, ...] = (0.02, 0.04, 0.08)
+    min_observations: int = 3
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"planner mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if self.target_p99_s is not None and not self.target_p99_s > 0:
+            raise ValueError(
+                f"target_p99_s must be positive, got {self.target_p99_s}"
+            )
+        ladder = tuple(sorted(float(e) for e in self.eps_ladder))
+        if not ladder or any(e <= 0 for e in ladder):
+            raise ValueError(f"eps_ladder must be positive values: {self.eps_ladder}")
+        object.__setattr__(self, "eps_ladder", ladder)
+        if int(self.min_observations) < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {self.min_observations}"
+            )
+        object.__setattr__(self, "min_observations", int(self.min_observations))
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "PlannerConfig":
+        """Parse a ``[planner]`` mapping, rejecting unknown keys."""
+        if not isinstance(raw, dict):
+            raise ValueError(
+                f"[planner] must be a mapping, got {type(raw).__name__}"
+            )
+        allowed = {f.name for f in fields(cls)}
+        unknown = set(raw) - allowed
+        if unknown:
+            raise ValueError(f"unknown [planner] keys: {sorted(unknown)}")
+        return cls(**raw)
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "target_p99_s": self.target_p99_s,
+            "eps_ladder": list(self.eps_ladder),
+            "min_observations": self.min_observations,
+        }
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One recorded, replayable dispatch decision.
+
+    ``params`` is the *complete* solver keyword set the plan prescribes
+    (sorted name/value pairs) — running ``solve_fairhms(skyline,
+    constraint, algorithm=plan.algorithm, **plan.solver_kwargs())``
+    reproduces the planned answer bit for bit.  ``reason`` says why this
+    configuration won: ``"explicit"`` (caller named the algorithm),
+    ``"static"`` (the fallback dispatch rule), ``"observed"`` (feedback
+    picked a measured-cheaper algorithm), ``"eps_tuned"`` (feedback
+    stepped eps along the ladder toward the latency budget).
+    """
+
+    dataset: str
+    algorithm: str
+    params: tuple
+    predicted_cost_s: float
+    reason: str
+    source: str  #: "analytic" | "observed" — where the cost figure came from
+    stats: InstanceStats
+    candidates: tuple = ()  #: (algorithm, predicted_s, source) per candidate
+
+    def solver_kwargs(self) -> dict:
+        """The keyword arguments to run this plan with (a fresh dict)."""
+        return dict(self.params)
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "params": {name: _json_scalar(value) for name, value in self.params},
+            "predicted_cost_s": round(float(self.predicted_cost_s), 9),
+            "reason": self.reason,
+            "source": self.source,
+            "stats": self.stats.to_dict(),
+            "candidates": [
+                {"algorithm": a, "predicted_cost_s": round(float(c), 9), "source": s}
+                for a, c, s in self.candidates
+            ],
+        }
+
+    def explain(self) -> str:
+        """Human-readable multi-line account of the decision."""
+        s = self.stats
+        params = (
+            " ".join(f"{k}={_json_scalar(v)}" for k, v in self.params) or "(none)"
+        )
+        lines = [
+            f"plan: {self.algorithm} (reason={self.reason}, "
+            f"predicted {self.predicted_cost_s:.6f}s, {self.source})",
+            f"  instance: dataset={s.dataset or '?'} n={s.n} d={s.dim} "
+            f"groups={s.groups} k={s.k} dp_states={s.dp_states}",
+            f"  warmth: geometry={s.warm_geometry} engines={s.warm_engines} "
+            f"queue_depth={s.queue_depth}",
+            f"  params: {params}",
+        ]
+        for algorithm, cost, source in self.candidates:
+            marker = "->" if algorithm == self.algorithm else "  "
+            lines.append(f"  {marker} candidate {algorithm}: {cost:.6f}s ({source})")
+        return "\n".join(lines)
+
+
+class Planner:
+    """Cost-model dispatch with live latency feedback (see module doc).
+
+    Thread-safe: the estimator and the decision counters carry their own
+    locks, and planning itself reads immutable config plus point-in-time
+    estimates — callers already holding a serving lock may plan freely.
+    """
+
+    def __init__(
+        self,
+        config: PlannerConfig | None = None,
+        *,
+        estimator: CostEstimator | None = None,
+    ) -> None:
+        self.config = config if config is not None else PlannerConfig()
+        self.estimator = estimator if estimator is not None else CostEstimator()
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, str], int] = {}
+        self._recent: deque = deque(maxlen=32)
+        self._queue_depths: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+
+    def plan(
+        self,
+        skyline,
+        constraint,
+        *,
+        algorithm: str = "auto",
+        dataset: str = "",
+        eps: float = 0.02,
+        seed=None,
+        options: dict | None = None,
+        artifacts=None,
+        queue_depth: int | None = None,
+        record: bool = True,
+    ) -> Plan:
+        """Decide the exact configuration for one query instance.
+
+        Mirrors :meth:`FairHMSIndex.query` parameter semantics exactly:
+        explicit ``options`` entries (``epsilon``, ``seed``) win over the
+        ``eps``/``seed`` arguments, and the BiGreedy family receives
+        ``epsilon`` and ``seed`` while the exact IntCov takes neither.
+
+        Raises:
+            ValueError: if ``algorithm`` names no registered algorithm.
+        """
+        options = dict(options) if options else {}
+        if queue_depth is None:
+            queue_depth = self._queue_depths.get(str(dataset), 0)
+        stats = instance_stats(
+            skyline,
+            constraint,
+            dataset=dataset,
+            artifacts=artifacts,
+            queue_depth=queue_depth,
+        )
+        # Explicit knobs follow the index's setdefault semantics: an
+        # options entry beats the keyword argument.
+        eps_requested = float(options.get("epsilon", eps))
+        seed_effective = options.get("seed", seed)
+
+        static_choice = resolve_algorithm(skyline, constraint, algorithm)
+        chosen, reason, source = static_choice, "static", "analytic"
+        if algorithm != "auto":
+            reason = "explicit"
+
+        adaptive = self.config.mode == "adaptive" and algorithm == "auto"
+        candidates = self._candidates(stats, static_choice)
+        estimates = {}
+        if adaptive:
+            for name in candidates:
+                estimates[name] = self.estimator.estimate(
+                    stats.dataset,
+                    name,
+                    stats.k,
+                    eps=None if name == "IntCov" else eps_requested,
+                )
+            ready = {
+                name: est
+                for name, est in estimates.items()
+                if est is not None and est.count >= self.config.min_observations
+            }
+            if len(ready) == len(candidates) and len(candidates) > 1:
+                best = min(candidates, key=lambda name: (ready[name].mean, name))
+                if best != static_choice:
+                    chosen, reason, source = best, "observed", "observed"
+
+        eps_used = eps_requested
+        # An explicit options["epsilon"] is a caller contract, never tuned.
+        if adaptive and chosen != "IntCov" and "epsilon" not in options:
+            tuned = self._tune_eps(stats, chosen, eps_requested)
+            if tuned != eps_requested:
+                eps_used, reason, source = tuned, "eps_tuned", "observed"
+
+        # Exactly the index's historical setdefault semantics: explicit
+        # options pass through untouched, defaults fill the gaps.
+        params = dict(options)
+        if chosen != "IntCov":
+            params.setdefault("epsilon", float(eps_used))
+            params.setdefault("seed", seed_effective)
+        plan_params = tuple(sorted(params.items(), key=lambda item: item[0]))
+
+        chosen_est = self.estimator.estimate(
+            stats.dataset,
+            chosen,
+            stats.k,
+            eps=None if chosen == "IntCov" else eps_used,
+        )
+        if chosen_est is not None and chosen_est.count >= 1:
+            predicted, source = chosen_est.mean, "observed"
+        else:
+            predicted = predict_cost(stats, chosen, eps=eps_used)
+
+        candidate_rows = []
+        for name in candidates:
+            est = estimates.get(name)
+            if est is not None:
+                candidate_rows.append((name, est.mean, "observed"))
+            else:
+                candidate_rows.append(
+                    (
+                        name,
+                        predict_cost(
+                            stats,
+                            name,
+                            eps=eps_used if name != "IntCov" else eps_requested,
+                        ),
+                        "analytic",
+                    )
+                )
+
+        plan = Plan(
+            dataset=stats.dataset,
+            algorithm=chosen,
+            params=plan_params,
+            predicted_cost_s=float(predicted),
+            reason=reason,
+            source=source,
+            stats=stats,
+            candidates=tuple(candidate_rows),
+        )
+        if record:
+            self._record(plan)
+        return plan
+
+    def resolve(
+        self,
+        skyline,
+        constraint,
+        algorithm: str = "auto",
+        *,
+        dataset: str = "",
+        eps: float = 0.02,
+        record: bool = False,
+    ) -> str:
+        """The concrete algorithm name a query would run under.
+
+        The planner-backed replacement for scattered ``resolve_algorithm``
+        call sites: same signature shape, same error behavior, but the
+        decision flows through :meth:`plan` so dispatch policy lives in
+        exactly one place.
+        """
+        return self.plan(
+            skyline,
+            constraint,
+            algorithm=algorithm,
+            dataset=dataset,
+            eps=eps,
+            record=record,
+        ).algorithm
+
+    def _candidates(self, stats: InstanceStats, static_choice: str) -> tuple:
+        if stats.dim == 2 and stats.dp_states <= DP_STATE_LIMIT:
+            return ("IntCov", "BiGreedy+")
+        return (static_choice,)
+
+    def _tune_eps(self, stats: InstanceStats, algorithm: str, eps: float) -> float:
+        """Walk eps up the ladder while observed cost exceeds the budget.
+
+        Stateless per plan: the walk restarts from the requested eps each
+        time, stepping coarser only while the current rung has a mature,
+        over-budget estimate.  The first rung without data is *probed*
+        (chosen so it can accumulate observations); a rung within budget
+        ends the walk.  Queue pressure tightens the budget, so a deep
+        backlog steps coarser sooner.
+        """
+        target = self.config.target_p99_s
+        if target is None:
+            return eps
+        budget = target / (1.0 + stats.queue_depth / _PRESSURE_SCALE)
+        current = float(eps)
+        while True:
+            est = self.estimator.estimate(
+                stats.dataset, algorithm, stats.k, eps=current
+            )
+            if (
+                est is None
+                or est.count < self.config.min_observations
+                or est.mean <= budget
+            ):
+                return current
+            coarser = [e for e in self.config.eps_ladder if e > current]
+            if not coarser:
+                return current
+            current = coarser[0]
+
+    # ------------------------------------------------------------------ #
+    # feedback + accounting
+    # ------------------------------------------------------------------ #
+
+    def observe(
+        self, dataset: str, algorithm: str, k: int, seconds: float, *, eps=None
+    ) -> None:
+        """Feed one measured solve (the gateway's ``observe_solve`` twin)."""
+        self.estimator.observe(
+            dataset, algorithm, k, seconds, eps=None if algorithm == "IntCov" else eps
+        )
+
+    def note_queue_depth(self, dataset: str, depth: int) -> None:
+        """Record the current backlog; used when a plan call omits it."""
+        with self._lock:
+            self._queue_depths[str(dataset)] = max(0, int(depth))
+
+    def _record(self, plan: Plan) -> None:
+        with self._lock:
+            key = (plan.algorithm, plan.reason)
+            self._counters[key] = self._counters.get(key, 0) + 1
+            self._recent.append(plan.to_dict())
+
+    def plan_counters(self) -> dict:
+        """``{(algorithm, reason): count}`` of recorded decisions."""
+        with self._lock:
+            return dict(self._counters)
+
+    def counters_export(self) -> list:
+        """Sorted JSON-ready rows for the Prometheus exposition."""
+        with self._lock:
+            return [
+                {"algorithm": algorithm, "reason": reason, "count": count}
+                for (algorithm, reason), count in sorted(self._counters.items())
+            ]
+
+    def stats(self) -> dict:
+        """JSON-ready planner state (``/v1/metrics`` and CLI surface)."""
+        with self._lock:
+            recent = list(self._recent)
+            counters = [
+                {"algorithm": algorithm, "reason": reason, "count": count}
+                for (algorithm, reason), count in sorted(self._counters.items())
+            ]
+        return {
+            "config": self.config.to_dict(),
+            "plans": counters,
+            "observations": self.estimator.observations(),
+            "recent": recent,
+        }
+
+
+_DEFAULT_PLANNER = Planner()
+
+
+def default_planner() -> Planner:
+    """The process-wide static planner.
+
+    The shared entry point for code paths without a serving index (the
+    CLI's cold passes, the benchmark oracles): one place resolves
+    dispatch, with the static config that reproduces ``resolve_algorithm``
+    exactly.
+    """
+    return _DEFAULT_PLANNER

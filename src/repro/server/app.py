@@ -413,6 +413,7 @@ class FairHMSServer:
                     "registry": self.registry.snapshot(),
                     "server": self.server_stats(),
                     "slo": self.slo.snapshot(),
+                    "planner": self.registry.planner.stats(),
                     "process": process_stats(),
                 }
                 if self.traces is not None:
@@ -519,6 +520,7 @@ class FairHMSServer:
             slo=self.slo.snapshot(),
             process=process_stats(),
             traces=None if self.traces is None else self.traces.stats(),
+            plans=self.registry.planner.counters_export(),
         )
 
     # ------------------------------------------------------------------ #

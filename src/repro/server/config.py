@@ -45,6 +45,7 @@ except ModuleNotFoundError:  # pragma: no cover - py3.10 fallback path
     tomllib = None
 
 from ..obs.slo import SloObjectives
+from ..planner import Planner, PlannerConfig
 from ..service.metrics import ServiceMetrics
 from ..service.registry import DatasetRegistry
 
@@ -153,6 +154,12 @@ class ServerConfig:
     is the slow-trace log threshold.  ``slo`` holds the per-tenant
     objectives parsed from the top-level ``[slo]`` config section
     (defaults: p99 <= 100 ms, error rate <= 0.1%).
+
+    ``planner`` holds the query-planner settings parsed from the
+    top-level ``[planner]`` section (see ``docs/PLANNER.md``): the
+    default ``static`` mode is byte-for-byte today's dispatch, and
+    ``mode = "adaptive"`` turns on observed-cost steering with the
+    latency budget defaulting to the ``[slo]`` target.
     """
 
     host: str = "127.0.0.1"
@@ -170,6 +177,7 @@ class ServerConfig:
     trace_buffer: int = 256
     slow_trace_s: float = 1.0
     slo: SloObjectives = SloObjectives()
+    planner: PlannerConfig = PlannerConfig()
     datasets: tuple[DatasetSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -202,18 +210,25 @@ def parse_config(raw: dict, *, base_dir=None) -> ServerConfig:
     """
     if not isinstance(raw, dict):
         raise ValueError(f"config root must be a mapping, got {type(raw).__name__}")
-    unknown = set(raw) - {"server", "datasets", "slo"}
+    unknown = set(raw) - {"server", "datasets", "slo", "planner"}
     if unknown:
         raise ValueError(f"unknown top-level config keys: {sorted(unknown)}")
 
     server_raw = dict(raw.get("server", {}))
-    # `slo` is its own top-level section, never a [server] key.
-    allowed = {f.name for f in fields(ServerConfig)} - {"datasets", "slo"}
+    # `slo` and `planner` are their own top-level sections, never
+    # [server] keys.
+    allowed = {f.name for f in fields(ServerConfig)} - {
+        "datasets",
+        "slo",
+        "planner",
+    }
     unknown = set(server_raw) - allowed
     if unknown:
         raise ValueError(f"unknown [server] keys: {sorted(unknown)}")
     if "slo" in raw:
         server_raw["slo"] = SloObjectives.from_dict(raw["slo"])
+    if "planner" in raw:
+        server_raw["planner"] = PlannerConfig.from_dict(raw["planner"])
 
     specs = []
     datasets_raw = raw.get("datasets", [])
@@ -283,8 +298,16 @@ def build_registry(
     max_bytes = (
         None if config.budget_mb is None else int(config.budget_mb * 2**20)
     )
+    pconf = config.planner
+    if pconf.mode == "adaptive" and pconf.target_p99_s is None:
+        # The adaptive latency budget defaults to the SLO the server is
+        # already held to — one target, stated once.
+        pconf = replace(pconf, target_p99_s=config.slo.latency_target_s)
     registry = DatasetRegistry(
-        max_bytes=max_bytes, metrics=metrics, spill_dir=config.spill_dir
+        max_bytes=max_bytes,
+        metrics=metrics,
+        spill_dir=config.spill_dir,
+        planner=Planner(pconf),
     )
     for spec in config.datasets:
         registry.register(

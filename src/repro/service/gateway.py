@@ -484,21 +484,33 @@ class Gateway:
         except Exception as exc:  # noqa: BLE001 - e.g. unregistered mid-run
             self._fail_ops(name, run, exc)
             return
+        planner = getattr(index, "planner", None)
+        if planner is not None:
+            planner.note_queue_depth(name, len(run))
         groups: dict[object, list[_PendingOp]] = {}
+        group_plans: dict[object, object] = {}
         for op in run:
             try:
-                # Normalize on the resolved algorithm so "auto" requests
-                # coalesce with explicit ones and IntCov ignores eps/seed.
-                resolved = index.resolve_query(op.query)
+                # Plan once per request: the plan normalizes the coalesce
+                # key (so "auto" coalesces with explicit requests and
+                # IntCov ignores eps/seed) AND is pinned for execution, so
+                # an adaptive decision can never flip between scheduling
+                # and the solve.
+                plan = index.plan_query(
+                    op.query, dataset=name, queue_depth=len(run)
+                )
+                resolved = plan.algorithm
             except Exception:  # noqa: BLE001 - e.g. k and constraint unset
+                plan = None  # solve alone; index.query raises the real error
                 resolved = None  # key on the literal fields instead
             try:
                 key = _coalesce_key(op.query, resolved)
             except Exception:  # noqa: BLE001 - e.g. a malformed constraint
-                key = None  # solve alone; index.query raises the real error
+                key = None
             if key is None:
                 key = object()  # unique: never coalesced
             groups.setdefault(key, []).append(op)
+            group_plans.setdefault(key, plan)
         # Multi-k families: coalesce groups that are identical except for
         # the requested k (same scheme/alpha/options, all resolved to the
         # exact IntCov, built from k — not an explicit constraint) are
@@ -507,7 +519,7 @@ class Gateway:
         # scratch.  Answers are bit-identical to per-k solves, so this is
         # pure work sharing — the same argument that justifies coalescing.
         families: dict[tuple, list[tuple]] = {}
-        singles: list[list[_PendingOp]] = []
+        singles: list[tuple[list[_PendingOp], object]] = []
         for key, peers in groups.items():
             q = peers[0].query
             if (
@@ -517,19 +529,21 @@ class Gateway:
                 and q.k is not None
             ):
                 fam = (key[0][1:],) + key[1:]  # drop k, keep (alpha, scheme)
-                families.setdefault(fam, []).append(peers)
+                families.setdefault(fam, []).append((peers, key))
             else:
-                singles.append(peers)
+                singles.append((peers, group_plans.get(key)))
         multi_runs: list[list[list[_PendingOp]]] = []
         for members in families.values():
             if len(members) > 1:
-                multi_runs.append(members)
+                multi_runs.append([peers for peers, _ in members])
             else:
-                singles.extend(members)
+                singles.extend(
+                    (peers, group_plans.get(key)) for peers, key in members
+                )
         # Fence: remember the data version this run is answered at; a
         # change mid-run means someone wrote around the gateway.
         fence = getattr(index, "version", None)
-        for peers in singles:
+        for peers, plan in singles:
             live = [op for op in peers if op.future.set_running_or_notify_cancel()]
             if not live:
                 continue
@@ -554,6 +568,7 @@ class Gateway:
                         seed=q.seed,
                         alpha=q.alpha,
                         scheme=q.scheme,
+                        plan=plan,
                         **q.options,
                     )
             except Exception as exc:  # noqa: BLE001 - forwarded to callers
@@ -565,6 +580,16 @@ class Gateway:
                 continue
             solve_seconds = time.perf_counter() - t0
             self.metrics.observe_solve(name, solve_seconds)
+            if planner is not None and plan is not None:
+                # The feedback loop: the same measurement observe_solve
+                # records, attributed to the exact planned configuration.
+                planner.observe(
+                    name,
+                    plan.algorithm,
+                    int(plan.stats.k),
+                    solve_seconds,
+                    eps=plan.solver_kwargs().get("epsilon"),
+                )
             self.metrics.incr(name, "solves")
             self._record_phases(name, solution)
             if len(live) > 1:
@@ -627,7 +652,15 @@ class Gateway:
                         op.trace.annotate(error=type(exc).__name__)
                     op.future.set_exception(exc)
                 continue
-            self.metrics.observe_solve(name, time.perf_counter() - t0)
+            multi_seconds = time.perf_counter() - t0
+            self.metrics.observe_solve(name, multi_seconds)
+            if planner is not None:
+                # Shared multi-k searches amortize one solve across the
+                # family; attribute an equal share to each k's estimator
+                # cell (families only form on the exact IntCov path).
+                per_k = multi_seconds / max(1, len(ks))
+                for k in ks:
+                    planner.observe(name, "IntCov", int(k), per_k)
             # One "solves" per answered key keeps the counter's meaning
             # (answers computed, memoized or not) stable for dashboards;
             # "multi_shared" records how many of them rode a shared

@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 
 from ..data.dataset import Dataset
 from ..obs.trace import child_of_current
+from ..planner import Planner
 from ..serving.index import FairHMSIndex
 from ..serving.live import LiveFairHMSIndex
 from .metrics import ServiceMetrics
@@ -110,6 +111,9 @@ class DatasetRegistry:
             Snapshots from a previous process warm-start the same
             registrations — the name is the key, so register the same
             data under the same name.
+        planner: shared :class:`~repro.planner.Planner` installed on
+            every index the registry produces (builds, spill reloads,
+            rebuilds); one is created (static mode) if omitted.
     """
 
     def __init__(
@@ -118,9 +122,15 @@ class DatasetRegistry:
         max_bytes: int | None = None,
         metrics: ServiceMetrics | None = None,
         spill_dir=None,
+        planner=None,
     ) -> None:
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        # One planner across every tenant: all indexes share its observed-
+        # cost estimator and plan counters, and it survives eviction,
+        # spill-reload, and rebuild (it is re-injected on every path that
+        # produces an index object).
+        self.planner = planner if planner is not None else Planner()
         self.store = SnapshotStore(spill_dir) if spill_dir is not None else None
         self._lock = threading.RLock()
         self._specs: dict[str, _Spec] = {}
@@ -278,6 +288,7 @@ class DatasetRegistry:
                     f"frozen index; remove it to rebuild from the spec"
                 )
             return None
+        index.set_planner(self.planner)
         if not spec.live and recorded is None:
             # Snapshot written without registration provenance (bare
             # store.save_index): the serving config is the best mismatch
@@ -307,6 +318,7 @@ class DatasetRegistry:
                 )
             else:
                 index = FairHMSIndex(data, **spec.index_kwargs)
+        index.set_planner(self.planner)
         self.metrics.incr(spec.name, "builds")
         return index
 

@@ -198,26 +198,52 @@ class Warmer:
         return True
 
     def _prime_index(self, index) -> None:
-        """Build the solver artifacts a first query would have to build."""
+        """Build the solver artifacts a first query would have to build.
+
+        Plan-driven: each warm-up ``k`` is planned through the index's
+        :class:`~repro.planner.Planner` (without counting toward plan
+        metrics), and priming pays the **predicted-most-expensive** work
+        first — an interrupted pass has already shaved the worst of the
+        cold tail.  What gets primed follows the plan's algorithm: the
+        shared envelope + candidate-MHR geometry for IntCov, one
+        truncated-MHR engine per ``k`` for the BiGreedy family.
+        """
         from ..core.bigreedy import default_net_size
+        from ..serving.index import Query
 
         with index.lock:
             artifacts = index.artifacts
             skyline = index.skyline
             if artifacts is None or skyline is None:
                 return  # an empty live dataset: nothing to warm yet
-            if skyline.dim == 2:
-                # IntCov path: the envelope and the O(n^2) candidate-MHR
-                # enumeration are the whole cold tail, and both are
-                # shared by every k.
+            plans = []
+            for k in self.ks:
+                if self._stop.is_set():
+                    return
+                try:
+                    plans.append((k, index.plan_query(Query(k=k), record=False)))
+                except ValueError:
+                    continue  # k infeasible for this dataset's groups
+            plans.sort(key=lambda item: -item[1].predicted_cost_s)
+            if not plans and skyline.dim == 2:
+                # Every standard k infeasible, but the geometry is shared
+                # by ad-hoc constraints too — keep the old guarantee.
                 artifacts.envelope()
                 artifacts.mhr_candidates()
-            else:
-                seed = index.serving_config()["default_seed"]
-                for k in self.ks:
-                    if self._stop.is_set():
-                        return
-                    artifacts.engine(default_net_size(k, skyline.dim), seed)
+            seed = index.serving_config()["default_seed"]
+            for k, plan in plans:
+                if self._stop.is_set():
+                    return
+                if plan.algorithm == "IntCov":
+                    # Shared by every k: the first IntCov plan pays it,
+                    # the rest find it warm.
+                    artifacts.envelope()
+                    artifacts.mhr_candidates()
+                else:
+                    engine_seed = plan.solver_kwargs().get("seed", seed)
+                    artifacts.engine(
+                        default_net_size(k, skyline.dim), engine_seed
+                    )
             if self.solve and self.ks and not self._stop.is_set():
                 try:
                     index.query_multi(list(self.ks))

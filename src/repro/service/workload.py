@@ -28,7 +28,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.solve import resolve_algorithm, solve_fairhms
+from ..core.solve import solve_fairhms
+from ..planner import default_planner
 from ..data.dataset import Dataset
 from ..data.synthetic import anticorrelated_dataset
 from ..fairness.constraints import FairnessConstraint
@@ -170,7 +171,7 @@ def naive_solve(data: Dataset, query: Query, *, default_seed: int = 7):
             query.k, sky.population_group_sizes, alpha=query.alpha, clamp=True
         )
         constraint = base.capped_by_availability(sky.group_sizes)
-    algorithm = resolve_algorithm(sky, constraint, query.algorithm)
+    algorithm = default_planner().resolve(sky, constraint, query.algorithm)
     seed = query.seed if query.seed is not None else default_seed
     kwargs = dict(query.options)
     if algorithm != "IntCov":

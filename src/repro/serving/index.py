@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.solution import Solution
-from ..core.solve import resolve_algorithm, solve_fairhms
+from ..core.solve import solve_fairhms
+from ..planner import Plan, Planner
 from ..data.dataset import Dataset
 from ..fairness.constraints import FairnessConstraint
 from ..hms.evaluation import MhrEvaluation, MhrEvaluator
@@ -174,6 +175,11 @@ class FairHMSIndex:
         self._serve_lock = threading.RLock()
         self._dataset = dataset
         self._skyline = skyline
+        # Dispatch policy in one place: every query plans through this.
+        # The default static planner reproduces ``resolve_algorithm``
+        # exactly; the service registry swaps in its shared (possibly
+        # adaptive) planner via :meth:`set_planner`.
+        self._planner = Planner()
         self._artifacts = SolverArtifacts(skyline) if skyline is not None else None
         self._default_seed = int(default_seed)
         self._cache_results = bool(cache_results)
@@ -464,15 +470,51 @@ class FairHMSIndex:
     # queries
     # ------------------------------------------------------------------ #
 
-    def resolve_query(self, query: "Query") -> str:
-        """The concrete algorithm name ``query`` will run under.
+    @property
+    def planner(self) -> Planner:
+        """The :class:`~repro.planner.Planner` dispatching this index."""
+        return self._planner
 
-        Applies exactly the dispatch rule :meth:`query` applies —
-        ``resolve_algorithm`` over the current skyline and the query's
-        (possibly constructed) constraint — so schedulers in front of the
-        index (the service gateway) can treat ``"auto"`` and its
-        resolution as the same request, and drop knobs the resolved
-        algorithm ignores (IntCov takes neither ``eps`` nor ``seed``).
+    def set_planner(self, planner: Planner) -> None:
+        """Install a (possibly shared, possibly adaptive) planner.
+
+        The service registry calls this after every build and spill
+        reload so all tenants feed one estimator and one set of plan
+        counters; a bare index keeps its private static planner.
+        """
+        with self._serve_lock:
+            self._planner = planner
+
+    def _dataset_label(self, dataset: str | None) -> str:
+        if dataset is not None:
+            return str(dataset)
+        if self._dataset is not None and getattr(self._dataset, "name", None):
+            return str(self._dataset.name)
+        return ""
+
+    def plan_query(
+        self,
+        query: "Query",
+        *,
+        dataset: str | None = None,
+        queue_depth: int = 0,
+        record: bool = True,
+    ) -> Plan:
+        """Plan one query without running it.
+
+        The gateway calls this once per request, keys its coalescing on
+        the returned plan, and passes the same plan back into
+        :meth:`query` — so an adaptive decision can never flip between
+        scheduling and execution.
+
+        Args:
+            query: the request (a :class:`Query`).
+            dataset: estimator label; defaults to the dataset's name.
+                The gateway passes its registry name so planning and its
+                :meth:`~repro.planner.Planner.observe` feedback share keys.
+            queue_depth: requests currently queued on this dataset.
+            record: count this decision in the planner's plan counters
+                (pass ``False`` for inspection-only calls).
         """
         with self._serve_lock:
             self._refresh()
@@ -487,7 +529,31 @@ class FairHMSIndex:
                 constraint = self.constraint_for(
                     query.k, alpha=query.alpha, scheme=query.scheme
                 )
-            return resolve_algorithm(self._skyline, constraint, query.algorithm)
+            seed = query.seed if query.seed is not None else self._default_seed
+            return self._planner.plan(
+                self._skyline,
+                constraint,
+                algorithm=query.algorithm,
+                dataset=self._dataset_label(dataset),
+                eps=query.eps,
+                seed=seed,
+                options=query.options,
+                artifacts=self._artifacts,
+                queue_depth=queue_depth,
+                record=record,
+            )
+
+    def resolve_query(self, query: "Query") -> str:
+        """The concrete algorithm name ``query`` will run under.
+
+        Applies exactly the dispatch rule :meth:`query` applies — a
+        planner decision over the current skyline and the query's
+        (possibly constructed) constraint — so schedulers in front of the
+        index (the service gateway) can treat ``"auto"`` and its
+        resolution as the same request, and drop knobs the resolved
+        algorithm ignores (IntCov takes neither ``eps`` nor ``seed``).
+        """
+        return self.plan_query(query, record=False).algorithm
 
     def query(
         self,
@@ -499,6 +565,7 @@ class FairHMSIndex:
         seed: int | None = None,
         alpha: float = 0.1,
         scheme: str = "proportional",
+        plan: Plan | None = None,
         **options,
     ) -> Solution:
         """Solve one FairHMS query against the index.
@@ -506,6 +573,10 @@ class FairHMSIndex:
         Equivalent to ``solve_fairhms(index.skyline, constraint,
         algorithm=..., epsilon=eps, seed=seed, **options)`` — same
         solution, bit for bit — but served from the index's caches.
+        Dispatch flows through the index's :class:`~repro.planner.Planner`;
+        running the plan is always ``solve_fairhms(skyline, constraint,
+        algorithm=plan.algorithm, **plan.solver_kwargs())``, so a planned
+        answer is bit-identical to the same configuration run by hand.
 
         Args:
             k: solution size; builds a ``scheme`` constraint when no
@@ -521,6 +592,10 @@ class FairHMSIndex:
                 draws (those bypass the caches).
             alpha / scheme: constraint construction (see
                 :meth:`constraint_for`).
+            plan: a :class:`~repro.planner.Plan` from :meth:`plan_query`
+                to execute verbatim (the gateway pins its coalescing
+                decision this way); ``None`` plans here.  A supplied plan
+                overrides ``eps``/``algorithm``/``seed``/``options``.
             **options: forwarded to the solver (``mode=``, ``net_size=``,
                 ``extra_steps=``, ...).
 
@@ -538,15 +613,25 @@ class FairHMSIndex:
                         "provide either k or an explicit constraint"
                     )
                 constraint = self.constraint_for(k, alpha=alpha, scheme=scheme)
-            algorithm = resolve_algorithm(self._skyline, constraint, algorithm)
-            if seed is None:
-                seed = self._default_seed
-            solver_kwargs = dict(options)
-            if algorithm != "IntCov":
-                solver_kwargs.setdefault("epsilon", float(eps))
-                solver_kwargs.setdefault("seed", seed)
+            if plan is None:
+                if seed is None:
+                    seed = self._default_seed
+                plan = self._planner.plan(
+                    self._skyline,
+                    constraint,
+                    algorithm=algorithm,
+                    dataset=self._dataset_label(None),
+                    eps=eps,
+                    seed=seed,
+                    options=options,
+                    artifacts=self._artifacts,
+                )
+            algorithm = plan.algorithm
+            solver_kwargs = plan.solver_kwargs()
             key = self._result_key(algorithm, constraint, solver_kwargs)
             parent = current_span()
+            if parent is not None:
+                parent.annotate(plan_reason=plan.reason)
             if key is not None:
                 cached = self._results.get(key)
                 if cached is not None:
@@ -674,20 +759,27 @@ class FairHMSIndex:
             prev_tau: float | None = None
             for k in sorted(set(ks_list)):
                 constraint = self.constraint_for(k, alpha=alpha, scheme=scheme)
-                resolved = resolve_algorithm(self._skyline, constraint, algorithm)
+                plan = self._planner.plan(
+                    self._skyline,
+                    constraint,
+                    algorithm=algorithm,
+                    dataset=self._dataset_label(None),
+                    eps=eps,
+                    seed=seed if seed is not None else self._default_seed,
+                    options=options,
+                    artifacts=self._artifacts,
+                )
+                resolved = plan.algorithm
                 if resolved != "IntCov":
                     self._multi_fallbacks += 1
                     solutions[k] = self.query(
                         k,
-                        eps=eps,
-                        algorithm=algorithm,
-                        seed=seed,
                         alpha=alpha,
                         scheme=scheme,
-                        **options,
+                        plan=plan,
                     )
                     continue
-                solver_kwargs = dict(options)
+                solver_kwargs = plan.solver_kwargs()
                 key = self._result_key(resolved, constraint, solver_kwargs)
                 if key is not None:
                     cached = self._results.get(key)

@@ -1,0 +1,476 @@
+"""Tests for the adaptive query planner (``repro.planner``).
+
+The two contracts under test:
+
+* **static fidelity** — a cold / default planner reproduces
+  ``resolve_algorithm``'s dispatch byte for byte across the bench
+  matrix, and plans are deterministic values (same stats + same
+  observation sequence -> byte-identical Plan);
+* **plan-level bit-identity** — whatever the planner picks, the served
+  answer equals ``solve_fairhms(skyline, constraint,
+  algorithm=plan.algorithm, **plan.solver_kwargs())`` bit for bit, even
+  when adaptive feedback flips the algorithm or tunes eps.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.solve import (
+    DP_STATE_LIMIT,
+    dp_state_count,
+    resolve_algorithm,
+    solve_fairhms,
+)
+from repro.fairness.constraints import FairnessConstraint
+from repro.data.synthetic import anticorrelated_dataset
+from repro.obs.prometheus import parse_prometheus, render_prometheus, validate_exposition
+from repro.planner import (
+    CostEstimator,
+    Plan,
+    Planner,
+    PlannerConfig,
+    default_planner,
+    instance_stats,
+    k_bucket,
+    predict_cost,
+)
+from repro.serving import FairHMSIndex, Query
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """The bench matrix: 2-D, 2-D many-group, 3-D, 5-D skylines."""
+    datasets = {
+        "small2d": anticorrelated_dataset(400, 2, 3, seed=1),
+        "manygroups2d": anticorrelated_dataset(600, 2, 10, seed=2),
+        "small3d": anticorrelated_dataset(400, 3, 3, seed=3),
+        "wide5d": anticorrelated_dataset(400, 5, 3, seed=4),
+    }
+    return {
+        name: data.normalized().skyline(per_group=True)
+        for name, data in datasets.items()
+    }
+
+
+def proportional(sky, k):
+    base = FairnessConstraint.proportional(k, sky.population_group_sizes)
+    return base.capped_by_availability(sky.group_sizes)
+
+
+# --------------------------------------------------------------------- #
+# dp_state_count: overflow-safe bound
+# --------------------------------------------------------------------- #
+
+
+class TestDpStateCount:
+    def test_small_product_exact(self):
+        c = FairnessConstraint(lower=[0, 0], upper=[3, 4], k=5)
+        assert dp_state_count(c) == 4 * 5
+
+    def test_exact_limit_is_not_saturated(self):
+        # widths 2^7 * 5^6 = 2,000,000 == DP_STATE_LIMIT exactly: still
+        # IntCov-eligible (dispatch tests <=).
+        upper = [1] * 7 + [4] * 6
+        c = FairnessConstraint(lower=[0] * 13, upper=upper, k=13)
+        assert dp_state_count(c) == DP_STATE_LIMIT
+
+    def test_one_past_limit_saturates(self):
+        upper = [1] * 8 + [4] * 6  # 2^8 * 5^6 = 4,000,000
+        c = FairnessConstraint(lower=[0] * 14, upper=upper, k=14)
+        assert dp_state_count(c) == DP_STATE_LIMIT + 1
+
+    def test_many_groups_never_materializes_huge_int(self):
+        # 10 groups with wide bounds: the naive product is ~10^20; the
+        # short-circuit must return the sentinel without computing it.
+        upper = [10_000] * 10
+        c = FairnessConstraint(lower=[0] * 10, upper=upper, k=50_000)
+        assert dp_state_count(c) == DP_STATE_LIMIT + 1
+
+    def test_custom_limit(self):
+        c = FairnessConstraint(lower=[0, 0], upper=[9, 9], k=10)
+        assert dp_state_count(c, limit=50) == 51
+        assert dp_state_count(c, limit=100) == 100
+
+
+# --------------------------------------------------------------------- #
+# static fidelity
+# --------------------------------------------------------------------- #
+
+
+class TestStaticFidelity:
+    def test_cold_planner_matches_static_dispatch_on_matrix(self, matrix):
+        planner = Planner()
+        for sky in matrix.values():
+            for k in (2, 4, 6, 8):
+                c = proportional(sky, k)
+                for requested in ("auto", "IntCov", "BiGreedy", "BiGreedy+"):
+                    assert planner.resolve(sky, c, requested) == resolve_algorithm(
+                        sky, c, requested
+                    )
+
+    def test_cold_adaptive_planner_matches_static_dispatch(self, matrix):
+        planner = Planner(PlannerConfig(mode="adaptive", target_p99_s=0.05))
+        for sky in matrix.values():
+            for k in (2, 4, 6, 8):
+                c = proportional(sky, k)
+                plan = planner.plan(sky, c)
+                assert plan.algorithm == resolve_algorithm(sky, c, "auto")
+                assert plan.reason == "static"
+
+    def test_unknown_algorithm_raises(self, matrix):
+        sky = matrix["small2d"]
+        with pytest.raises(ValueError, match="Magic"):
+            Planner().plan(sky, proportional(sky, 4), algorithm="Magic")
+
+    def test_static_params_match_index_semantics(self, matrix):
+        # Non-IntCov plans fill epsilon/seed exactly like the index's
+        # historical setdefault; explicit options win.
+        sky = matrix["wide5d"]
+        c = proportional(sky, 4)
+        plan = Planner().plan(sky, c, eps=0.05, seed=11)
+        assert plan.solver_kwargs() == {"epsilon": 0.05, "seed": 11}
+        plan = Planner().plan(
+            sky, c, eps=0.05, seed=11, options={"epsilon": 0.2, "seed": 3}
+        )
+        assert plan.solver_kwargs() == {"epsilon": 0.2, "seed": 3}
+        # IntCov takes neither knob.
+        sky2 = matrix["small2d"]
+        plan = Planner().plan(sky2, proportional(sky2, 4), eps=0.05, seed=11)
+        assert plan.algorithm == "IntCov"
+        assert plan.solver_kwargs() == {}
+
+    def test_explicit_algorithm_never_overridden(self, matrix):
+        sky = matrix["small2d"]
+        c = proportional(sky, 4)
+        planner = Planner(PlannerConfig(mode="adaptive", target_p99_s=1e-4))
+        for _ in range(5):
+            planner.observe("x", "IntCov", 4, 5.0)
+            planner.observe("x", "BiGreedy+", 4, 1e-6, eps=0.02)
+        plan = planner.plan(sky, c, algorithm="IntCov", dataset="x")
+        assert plan.algorithm == "IntCov"
+        assert plan.reason == "explicit"
+
+
+# --------------------------------------------------------------------- #
+# determinism
+# --------------------------------------------------------------------- #
+
+
+class TestPlanDeterminism:
+    def observations(self):
+        return [
+            ("t", "IntCov", 4, 0.02, None),
+            ("t", "BiGreedy+", 4, 0.004, 0.02),
+            ("t", "IntCov", 4, 0.03, None),
+            ("t", "BiGreedy+", 4, 0.005, 0.02),
+            ("t", "IntCov", 4, 0.025, None),
+            ("t", "BiGreedy+", 4, 0.0045, 0.02),
+        ]
+
+    def build(self, matrix):
+        planner = Planner(
+            PlannerConfig(mode="adaptive", target_p99_s=0.05, min_observations=3)
+        )
+        for dataset, algorithm, k, seconds, eps in self.observations():
+            planner.observe(dataset, algorithm, k, seconds, eps=eps)
+        sky = matrix["small2d"]
+        return planner.plan(sky, proportional(sky, 4), dataset="t", seed=7)
+
+    def test_same_observations_byte_identical_plan(self, matrix):
+        a, b = self.build(matrix), self.build(matrix)
+        assert a == b
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+        assert a.reason == "observed"  # the feedback actually steered it
+        assert a.algorithm == "BiGreedy+"
+
+    def test_estimator_replay_is_exact(self):
+        a, b = CostEstimator(), CostEstimator()
+        for est in (a, b):
+            for i in range(20):
+                est.observe("d", "BiGreedy+", 4, 0.001 * (i % 5), eps=0.02)
+        ea = a.estimate("d", "BiGreedy+", 4, eps=0.02)
+        eb = b.estimate("d", "BiGreedy+", 4, eps=0.02)
+        assert (ea.mean, ea.count) == (eb.mean, eb.count)
+
+    def test_k_bucket_boundaries(self):
+        assert k_bucket(1) == 0
+        assert k_bucket(2) == 1
+        assert k_bucket(3) == k_bucket(4) == 2
+        assert k_bucket(5) == k_bucket(8) == 3
+        assert k_bucket(9) == 4
+
+    def test_predict_cost_deterministic_and_positive(self, matrix):
+        sky = matrix["wide5d"]
+        stats = instance_stats(sky, proportional(sky, 6), dataset="w")
+        for algorithm in ("IntCov", "BiGreedy", "BiGreedy+"):
+            assert predict_cost(stats, algorithm) == predict_cost(stats, algorithm)
+            assert predict_cost(stats, algorithm) > 0
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            predict_cost(stats, "Magic")
+
+
+# --------------------------------------------------------------------- #
+# plan-level bit-identity through the index
+# --------------------------------------------------------------------- #
+
+
+class TestPlannedAnswers:
+    def test_planned_equals_unplanned_static(self, matrix):
+        for name, sky in matrix.items():
+            index = FairHMSIndex.from_preprocessed(sky, sky, default_seed=7)
+            for k in (sky.num_groups + 1, sky.num_groups + 3):
+                plan = index.plan_query(Query(k=k), record=False)
+                served = index.query(k)
+                direct = solve_fairhms(
+                    index.skyline,
+                    index.constraint_for(k),
+                    algorithm=plan.algorithm,
+                    **plan.solver_kwargs(),
+                )
+                np.testing.assert_array_equal(served.ids, direct.ids)
+                assert served.mhr_estimate == direct.mhr_estimate
+
+    def test_adaptive_flip_stays_bit_identical(self, matrix):
+        # Force the adaptive planner OFF the static pick (IntCov -> the
+        # observed-cheaper BiGreedy+) and verify the served answer still
+        # equals that exact configuration run by hand.
+        sky = matrix["small2d"]
+        index = FairHMSIndex.from_preprocessed(sky, sky, default_seed=7)
+        planner = Planner(
+            PlannerConfig(mode="adaptive", target_p99_s=10.0, min_observations=2)
+        )
+        index.set_planner(planner)
+        label = index._dataset_label(None)
+        for _ in range(3):
+            planner.observe(label, "IntCov", 5, 2.0)
+            planner.observe(label, "BiGreedy+", 5, 0.001, eps=0.02)
+        plan = index.plan_query(Query(k=5), record=False)
+        assert plan.algorithm == "BiGreedy+"
+        assert plan.reason == "observed"
+        served = index.query(5)
+        direct = solve_fairhms(
+            index.skyline,
+            index.constraint_for(5),
+            algorithm="BiGreedy+",
+            **plan.solver_kwargs(),
+        )
+        np.testing.assert_array_equal(served.ids, direct.ids)
+
+    def test_eps_tuned_plan_stays_bit_identical(self, matrix):
+        sky = matrix["wide5d"]
+        index = FairHMSIndex.from_preprocessed(sky, sky, default_seed=7)
+        planner = Planner(
+            PlannerConfig(
+                mode="adaptive",
+                target_p99_s=1e-4,
+                eps_ladder=(0.02, 0.04, 0.08),
+                min_observations=2,
+            )
+        )
+        index.set_planner(planner)
+        label = index._dataset_label(None)
+        for eps in (0.02, 0.04, 0.08):
+            for _ in range(3):
+                planner.observe(label, "BiGreedy+", 5, 0.5, eps=eps)
+        plan = index.plan_query(Query(k=5), record=False)
+        assert plan.reason == "eps_tuned"
+        assert plan.solver_kwargs()["epsilon"] == 0.08  # ladder top, bounded
+        served = index.query(5)
+        direct = solve_fairhms(
+            index.skyline,
+            index.constraint_for(5),
+            algorithm="BiGreedy+",
+            **plan.solver_kwargs(),
+        )
+        np.testing.assert_array_equal(served.ids, direct.ids)
+
+    def test_resolve_query_matches_plan_query(self, matrix):
+        sky = matrix["small3d"]
+        index = FairHMSIndex.from_preprocessed(sky, sky, default_seed=7)
+        q = Query(k=4)
+        assert index.resolve_query(q) == index.plan_query(q, record=False).algorithm
+
+
+# --------------------------------------------------------------------- #
+# eps ladder behavior
+# --------------------------------------------------------------------- #
+
+
+class TestEpsLadder:
+    def planner(self, **kwargs):
+        defaults = dict(
+            mode="adaptive",
+            target_p99_s=0.01,
+            eps_ladder=(0.02, 0.04, 0.08),
+            min_observations=2,
+        )
+        defaults.update(kwargs)
+        return Planner(PlannerConfig(**defaults))
+
+    def plan(self, planner, matrix, *, queue_depth=0, options=None):
+        sky = matrix["wide5d"]
+        return planner.plan(
+            sky,
+            proportional(sky, 5),
+            dataset="w",
+            queue_depth=queue_depth,
+            options=options,
+        )
+
+    def test_no_data_keeps_requested_eps(self, matrix):
+        plan = self.plan(self.planner(), matrix)
+        assert plan.solver_kwargs()["epsilon"] == 0.02
+        assert plan.reason == "static"
+
+    def test_over_budget_steps_one_rung_to_probe(self, matrix):
+        planner = self.planner()
+        for _ in range(3):
+            planner.observe("w", "BiGreedy+", 5, 0.5, eps=0.02)
+        plan = self.plan(planner, matrix)
+        assert plan.solver_kwargs()["epsilon"] == 0.04  # probe, not a jump
+        assert plan.reason == "eps_tuned"
+
+    def test_within_budget_stays_put(self, matrix):
+        planner = self.planner()
+        for _ in range(3):
+            planner.observe("w", "BiGreedy+", 5, 0.001, eps=0.02)
+        plan = self.plan(planner, matrix)
+        assert plan.solver_kwargs()["epsilon"] == 0.02
+
+    def test_ladder_is_bounded(self, matrix):
+        planner = self.planner()
+        for eps in (0.02, 0.04, 0.08):
+            for _ in range(3):
+                planner.observe("w", "BiGreedy+", 5, 0.5, eps=eps)
+        plan = self.plan(planner, matrix)
+        assert plan.solver_kwargs()["epsilon"] == 0.08  # never past the top
+
+    def test_queue_pressure_tightens_budget(self, matrix):
+        planner = self.planner(target_p99_s=0.02)
+        for _ in range(3):
+            planner.observe("w", "BiGreedy+", 5, 0.015, eps=0.02)
+        # Within budget idle, over budget under a deep backlog.
+        assert self.plan(planner, matrix).solver_kwargs()["epsilon"] == 0.02
+        plan = self.plan(planner, matrix, queue_depth=16)
+        assert plan.solver_kwargs()["epsilon"] == 0.04
+
+    def test_explicit_epsilon_option_never_tuned(self, matrix):
+        planner = self.planner()
+        for _ in range(3):
+            planner.observe("w", "BiGreedy+", 5, 0.5, eps=0.03)
+        plan = self.plan(planner, matrix, options={"epsilon": 0.03})
+        assert plan.solver_kwargs()["epsilon"] == 0.03
+        assert plan.reason != "eps_tuned"
+
+
+# --------------------------------------------------------------------- #
+# config, counters, exposition
+# --------------------------------------------------------------------- #
+
+
+class TestPlannerConfig:
+    def test_defaults_are_static(self):
+        config = PlannerConfig()
+        assert config.mode == "static"
+        assert config.eps_ladder == (0.02, 0.04, 0.08)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown \\[planner\\] keys"):
+            PlannerConfig.from_dict({"mode": "static", "turbo": True})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            PlannerConfig(mode="clever")
+        with pytest.raises(ValueError, match="target_p99_s"):
+            PlannerConfig(target_p99_s=0.0)
+        with pytest.raises(ValueError, match="eps_ladder"):
+            PlannerConfig(eps_ladder=())
+        with pytest.raises(ValueError, match="min_observations"):
+            PlannerConfig(min_observations=0)
+
+    def test_ladder_is_sorted(self):
+        config = PlannerConfig(eps_ladder=(0.08, 0.02, 0.04))
+        assert config.eps_ladder == (0.02, 0.04, 0.08)
+
+    def test_server_config_section(self):
+        from repro.server.config import parse_config
+
+        config = parse_config(
+            {
+                "planner": {"mode": "adaptive", "target_p99_s": 0.05},
+                "datasets": [{"name": "t0", "n": 100}],
+            }
+        )
+        assert config.planner.mode == "adaptive"
+        assert config.planner.target_p99_s == 0.05
+
+    def test_server_config_rejects_unknown_planner_keys(self):
+        from repro.server.config import parse_config
+
+        with pytest.raises(ValueError, match="unknown \\[planner\\] keys"):
+            parse_config({"planner": {"speed": "ludicrous"}})
+
+    def test_build_registry_defaults_adaptive_target_from_slo(self):
+        from repro.server.config import build_registry, parse_config
+
+        config = parse_config(
+            {
+                "planner": {"mode": "adaptive"},
+                "slo": {"latency_target_s": 0.25},
+                "datasets": [{"name": "t0", "n": 100}],
+            }
+        )
+        registry = build_registry(config)
+        assert registry.planner.config.mode == "adaptive"
+        assert registry.planner.config.target_p99_s == 0.25
+
+    def test_registry_injects_shared_planner(self):
+        from repro.service.registry import DatasetRegistry
+
+        registry = DatasetRegistry()
+        registry.register("t0", anticorrelated_dataset(120, 2, 3, seed=9))
+        index = registry.get("t0")
+        assert index.planner is registry.planner
+
+
+class TestCountersAndExposition:
+    def test_plan_counters_and_stats(self, matrix):
+        planner = Planner()
+        sky = matrix["small2d"]
+        c = proportional(sky, 4)
+        planner.plan(sky, c)
+        planner.plan(sky, c)
+        planner.plan(sky, c, algorithm="BiGreedy+")
+        counters = planner.plan_counters()
+        assert counters[("IntCov", "static")] == 2
+        assert counters[("BiGreedy+", "explicit")] == 1
+        stats = planner.stats()
+        assert stats["plans"] == planner.counters_export()
+        assert len(stats["recent"]) == 3
+        json.dumps(stats)  # JSON-ready end to end
+
+    def test_prometheus_plan_total(self, matrix):
+        planner = Planner()
+        sky = matrix["small2d"]
+        planner.plan(sky, proportional(sky, 4))
+        text = render_prometheus(plans=planner.counters_export())
+        validate_exposition(text)
+        families = parse_prometheus(text)
+        samples = families["repro_plan_total"]["samples"]
+        assert samples[0][1] == {"algorithm": "IntCov", "reason": "static"}
+        assert samples[0][2] == 1.0
+
+    def test_default_planner_is_shared_and_static(self):
+        assert default_planner() is default_planner()
+        assert default_planner().config.mode == "static"
+
+    def test_plan_is_frozen(self, matrix):
+        sky = matrix["small2d"]
+        plan = Planner().plan(sky, proportional(sky, 4))
+        assert isinstance(plan, Plan)
+        with pytest.raises(AttributeError):
+            plan.algorithm = "BiGreedy"
