@@ -20,6 +20,10 @@ two ways:
   requests are shed with 429, and the bench cross-checks the server's
   ``shed`` counter against the client-observed 429 count.
 
+All HTTP traffic goes through the ``repro.client.FairHMSClient`` SDK
+(keep-alive reuse, envelope parsing, typed errors) — the loops count
+:class:`~repro.client.RequestShed` instead of parsing status codes.
+
 Every HTTP 200 answer is verified **bit-identical** (ids + solver MHR
 estimate; JSON round-trips floats exactly) against an in-process
 ``Gateway.drain()`` replay of the same request stream — the network
@@ -43,7 +47,6 @@ hit the server with their bursts intact::
 
 import argparse
 import http.client
-import json
 import sys
 import threading
 import time
@@ -52,6 +55,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.benchio import write_bench_json
+from repro.client import FairHMSClient, FairHMSError, RequestShed
 from repro.obs.prometheus import parse_prometheus, validate_exposition
 from repro.scenarios import (
     materialize,
@@ -117,15 +121,10 @@ def oracle_replay(datasets, requests):
     return time.perf_counter() - t0, answers
 
 
-def _post_query(conn, payload):
-    conn.request(
-        "POST",
-        "/v1/query",
-        body=json.dumps(payload),
-        headers={"Content-Type": "application/json"},
-    )
-    resp = conn.getresponse()
-    return resp.status, json.loads(resp.read())
+def _post_query(client, payload):
+    """One /v1/query through the SDK; returns ``(status, data)``."""
+    resp = client.request("POST", "/v1/query", payload, retry=False)
+    return resp.status, resp.data
 
 
 def closed_loop(host, port, requests, *, clients):
@@ -136,30 +135,28 @@ def closed_loop(host, port, requests, *, clients):
     barrier = threading.Barrier(clients + 1)
 
     def worker(w):
-        conn = http.client.HTTPConnection(host, port, timeout=300)
+        client = FairHMSClient(host, port, timeout=300)
         barrier.wait()
         for i in range(w, len(requests), clients):
             payload = request_payload(requests[i])
-            try:
-                t0 = time.perf_counter()
-                status, data = _post_query(conn, payload)
-                while status == 429:  # closed loop: back off and retry
+            t0 = time.perf_counter()
+            while True:
+                try:
+                    status, data = _post_query(client, payload)
+                except RequestShed:  # closed loop: back off and retry
                     sheds[w] += 1
                     time.sleep(0.005)
-                    status, data = _post_query(conn, payload)
+                    continue
+                except FairHMSError as exc:
+                    # Record the failure; the SDK reconnects on its own.
+                    # A None answer is a *failure* in the closed loop, so
+                    # a dead request must not go silently unverified.
+                    status = exc.status or 0
+                    data = {"error": f"{type(exc).__name__}: {exc}"}
                 latencies[i] = time.perf_counter() - t0
                 answers[i] = (status, data)
-            except (OSError, http.client.HTTPException, ValueError) as exc:
-                # Record the failure and reconnect: a dead worker must
-                # not leave its share of the stream silently unverified
-                # (a None answer is a *failure* in the closed loop).
-                answers[i] = (0, {"error": f"{type(exc).__name__}: {exc}"})
-                try:
-                    conn.close()
-                except OSError:
-                    pass
-                conn = http.client.HTTPConnection(host, port, timeout=300)
-        conn.close()
+                break
+        client.close()
 
     threads = [
         threading.Thread(target=worker, args=(w,), daemon=True)
@@ -195,13 +192,16 @@ def open_loop(host, port, requests, *, rate, pool_size=16, offsets=None):
         schedule = [i / rate for i in range(len(requests))]
 
     def issue(i):
-        conn = getattr(local, "conn", None)
-        if conn is None:
-            conn = local.conn = http.client.HTTPConnection(host, port, timeout=300)
+        client = getattr(local, "client", None)
+        if client is None:
+            client = local.client = FairHMSClient(host, port, timeout=300)
         try:
-            status, data = _post_query(conn, request_payload(requests[i]))
-        except (OSError, http.client.HTTPException):
-            local.conn = None
+            status, data = _post_query(client, request_payload(requests[i]))
+        except RequestShed:
+            with lock:
+                counts["shed"] += 1
+            return
+        except FairHMSError:
             with lock:
                 counts["error"] += 1
             return
@@ -209,8 +209,6 @@ def open_loop(host, port, requests, *, rate, pool_size=16, offsets=None):
             if status == 200:
                 counts["ok"] += 1
                 answers[i] = (status, data)
-            elif status == 429:
-                counts["shed"] += 1
             else:
                 counts["error"] += 1
 
@@ -252,12 +250,8 @@ def verify_http_answers(answers, oracle, *, require_all=False) -> list:
 
 
 def fetch_metrics(host, port) -> dict:
-    conn = http.client.HTTPConnection(host, port, timeout=60)
-    conn.request("GET", "/v1/metrics")
-    resp = conn.getresponse()
-    payload = json.loads(resp.read())
-    conn.close()
-    return payload
+    with FairHMSClient(host, port, timeout=60) as client:
+        return client.metrics()
 
 
 def fetch_exposition(host, port) -> str:
@@ -274,11 +268,8 @@ def fetch_exposition(host, port) -> str:
 
 
 def fetch_traces(host, port, *, limit=20) -> dict:
-    conn = http.client.HTTPConnection(host, port, timeout=60)
-    conn.request("GET", f"/v1/traces?limit={limit}")
-    payload = json.loads(conn.getresponse().read())
-    conn.close()
-    return payload
+    with FairHMSClient(host, port, timeout=60) as client:
+        return client.traces(limit=limit)
 
 
 def wait_warm(host, port, names, *, timeout=120.0) -> float:
@@ -333,12 +324,11 @@ def test_warmup_primes_cold_datasets_and_drains():
         index = registry.peek("tenant0")
         assert index is not None
         hits_before = index.cache_info()["result_hits"]
-        conn = http.client.HTTPConnection(host, port, timeout=60)
-        status, data = _post_query(
-            conn, {"dataset": "tenant0", "k": 4, "eps": 0.02,
-                   "algorithm": "auto", "alpha": 0.1}
-        )
-        conn.close()
+        with FairHMSClient(host, port, timeout=60) as client:
+            status, data = _post_query(
+                client, {"dataset": "tenant0", "k": 4, "eps": 0.02,
+                         "algorithm": "auto", "alpha": 0.1}
+            )
         assert status == 200 and data["size"] == 4
         assert index.cache_info()["result_hits"] == hits_before + 1
     # Drain-safety: the context exit drained while the warmer thread was

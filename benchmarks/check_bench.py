@@ -71,6 +71,10 @@ REQUIRED_KEYS = (
 REQUIRED_FLOORS = {
     "server": ("throughput_rps", "latency_p99_s"),
     "planner": ("plan_efficiency", "adaptive_speedup"),
+    # The cluster bench must floor router scaling (req/s at 4 workers
+    # over req/s at 1, normalized) and crash recovery: a report that
+    # drops either stops proving the tentpole's two claims.
+    "cluster": ("scaling_efficiency", "failover_identical"),
 }
 
 

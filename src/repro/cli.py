@@ -24,6 +24,12 @@ Commands:
   ``GET /v1/datasets``, ``GET /healthz``; 429 load shedding past
   ``max_inflight``; SIGTERM drains gracefully (``--check`` validates
   the config and exits).
+* ``cluster``     — run N worker processes behind the consistent-hash
+  router from the same config's ``[cluster]`` section: datasets are
+  sharded onto workers, frozen reads fan across replicas, live writes
+  pin to the owner and WAL before acking, crashed workers respawn and
+  replay (``--check`` prints the shard plan and exits; see
+  docs/CLUSTER.md).
 * ``scenario``    — the config-driven scenario factory: ``list`` the
   named pack, ``describe`` one spec, ``check`` spec files (CI
   validation), ``materialize`` a scenario to disk (datasets + event
@@ -458,6 +464,48 @@ def _cmd_server(args) -> int:
             print(f"  {name}: {kind}{warm}")
         return 0
     serve_forever(config, registry=registry)
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    """Run the worker fleet + router from a config's [cluster] section."""
+    from dataclasses import replace
+
+    from .cluster import HashRing, run_cluster, shard_datasets
+    from .server import load_config
+
+    try:
+        config = load_config(args.config)
+    except (OSError, RuntimeError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    overrides = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if args.workers is not None:
+        overrides["cluster"] = replace(config.cluster, workers=args.workers)
+    if overrides:
+        config = replace(config, **overrides)
+
+    if args.check:
+        names = [f"w{i}" for i in range(config.cluster.workers)]
+        ring = HashRing(names, vnodes=config.cluster.vnodes)
+        shards = shard_datasets(config, ring)
+        print(
+            f"config ok: {config.cluster.workers} worker(s), "
+            f"replicas={config.cluster.replicas}, "
+            f"router on {config.host}:{config.port}"
+        )
+        for wname in names:
+            kinds = [
+                f"{s.name} ({'live' if s.live else 'frozen'})"
+                for s in shards[wname].datasets
+            ]
+            print(f"  {wname}: {', '.join(kinds) or '(no datasets)'}")
+        return 0
+    run_cluster(config)
     return 0
 
 
@@ -920,6 +968,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the config, print the dataset plan, and exit",
     )
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="run N FairHMS workers behind the consistent-hash router "
+        "(docs/CLUSTER.md)",
+    )
+    cluster.add_argument(
+        "config",
+        help="TOML or JSON server config with a [cluster] section",
+    )
+    cluster.add_argument(
+        "--workers", type=int, default=None, help="worker-count override"
+    )
+    cluster.add_argument("--host", default=None, help="router host override")
+    cluster.add_argument(
+        "--port", type=int, default=None, help="router port override"
+    )
+    cluster.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the config, print the shard plan, and exit",
+    )
+
     scenario = sub.add_parser(
         "scenario",
         help="config-driven scenario factory: list/describe/check/"
@@ -1007,6 +1077,7 @@ def main(argv=None) -> int:
         "service": _cmd_service,
         "snapshot": _cmd_snapshot,
         "server": _cmd_server,
+        "cluster": _cmd_cluster,
         "scenario": _cmd_scenario,
         "trace": _cmd_trace,
         "table2": _cmd_table2,

@@ -1,0 +1,39 @@
+"""``repro.client`` — the stdlib-only SDK for the v1.1 HTTP API.
+
+:class:`FairHMSClient` talks to a standalone ``repro server`` or a
+``repro cluster`` router identically: keep-alive connection reuse,
+typed exceptions mapped from stable error codes, retry-with-jitter
+honoring ``Retry-After``, and transparent cluster redirects.  See
+``docs/API.md`` for the wire contract and usage examples.
+"""
+
+from .client import ApiResponse, FairHMSClient
+from .errors import (
+    ClusterRoutingError,
+    DatasetNotFound,
+    FairHMSError,
+    InfeasibleConstraint,
+    InvalidRequest,
+    ProtocolError,
+    RequestShed,
+    ServerDraining,
+    ServerError,
+    WorkerUnavailable,
+    exception_for,
+)
+
+__all__ = [
+    "ApiResponse",
+    "ClusterRoutingError",
+    "DatasetNotFound",
+    "FairHMSClient",
+    "FairHMSError",
+    "InfeasibleConstraint",
+    "InvalidRequest",
+    "ProtocolError",
+    "RequestShed",
+    "ServerDraining",
+    "ServerError",
+    "WorkerUnavailable",
+    "exception_for",
+]

@@ -1,0 +1,335 @@
+"""``FairHMSClient``: the stdlib-only SDK for the v1.1 HTTP API.
+
+A small synchronous client over :mod:`http.client` that the benchmarks
+(``bench_server.py``, ``bench_cluster.py``), the e2e cluster tests, and
+external callers share instead of hand-rolled socket code:
+
+* **connection reuse** — one keep-alive connection per endpoint
+  (host:port), reconnected transparently when the server (or an
+  intervening router failover) drops it;
+* **typed exceptions** — envelope error codes map to
+  :mod:`repro.client.errors` classes; callers catch
+  :class:`~repro.client.errors.RequestShed`, never parse messages;
+* **retry with jitter** — retryable failures (sheds, drains, router
+  worker outages, connection errors) are retried up to ``retries``
+  times with exponential backoff plus jitter, honoring a server-sent
+  ``Retry-After`` when one arrives.  ``sleep`` and ``rng`` are
+  injectable so tests run deterministically at full speed;
+* **transparent cluster redirects** — a 307/308 with a ``Location``
+  pointing at another host:port (a router running in redirect mode) is
+  followed without consuming a retry, against a pooled connection to
+  the new endpoint.
+
+Legacy (pre-envelope) servers still work: a bare JSON body is wrapped
+into the envelope shape client-side, with the error code recovered the
+same way the server's own compatibility layer does.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+from ..server.api import classify_error
+from .errors import FairHMSError, ProtocolError, exception_for
+
+__all__ = ["ApiResponse", "FairHMSClient"]
+
+_RETRIABLE_TRANSPORT = (
+    ConnectionError,
+    http.client.BadStatusLine,
+    http.client.RemoteDisconnected,
+    http.client.CannotSendRequest,
+    http.client.ResponseNotReady,
+    socket.timeout,
+    OSError,
+)
+
+_MAX_REDIRECTS = 4
+
+
+@dataclass
+class ApiResponse:
+    """One parsed (enveloped) response."""
+
+    status: int
+    data: object
+    error: dict | None
+    meta: dict
+    headers: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class FairHMSClient:
+    """Synchronous client for one server or cluster router endpoint.
+
+    Args:
+        host / port: the server (or router) to talk to.
+        timeout: socket timeout per request, seconds.
+        retries: additional attempts after the first, for *retryable*
+            failures only (``error.retryable`` or a transport error).
+        backoff: base backoff in seconds; attempt ``i`` sleeps
+            ``backoff * 2**i`` plus uniform jitter of one ``backoff``,
+            unless the server sent a larger ``Retry-After``.
+        sleep / rng: injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        sleep=time.sleep,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.endpoint = (str(host), int(port))
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._conns: dict[tuple[str, int], http.client.HTTPConnection] = {}
+
+    # -- transport ---------------------------------------------------
+
+    def _conn(self, endpoint) -> http.client.HTTPConnection:
+        conn = self._conns.get(endpoint)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                endpoint[0], endpoint[1], timeout=self.timeout
+            )
+            self._conns[endpoint] = conn
+        return conn
+
+    def _drop(self, endpoint) -> None:
+        conn = self._conns.pop(endpoint, None)
+        if conn is not None:
+            conn.close()
+
+    def _roundtrip(self, endpoint, method, path, body, headers):
+        """One HTTP exchange (no retries); returns (status, headers, body)."""
+        conn = self._conn(endpoint)
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            payload = resp.read()
+        except _RETRIABLE_TRANSPORT:
+            self._drop(endpoint)
+            raise
+        if resp.will_close:
+            self._drop(endpoint)
+        return resp.status, dict(resp.getheaders()), payload
+
+    # -- envelope handling -------------------------------------------
+
+    @staticmethod
+    def _parse(status: int, headers: dict, raw: bytes) -> ApiResponse:
+        try:
+            body = json.loads(raw) if raw else None
+        except ValueError as exc:
+            raise ProtocolError(
+                f"unparseable response body (status {status}): {exc}",
+                status=status,
+            ) from None
+        if isinstance(body, dict) and "data" in body and "meta" in body:
+            return ApiResponse(
+                status=status,
+                data=body.get("data"),
+                error=body.get("error"),
+                meta=body.get("meta") or {},
+                headers=headers,
+            )
+        # Legacy bare body (pre-1.1 server, /healthz, ...): synthesize
+        # the envelope client-side so callers see one shape everywhere.
+        if status < 400:
+            return ApiResponse(
+                status=status, data=body, error=None, meta={}, headers=headers
+            )
+        message = body.get("error") if isinstance(body, dict) else None
+        if not isinstance(message, str):
+            message = f"HTTP {status}"
+        code = classify_error(status, message)
+        return ApiResponse(
+            status=status,
+            data=None,
+            error={"code": code, "message": message, "retryable": False},
+            meta={},
+            headers=headers,
+        )
+
+    @staticmethod
+    def _retry_after(resp: ApiResponse) -> float | None:
+        for name, value in resp.headers.items():
+            if name.lower() == "retry-after":
+                try:
+                    return max(0.0, float(value))
+                except ValueError:
+                    return None
+        return None
+
+    def _pause(self, attempt: int, retry_after: float | None) -> None:
+        delay = self.backoff * (2**attempt) + self._rng.uniform(0, self.backoff)
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        self._sleep(delay)
+
+    # -- public API --------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        retry: bool = True,
+        raise_for_error: bool = True,
+    ) -> ApiResponse:
+        """One API call with redirects, retries, and error mapping.
+
+        Returns the :class:`ApiResponse` on success.  With
+        ``raise_for_error`` (the default), an envelope error raises its
+        typed exception instead of returning; with ``retry=False`` no
+        attempt is ever repeated (benchmark closed loops count sheds
+        themselves).
+        """
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"Connection": "keep-alive"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        attempts = (self.retries if retry else 0) + 1
+        last_exc: FairHMSError | None = None
+        for attempt in range(attempts):
+            endpoint = self.endpoint
+            response = None
+            try:
+                for _hop in range(_MAX_REDIRECTS):
+                    status, resp_headers, raw = self._roundtrip(
+                        endpoint, method, path, body, headers
+                    )
+                    if status in (307, 308):
+                        location = resp_headers.get(
+                            "Location", resp_headers.get("location", "")
+                        )
+                        target = urlsplit(location)
+                        if not target.hostname:
+                            raise ProtocolError(
+                                f"redirect without a usable Location: "
+                                f"{location!r}",
+                                status=status,
+                            )
+                        # A cluster redirect: re-issue against the named
+                        # worker on a pooled connection; the path (and
+                        # body) are unchanged.
+                        endpoint = (target.hostname, target.port or 80)
+                        if target.path:
+                            path = target.path + (
+                                f"?{target.query}" if target.query else ""
+                            )
+                        continue
+                    response = self._parse(status, resp_headers, raw)
+                    break
+                else:
+                    raise ProtocolError(
+                        f"redirect loop after {_MAX_REDIRECTS} hops", status=307
+                    )
+            except ProtocolError as exc:
+                last_exc = exc
+            except _RETRIABLE_TRANSPORT as exc:
+                last_exc = ProtocolError(
+                    f"connection to {endpoint[0]}:{endpoint[1]} failed: {exc}"
+                )
+            if response is not None:
+                if response.error is None:
+                    return response
+                error = response.error
+                last_exc = exception_for(
+                    str(error.get("code", "internal")),
+                    str(error.get("message", "")),
+                    status=response.status,
+                    retry_after=self._retry_after(response),
+                )
+                if not (error.get("retryable") or last_exc.retryable):
+                    break  # a retry can't change the verdict
+                if not raise_for_error and attempt + 1 >= attempts:
+                    return response
+            if attempt + 1 < attempts:
+                self._pause(attempt, getattr(last_exc, "retry_after", None))
+        if not raise_for_error and response is not None:
+            return response
+        assert last_exc is not None
+        raise last_exc
+
+    def query(
+        self,
+        dataset: str,
+        k: int | None = None,
+        *,
+        constraint: dict | None = None,
+        retry: bool = True,
+        **params,
+    ) -> dict:
+        """One ``/v1/query``; returns the solution payload (``data``).
+
+        ``constraint`` is the wire shape (``{"lower", "upper", "k"}``);
+        remaining keyword arguments (``eps``, ``algorithm``, ``seed``,
+        ``alpha``, ``scheme``, ``options``) pass through verbatim.
+        """
+        payload: dict = {"dataset": dataset, **params}
+        if k is not None:
+            payload["k"] = int(k)
+        if constraint is not None:
+            payload["constraint"] = constraint
+        return self.request("POST", "/v1/query", payload, retry=retry).data
+
+    def insert(
+        self, dataset: str, key: int, point, group: int, *, retry: bool = True
+    ) -> dict:
+        """One live insert; returns the write ack (``data``)."""
+        payload = {
+            "dataset": dataset,
+            "op": "insert",
+            "key": int(key),
+            "point": [float(x) for x in point],
+            "group": int(group),
+        }
+        return self.request("POST", "/v1/write", payload, retry=retry).data
+
+    def delete(self, dataset: str, key: int, *, retry: bool = True) -> dict:
+        """One live delete; returns the write ack (``data``)."""
+        payload = {"dataset": dataset, "op": "delete", "key": int(key)}
+        return self.request("POST", "/v1/write", payload, retry=retry).data
+
+    def datasets(self) -> list:
+        return self.request("GET", "/v1/datasets").data["datasets"]
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/v1/metrics").data
+
+    def traces(self, *, limit: int | None = None) -> dict:
+        path = "/v1/traces" if limit is None else f"/v1/traces?limit={int(limit)}"
+        return self.request("GET", path).data
+
+    def health(self) -> dict:
+        """``/healthz`` (bare endpoint; wrapped client-side)."""
+        return self.request("GET", "/healthz", retry=False).data
+
+    def close(self) -> None:
+        for endpoint in list(self._conns):
+            self._drop(endpoint)
+
+    def __enter__(self) -> "FairHMSClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

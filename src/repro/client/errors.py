@@ -1,0 +1,155 @@
+"""Typed client-side exceptions mapped from v1.1 error codes.
+
+One exception class per stable error code (``docs/API.md``), all under
+:class:`FairHMSError` so callers can catch broadly or precisely.  The
+mapping is by ``error.code`` — never by message text — which is the
+point of the envelope redesign: messages are for humans, codes are the
+contract.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ClusterRoutingError",
+    "DatasetNotFound",
+    "FairHMSError",
+    "InfeasibleConstraint",
+    "InvalidRequest",
+    "ProtocolError",
+    "RequestShed",
+    "ServerDraining",
+    "ServerError",
+    "WorkerUnavailable",
+    "exception_for",
+]
+
+
+class FairHMSError(Exception):
+    """Base for every client-visible failure.
+
+    Attributes:
+        code: the stable error code (``"internal"`` for transport-level
+            failures that never produced an envelope).
+        status: the HTTP status, or ``None`` when no response arrived.
+        retryable: whether resending the same request verbatim may
+            succeed (the server's verdict, not a client guess).
+        retry_after: parsed ``Retry-After`` seconds, when sent.
+    """
+
+    code = "internal"
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ProtocolError(FairHMSError):
+    """Transport or wire-shape failure: no usable response envelope.
+
+    Connection refused/reset after retries, unparseable bodies, or a
+    redirect loop.  Retryable — the request itself was never judged.
+    """
+
+    code = "protocol"
+    retryable = True
+
+
+class DatasetNotFound(FairHMSError, KeyError):
+    """``dataset_not_found``: the server does not know this dataset.
+
+    Also a :class:`KeyError`, mirroring what the in-process registry
+    raises for the same mistake.
+    """
+
+    code = "dataset_not_found"
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return FairHMSError.__str__(self)
+
+
+class InfeasibleConstraint(FairHMSError, ValueError):
+    """``infeasible_constraint``: the fairness constraint has no answer.
+
+    Also a :class:`ValueError`, mirroring the solvers' in-process
+    behavior for infeasible group bounds.
+    """
+
+    code = "infeasible_constraint"
+
+
+class InvalidRequest(FairHMSError, ValueError):
+    """``invalid_argument`` (and other non-retryable 4xx codes)."""
+
+    code = "invalid_argument"
+
+
+class RequestShed(FairHMSError):
+    """``shed``: admission control refused the request (HTTP 429)."""
+
+    code = "shed"
+    retryable = True
+
+
+class ServerDraining(FairHMSError):
+    """``draining``: the server is shutting down gracefully (HTTP 503)."""
+
+    code = "draining"
+    retryable = True
+
+
+class WorkerUnavailable(FairHMSError):
+    """``worker_unavailable``: the router could not reach any replica."""
+
+    code = "worker_unavailable"
+    retryable = True
+
+
+class ClusterRoutingError(FairHMSError):
+    """``bad_gateway``: a worker answered the router with garbage."""
+
+    code = "bad_gateway"
+    retryable = True
+
+
+class ServerError(FairHMSError):
+    """``internal`` (and any unrecognized code): the server failed."""
+
+    code = "internal"
+
+
+_BY_CODE = {
+    "dataset_not_found": DatasetNotFound,
+    "infeasible_constraint": InfeasibleConstraint,
+    "invalid_argument": InvalidRequest,
+    "not_found": InvalidRequest,
+    "method_not_allowed": InvalidRequest,
+    "payload_too_large": InvalidRequest,
+    "shed": RequestShed,
+    "draining": ServerDraining,
+    "worker_unavailable": WorkerUnavailable,
+    "bad_gateway": ClusterRoutingError,
+    "internal": ServerError,
+}
+
+
+def exception_for(
+    code: str,
+    message: str,
+    *,
+    status: int | None = None,
+    retry_after: float | None = None,
+) -> FairHMSError:
+    """The typed exception for one envelope error object."""
+    cls = _BY_CODE.get(code, ServerError)
+    exc = cls(message, status=status, retry_after=retry_after)
+    if code not in _BY_CODE:
+        exc.code = code  # preserve a future server's new code verbatim
+    return exc

@@ -1,0 +1,35 @@
+"""Multi-process serving cluster: router, workers, hashing, and WAL.
+
+One :class:`~repro.cluster.supervisor.FairHMSCluster` runs N worker
+processes — each a full :class:`~repro.server.FairHMSServer` — behind a
+single asyncio :class:`~repro.cluster.router.ClusterRouter` that proxies
+``/v1/*``.  Datasets are partitioned across workers by consistent
+hashing on the dataset name (:class:`~repro.cluster.hashring.HashRing`);
+frozen datasets are replicated so reads fan out, live datasets are
+pinned to their owner so the write order (and therefore the index
+version sequence) is a single serial history.  Live writes are made
+durable by a per-dataset write-ahead log
+(:class:`~repro.cluster.wal.WriteAheadLog`): the gateway fsyncs an
+append *before* acking the write, and a restarted worker replays the
+tail on top of the latest snapshot — bit-identical recovery, proven by
+``benchmarks/bench_cluster.py``.
+
+See ``docs/CLUSTER.md`` for topology, failure semantics, and the WAL
+record format.
+"""
+
+from repro.cluster.hashring import HashRing
+from repro.cluster.router import ClusterRouter, RouterThread
+from repro.cluster.supervisor import FairHMSCluster, run_cluster, shard_datasets
+from repro.cluster.wal import WalError, WriteAheadLog
+
+__all__ = [
+    "ClusterRouter",
+    "FairHMSCluster",
+    "HashRing",
+    "RouterThread",
+    "WalError",
+    "WriteAheadLog",
+    "run_cluster",
+    "shard_datasets",
+]

@@ -1,0 +1,120 @@
+"""Consistent hashing of dataset names onto worker nodes.
+
+The ring places ``vnodes`` virtual points per worker on a 64-bit circle
+(BLAKE2b of ``"node#i"`` — deterministic across processes and runs,
+unlike :func:`hash`, so the router and the supervisor always agree on
+ownership).  A dataset's **owner** is the first node clockwise from the
+hash of its name; its **preference list** continues clockwise, yielding
+each distinct node once — entry 0 is the owner, entries 1..r-1 are the
+replicas.  Adding or removing one node only remaps the keys that hashed
+into the arcs that node's virtual points covered: the classic
+consistent-hashing stability property, asserted by the unit tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _hash64(key: str) -> int:
+    """Stable 64-bit hash (BLAKE2b) of a string key."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to named nodes.
+
+    Not thread-safe for mutation; the router mutates it only from its
+    event loop, and the supervisor builds its copy once at start.  Both
+    sides construct the ring from the same node names with the same
+    ``vnodes``, so shard assignment is identical by construction.
+    """
+
+    def __init__(self, nodes=(), *, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._points: list[int] = []  # sorted vnode positions
+        self._owners: dict[int, str] = {}  # position -> node name
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> list[str]:
+        """Current node names, sorted (for display and iteration)."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already in ring")
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            point = _hash64(f"{node}#{i}")
+            # A 64-bit collision between distinct nodes is ~impossible;
+            # deterministic tie-break keeps both sides agreeing anyway.
+            if point in self._owners and self._owners[point] < node:
+                continue
+            if point not in self._owners:
+                bisect.insort(self._points, point)
+            self._owners[point] = node
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} not in ring")
+        self._nodes.discard(node)
+        stale = [p for p, owner in self._owners.items() if owner == node]
+        for point in stale:
+            del self._owners[point]
+            idx = bisect.bisect_left(self._points, point)
+            del self._points[idx]
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` (first vnode clockwise of its hash)."""
+        if not self._points:
+            raise ValueError("ring is empty")
+        point = _hash64(key)
+        idx = bisect.bisect_right(self._points, point)
+        if idx == len(self._points):
+            idx = 0  # wrap around the circle
+        return self._owners[self._points[idx]]
+
+    def preference(self, key: str, n: int | None = None) -> list[str]:
+        """First ``n`` distinct nodes clockwise from ``key``'s hash.
+
+        Entry 0 is the owner; the rest are the replica candidates in
+        ring order.  ``n`` defaults to (and is capped at) the number of
+        nodes in the ring.
+        """
+        if not self._points:
+            raise ValueError("ring is empty")
+        want = len(self._nodes) if n is None else min(int(n), len(self._nodes))
+        point = _hash64(key)
+        idx = bisect.bisect_right(self._points, point)
+        out: list[str] = []
+        seen: set[str] = set()
+        for step in range(len(self._points)):
+            node = self._owners[self._points[(idx + step) % len(self._points)]]
+            if node not in seen:
+                seen.add(node)
+                out.append(node)
+                if len(out) >= want:
+                    break
+        return out
+
+    def assignment(self, keys) -> dict[str, str]:
+        """Mapping of each key to its owning node (convenience)."""
+        return {key: self.owner(key) for key in keys}

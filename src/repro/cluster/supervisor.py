@@ -1,0 +1,333 @@
+"""The cluster supervisor: worker fleet + router, one front door.
+
+:class:`FairHMSCluster` turns one :class:`ServerConfig` into a running
+cluster: it shards the configured datasets onto ``cluster.workers``
+worker processes (:func:`shard_datasets`), spawns each worker
+(``multiprocessing`` spawn context — a fresh interpreter, nothing
+inherited from the calling process), starts a
+:class:`~repro.cluster.router.ClusterRouter` over the fleet, and
+babysits: a monitor thread respawns any worker that dies and repoints
+the router at the replacement's new port.
+
+Sharding policy (must agree with the router's, and does — both read
+the same ring):
+
+* **frozen datasets register on every worker.**  They are immutable
+  and build deterministically (or warm-start from the shared
+  ``spill_dir``), so any worker can serve them bit-identically; the
+  router restricts reads to the first ``cluster.replicas`` ring nodes.
+* **live datasets register only on their ring owner.**  A live index
+  is a serial write history; registering it elsewhere would let a
+  replica's stale factory-built copy race the owner's snapshot in the
+  shared spill dir, and would split the WAL's version sequence.
+
+Durability: workers share ``spill_dir`` and ``wal_dir``.  A respawned
+worker warm-starts from the owner's last snapshot and replays the WAL
+tail on top — the kill-a-worker test in ``tests/test_cluster.py``
+asserts the recovered answers are bit-identical.
+
+Topology is static for the life of the cluster: changing the worker
+count reshards live datasets and requires a restart (documented in
+``docs/CLUSTER.md``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import replace
+
+from ..server.config import ServerConfig
+from .hashring import HashRing
+from .router import RouterThread
+from .worker import worker_entry
+
+__all__ = ["FairHMSCluster", "run_cluster", "shard_datasets"]
+
+
+def shard_datasets(config: ServerConfig, ring: HashRing) -> dict:
+    """Per-worker configs: ``worker name -> ServerConfig`` for its shard.
+
+    Every worker gets all frozen specs; each live spec goes only to its
+    ring owner.  Worker configs bind port 0 and carry their name as
+    ``worker_id`` (the ``meta.worker`` field in their envelopes).
+    """
+    shards: dict[str, list] = {name: [] for name in ring.nodes}
+    for spec in config.datasets:
+        if spec.live:
+            shards[ring.owner(spec.name)].append(spec)
+        else:
+            for name in ring.nodes:
+                shards[name].append(spec)
+    return {
+        name: replace(
+            config,
+            port=0,
+            worker_id=name,
+            datasets=tuple(specs),
+        )
+        for name, specs in shards.items()
+    }
+
+
+class _Member:
+    """One supervised worker: its shard config and current incarnation."""
+
+    __slots__ = ("name", "config", "process", "host", "port", "incarnation")
+
+    def __init__(self, name: str, config: ServerConfig) -> None:
+        self.name = name
+        self.config = config
+        self.process: multiprocessing.process.BaseProcess | None = None
+        self.host = ""
+        self.port = 0
+        self.incarnation = 0
+
+
+class FairHMSCluster:
+    """N worker processes behind one router (context manager).
+
+    Args:
+        config: the full server config; ``config.cluster`` sizes the
+            fleet, ``config.datasets`` is the complete dataset list
+            (sharded here), ``config.host``/``config.port`` become the
+            *router's* listen address.
+        start_timeout: seconds to wait for each worker to bind and
+            write its ready file (cold spawns import numpy; be patient).
+    """
+
+    def __init__(self, config: ServerConfig, *, start_timeout: float = 60.0) -> None:
+        self.config = config
+        self.start_timeout = float(start_timeout)
+        self.ring = HashRing(
+            [f"w{i}" for i in range(config.cluster.workers)],
+            vnodes=config.cluster.vnodes,
+        )
+        self._members = {
+            name: _Member(name, shard)
+            for name, shard in shard_datasets(config, self.ring).items()
+        }
+        self._ctx = multiprocessing.get_context("spawn")
+        self._run_dir: str | None = None
+        self._router: RouterThread | None = None
+        self._monitor: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self.restarts = 0
+
+    # ------------------------------------------------------------------ #
+    # worker lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self, member: _Member) -> None:
+        """Start (or restart) one worker and wait for its ready file."""
+        member.incarnation += 1
+        ready = os.path.join(
+            self._run_dir, f"{member.name}-{member.incarnation}.ready"
+        )
+        process = self._ctx.Process(
+            target=worker_entry,
+            args=(member.config, ready),
+            name=f"repro-{member.name}",
+            daemon=True,
+        )
+        process.start()
+        deadline = time.monotonic() + self.start_timeout
+        while not os.path.exists(ready):
+            if not process.is_alive():
+                raise RuntimeError(
+                    f"worker {member.name} exited during startup "
+                    f"(exitcode {process.exitcode})"
+                )
+            if time.monotonic() > deadline:
+                process.kill()
+                raise RuntimeError(
+                    f"worker {member.name} did not become ready within "
+                    f"{self.start_timeout:.0f}s"
+                )
+            time.sleep(0.02)
+        with open(ready) as fh:
+            host, port = fh.read().split()
+        member.process = process
+        member.host = host
+        member.port = int(port)
+
+    def _monitor_loop(self) -> None:
+        """Respawn dead workers and repoint the router at replacements."""
+        while not self._stopping.wait(0.2):
+            for member in self._members.values():
+                with self._lock:
+                    if self._stopping.is_set():
+                        return
+                    process = member.process
+                    if process is None or process.is_alive():
+                        continue
+                    try:
+                        self._spawn(member)
+                    except RuntimeError:
+                        # Startup crash-loop: leave it down; the router
+                        # keeps answering 503 for its datasets and the
+                        # next monitor tick tries again.
+                        member.process = None
+                        continue
+                    self.restarts += 1
+                    if self._router is not None:
+                        self._router.set_worker(
+                            member.name, member.host, member.port
+                        )
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> tuple[str, int]:
+        """Spawn the fleet, start the router; returns the router address."""
+        self._run_dir = tempfile.mkdtemp(prefix="repro-cluster-")
+        try:
+            for member in self._members.values():
+                self._spawn(member)
+        except BaseException:
+            self.stop()
+            raise
+        self._router = RouterThread(
+            {m.name: (m.host, m.port) for m in self._members.values()},
+            datasets={spec.name: spec.live for spec in self.config.datasets},
+            replicas=self.config.cluster.replicas,
+            vnodes=self.config.cluster.vnodes,
+            host=self.config.host,
+            port=self.config.port,
+            health_interval=self.config.cluster.health_interval,
+            max_body_bytes=self.config.max_body_bytes,
+            tracing=self.config.tracing,
+            trace_buffer=self.config.trace_buffer,
+        )
+        try:
+            address = self._router.start()
+        except BaseException:
+            self.stop()
+            raise
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-cluster-monitor", daemon=True
+        )
+        self._monitor.start()
+        return address
+
+    @property
+    def router(self) -> RouterThread:
+        if self._router is None:
+            raise RuntimeError("cluster not started")
+        return self._router
+
+    def workers(self) -> dict:
+        """Current fleet view: ``name -> {host, port, pid, alive}``."""
+        out = {}
+        with self._lock:
+            for name, m in sorted(self._members.items()):
+                process = m.process
+                out[name] = {
+                    "host": m.host,
+                    "port": m.port,
+                    "pid": process.pid if process is not None else None,
+                    "alive": process is not None and process.is_alive(),
+                    "incarnation": m.incarnation,
+                }
+        return out
+
+    def kill_worker(self, name: str) -> int:
+        """SIGKILL one worker (crash-test hook); returns the dead pid.
+
+        The monitor thread respawns it within a few hundred ms; use
+        :meth:`wait_worker` to block until the replacement is serving.
+        """
+        with self._lock:
+            member = self._members[name]
+            process = member.process
+            if process is None or not process.is_alive():
+                raise RuntimeError(f"worker {name} is not running")
+            pid = process.pid
+            incarnation = member.incarnation
+        os.kill(pid, signal.SIGKILL)
+        process.join(timeout=10)
+        return incarnation
+
+    def wait_worker(self, name: str, *, incarnation: int | None = None,
+                    timeout: float = 60.0) -> dict:
+        """Block until ``name`` is alive (past ``incarnation`` if given)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            view = self.workers()[name]
+            newer = (
+                incarnation is None or view["incarnation"] > incarnation
+            )
+            if view["alive"] and newer:
+                return view
+            time.sleep(0.05)
+        raise TimeoutError(f"worker {name} did not come back within {timeout:.0f}s")
+
+    def stop(self) -> None:
+        """Drain the router, stop the fleet, clean up the run dir."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10)
+            self._monitor = None
+        if self._router is not None:
+            self._router.drain()
+            self._router = None
+        with self._lock:
+            processes = []
+            for member in self._members.values():
+                process = member.process
+                member.process = None
+                if process is not None and process.is_alive():
+                    process.terminate()  # SIGTERM -> worker drains
+                    processes.append(process)
+        # Every SIGTERM is out; now collect the (concurrent) drains.
+        for process in processes:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+        if self._run_dir is not None:
+            shutil.rmtree(self._run_dir, ignore_errors=True)
+            self._run_dir = None
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def run_cluster(config: ServerConfig) -> None:
+    """Blocking ``repro cluster`` entry point: run until SIGTERM/SIGINT."""
+    stop = threading.Event()
+
+    def _request_stop(signum, _frame) -> None:  # noqa: ARG001
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _request_stop)
+    cluster = FairHMSCluster(config)
+    try:
+        host, port = cluster.start()
+        names = ", ".join(sorted(s.name for s in config.datasets)) or "none"
+        print(f"repro cluster router listening on http://{host}:{port}")
+        print(
+            f"workers: {config.cluster.workers} "
+            f"(replicas={config.cluster.replicas}, "
+            f"vnodes={config.cluster.vnodes})"
+        )
+        print(f"datasets: {names}")
+        stop.wait()
+        print("drain requested; stopping cluster")
+    finally:
+        cluster.stop()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print("cluster stopped; bye")

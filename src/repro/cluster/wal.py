@@ -1,0 +1,227 @@
+"""Per-dataset write-ahead log for live inserts and deletes.
+
+Durability contract: the gateway applies a write to the in-memory
+:class:`~repro.serving.live.LiveFairHMSIndex`, appends one JSON record
+to ``<wal_dir>/<quoted-name>.wal``, **fsyncs**, and only then resolves
+the client's future.  An acked write therefore survives a SIGKILL: on
+restart the registry loads the latest snapshot (or rebuilds from the
+deterministic factory) and :meth:`WriteAheadLog.replay_into` re-applies
+every record whose version is newer than the recovered index — the raw
+(pre-scale) point goes back through the same ``insert`` path with the
+same floats, so the recovered index is bit-identical to the pre-crash
+one.
+
+Record format — one JSON object per line, append-only::
+
+    {"v": 7, "op": "insert", "key": 123, "point": [0.1, 0.9], "group": 1}
+    {"v": 8, "op": "delete", "key": 45}
+
+``v`` is the index version *after* the write applied; versions advance
+by exactly 1 per mutation, which makes replay idempotent (records with
+``v <= index.version`` are already in the snapshot and are skipped) and
+lets replay verify it stayed in lockstep.  A torn final line (crash
+mid-append) is tolerated: the write it described was never acked, so
+dropping it is correct.  After a successful spill the log is compacted
+with :meth:`truncate` — records at or below the snapshot's version are
+redundant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from urllib.parse import quote, unquote
+
+__all__ = ["WalError", "WriteAheadLog"]
+
+
+class WalError(RuntimeError):
+    """Raised when replay diverges from the recorded version sequence."""
+
+
+def _wal_filename(name: str) -> str:
+    return quote(name, safe="") + ".wal"
+
+
+class WriteAheadLog:
+    """Append-only per-dataset logs under one directory, fsync'd.
+
+    Thread-safe: a per-dataset lock serializes append/replay/truncate
+    for that dataset (the registry's per-dataset spec lock already does
+    this for the normal write path; the WAL's own lock keeps the file
+    consistent even for out-of-band callers like tests).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._global = threading.Lock()
+        self._locks: dict[str, threading.Lock] = {}
+        self._files: dict[str, object] = {}  # open append handles
+
+    def _lock(self, name: str) -> threading.Lock:
+        with self._global:
+            lock = self._locks.get(name)
+            if lock is None:
+                lock = self._locks.setdefault(name, threading.Lock())
+            return lock
+
+    def path(self, name: str) -> Path:
+        return self.root / _wal_filename(name)
+
+    def datasets(self) -> list[str]:
+        """Dataset names that currently have a (non-empty) log file."""
+        out = []
+        for p in sorted(self.root.glob("*.wal")):
+            if p.stat().st_size > 0:
+                out.append(unquote(p.name[: -len(".wal")]))
+        return out
+
+    # -- append ------------------------------------------------------
+
+    def append(self, name: str, record: dict) -> None:
+        """Append one record and fsync before returning.
+
+        The caller must include ``v`` (post-apply index version) and
+        ``op``; the record is written as one compact JSON line.  An
+        OSError propagates: the write must then be reported as failed,
+        because the durability promise could not be kept.
+        """
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock(name):
+            handle = self._files.get(name)
+            if handle is None:
+                handle = open(self.path(name), "ab")
+                self._files[name] = handle
+            handle.write(line.encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def log_insert(self, name: str, version: int, key, point, group) -> None:
+        self.append(
+            name,
+            {
+                "v": int(version),
+                "op": "insert",
+                "key": int(key),
+                "point": [float(x) for x in point],
+                "group": int(group),
+            },
+        )
+
+    def log_delete(self, name: str, version: int, key) -> None:
+        self.append(name, {"v": int(version), "op": "delete", "key": int(key)})
+
+    # -- read / replay ----------------------------------------------
+
+    def records(self, name: str) -> list[dict]:
+        """All intact records, oldest first; a torn tail is dropped.
+
+        Only the *final* line may be torn (single appender, fsync per
+        record); a decode failure anywhere earlier means real corruption
+        and raises :class:`WalError`.
+        """
+        path = self.path(name)
+        if not path.exists():
+            return []
+        raw = path.read_bytes()
+        out: list[dict] = []
+        lines = raw.split(b"\n")
+        for i, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except ValueError:
+                if i == len(lines) - 1:
+                    break  # torn tail from a crash mid-append: unacked
+                raise WalError(
+                    f"corrupt WAL record for {name!r} at line {i + 1}"
+                ) from None
+        return out
+
+    def replay_into(self, name: str, index) -> int:
+        """Re-apply records newer than ``index.version``; return count.
+
+        Verifies lockstep: after each applied record the index version
+        must equal the recorded ``v`` (versions advance by exactly 1 per
+        mutation), otherwise the snapshot and the log disagree and
+        recovery would silently diverge — that is a :class:`WalError`.
+        """
+        with self._lock(name):
+            records = self.records(name)
+        applied = 0
+        for rec in records:
+            version = int(rec["v"])
+            if version <= index.version:
+                continue  # already captured by the snapshot
+            if version != index.version + 1:
+                raise WalError(
+                    f"WAL gap for {name!r}: index at version {index.version}, "
+                    f"next record is v={version}"
+                )
+            if rec["op"] == "insert":
+                index.insert(rec["key"], rec["point"], rec["group"])
+            elif rec["op"] == "delete":
+                index.delete(rec["key"])
+            else:
+                raise WalError(f"unknown WAL op {rec['op']!r} for {name!r}")
+            if index.version != version:
+                raise WalError(
+                    f"WAL replay diverged for {name!r}: expected version "
+                    f"{version}, index reports {index.version}"
+                )
+            applied += 1
+        return applied
+
+    # -- compaction --------------------------------------------------
+
+    def truncate(self, name: str, upto_version: int) -> int:
+        """Drop records with ``v <= upto_version`` (already snapshotted).
+
+        Rewrites the file via temp + atomic rename; removes it entirely
+        when nothing survives.  Returns the number of records kept.
+        """
+        with self._lock(name):
+            handle = self._files.pop(name, None)
+            if handle is not None:
+                handle.close()
+            records = self.records(name)
+            keep = [r for r in records if int(r["v"]) > int(upto_version)]
+            path = self.path(name)
+            if not keep:
+                path.unlink(missing_ok=True)
+                return 0
+            tmp = path.with_suffix(".wal.tmp")
+            with open(tmp, "wb") as out:
+                for rec in keep:
+                    out.write(
+                        (json.dumps(rec, separators=(",", ":")) + "\n").encode()
+                    )
+                out.flush()
+                os.fsync(out.fileno())
+            os.replace(tmp, path)
+            return len(keep)
+
+    def remove(self, name: str) -> None:
+        """Delete the log for ``name`` (dataset unregistered)."""
+        with self._lock(name):
+            handle = self._files.pop(name, None)
+            if handle is not None:
+                handle.close()
+            self.path(name).unlink(missing_ok=True)
+
+    def close(self) -> None:
+        with self._global:
+            locks = list(self._locks.values())
+        for lock in locks:
+            lock.acquire()
+        try:
+            for handle in self._files.values():
+                handle.close()
+            self._files.clear()
+        finally:
+            for lock in locks:
+                lock.release()

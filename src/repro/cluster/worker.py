@@ -1,0 +1,45 @@
+"""The cluster worker process: one ``FairHMSServer`` per shard.
+
+``worker_entry`` is the ``multiprocessing`` (spawn) target the
+supervisor launches N times.  Each worker is an ordinary standalone
+server — same gateway, registry, spill tier, and WAL wiring — whose
+config the supervisor has already specialized: ``port = 0`` (the OS
+assigns), ``worker_id`` names it in response envelopes, and
+``datasets`` is its shard (all frozen specs, plus the live specs this
+worker owns on the ring).
+
+Port handoff: the worker binds first, then writes ``"host port"`` to
+its ready file atomically (temp + rename), so the supervisor never
+reads a half-written line and never has to guess a port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from ..server.app import FairHMSServer
+from ..server.config import ServerConfig
+
+__all__ = ["worker_entry"]
+
+
+async def _worker_main(config: ServerConfig, ready_path: str) -> None:
+    server = FairHMSServer.from_config(config)
+    await server.start()
+    server.install_signal_handlers()
+    host, port = server.address
+    tmp = f"{ready_path}.tmp"
+    with open(tmp, "w") as fh:
+        fh.write(f"{host} {port}\n")
+    os.replace(tmp, ready_path)
+    try:
+        await server.wait_stopped()
+    finally:
+        if not server.draining:
+            await server.drain()
+
+
+def worker_entry(config: ServerConfig, ready_path: str) -> None:
+    """Run one worker server until drained (the spawn target)."""
+    asyncio.run(_worker_main(config, ready_path))

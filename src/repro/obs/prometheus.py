@@ -166,6 +166,8 @@ _COUNTER_HELP = {
     "cache_clears": "Pinned live indexes reclaimed in place.",
     "spills": "Index snapshots written on eviction.",
     "spill_loads": "Indexes reloaded from a spill snapshot.",
+    "wal_appends": "Live writes made durable in the write-ahead log.",
+    "wal_replays": "WAL records re-applied during index recovery.",
     "fence_violations": "Solves retired because a write fenced them.",
     "warmups": "Speculative warm-up primes.",
 }

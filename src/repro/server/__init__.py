@@ -7,8 +7,10 @@ load, 429 shedding), graceful SIGTERM drain with snapshot spill, and
 TOML/JSON config-driven dataset registration.  See ``docs/SERVER.md``.
 """
 
+from .api import API_VERSION, LEGACY_ACCEPT, wants_envelope
 from .app import FairHMSServer
 from .config import (
+    ClusterConfig,
     DatasetSpec,
     ServerConfig,
     build_registry,
@@ -20,10 +22,13 @@ from .http import HttpError, HttpRequest, read_request, send_json
 from .runner import ServerThread, serve_forever
 
 __all__ = [
+    "API_VERSION",
+    "ClusterConfig",
     "DatasetSpec",
     "FairHMSServer",
     "HttpError",
     "HttpRequest",
+    "LEGACY_ACCEPT",
     "ServerConfig",
     "ServerThread",
     "build_registry",
@@ -33,4 +38,5 @@ __all__ = [
     "read_request",
     "send_json",
     "serve_forever",
+    "wants_envelope",
 ]

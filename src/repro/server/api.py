@@ -1,0 +1,164 @@
+"""The v1.1 wire contract: response envelope + stable error codes.
+
+Every ``/v1/*`` JSON response is wrapped in one envelope shape::
+
+    {
+      "data":  <endpoint payload> | null,
+      "error": null | {"code": str, "message": str, "retryable": bool},
+      "meta":  {"request_id": str, "worker": str, "api_version": "1.1"}
+    }
+
+Exactly one of ``data``/``error`` is non-null.  ``error.code`` is the
+machine-readable contract — clients and the ``repro.client`` SDK branch
+on it, never on message text; ``retryable`` says whether the same
+request can be resent as-is (sheds, drains, and router-side worker
+outages are retryable; bad requests and infeasible constraints are
+not).  ``meta.request_id`` is the request's trace id whenever tracing
+is on (the same id the ``x-repro-trace`` response header carries), and
+``meta.worker`` names the serving process — ``repro cluster`` workers
+get their id from the supervisor, so a client can see which worker
+answered through the router.
+
+**Legacy compatibility (deprecated):** clients that predate the
+envelope keep working by requesting the bare body with ``?envelope=0``
+or an ``Accept: application/vnd.repro.legacy+json`` header.  The bare
+shapes are byte-identical to the pre-1.1 API and are documented as
+deprecated in ``docs/API.md``; new clients must use the envelope.
+
+Endpoints outside ``/v1/`` keep their historical shapes unconditionally:
+``/healthz`` (probes) and ``/metrics`` (Prometheus text exposition) are
+consumed by infrastructure that neither wants nor parses an envelope.
+"""
+
+from __future__ import annotations
+
+import uuid
+
+__all__ = [
+    "API_VERSION",
+    "LEGACY_ACCEPT",
+    "RETRYABLE_CODES",
+    "classify_error",
+    "envelope",
+    "error_object",
+    "new_request_id",
+    "wants_envelope",
+]
+
+API_VERSION = "1.1"
+
+#: Accept-header value selecting the deprecated bare-body response shape.
+LEGACY_ACCEPT = "application/vnd.repro.legacy+json"
+
+#: Error codes whose requests may be retried verbatim (after any
+#: ``Retry-After`` the response carries).
+RETRYABLE_CODES = frozenset({"shed", "draining", "worker_unavailable"})
+
+#: Every code the server/router can emit (documented in docs/API.md).
+ERROR_CODES = (
+    "dataset_not_found",
+    "infeasible_constraint",
+    "invalid_argument",
+    "not_found",
+    "method_not_allowed",
+    "payload_too_large",
+    "shed",
+    "draining",
+    "worker_unavailable",
+    "bad_gateway",
+    "internal",
+)
+
+
+def new_request_id() -> str:
+    """A fresh request id for untraced requests (trace ids win when on)."""
+    return uuid.uuid4().hex[:16]
+
+
+def wants_envelope(request) -> bool:
+    """Whether this request gets the v1.1 envelope (the default).
+
+    ``?envelope=0`` (also ``false``/``no``) or an ``Accept`` header
+    naming :data:`LEGACY_ACCEPT` selects the deprecated bare body; an
+    explicit ``?envelope=1`` wins over the Accept header.
+    """
+    param = request.param("envelope")
+    if param is not None:
+        return param.lower() not in ("0", "false", "no")
+    return LEGACY_ACCEPT not in request.headers.get("accept", "")
+
+
+def classify_error(status: int, message: str) -> str:
+    """Map a (status, legacy message) pair to its stable error code.
+
+    The status carries most of the signal; the two 4xx statuses that
+    cover distinct conditions are split on the message our own layers
+    produce: a 404 for a name the registry doesn't know is
+    ``dataset_not_found`` (vs ``not_found`` for an unknown endpoint),
+    and a 400 whose message reports an infeasible fairness constraint —
+    every solver phrases it with the word "infeasible" — is
+    ``infeasible_constraint`` (vs ``invalid_argument``).
+    """
+    text = (message or "").lower()
+    if status == 404:
+        return "dataset_not_found" if "dataset" in text else "not_found"
+    if status == 405:
+        return "method_not_allowed"
+    if status == 413:
+        return "payload_too_large"
+    if status == 429:
+        return "shed"
+    if status == 503:
+        return "draining"
+    if status == 502:
+        return "bad_gateway"
+    if 400 <= status < 500:
+        return "infeasible_constraint" if "infeasible" in text else "invalid_argument"
+    return "internal"
+
+
+def error_object(code: str, message: str) -> dict:
+    """One envelope ``error`` value with its retryability flag."""
+    return {
+        "code": str(code),
+        "message": str(message),
+        "retryable": code in RETRYABLE_CODES,
+    }
+
+
+def envelope(
+    data=None,
+    *,
+    error: dict | None = None,
+    request_id: str,
+    worker: str,
+) -> dict:
+    """Assemble one v1.1 response envelope (exactly one of data/error)."""
+    return {
+        "data": None if error is not None else data,
+        "error": error,
+        "meta": {
+            "request_id": str(request_id),
+            "worker": str(worker),
+            "api_version": API_VERSION,
+        },
+    }
+
+
+def wrap_legacy(status: int, payload: dict, *, request_id: str, worker: str) -> dict:
+    """Wrap a legacy-shaped response body into the v1.1 envelope.
+
+    The pre-1.1 handlers report failures as ``{"error": <message>, ...}``
+    — that message plus the status is enough to recover the stable code,
+    so the handlers stay envelope-agnostic and the legacy path returns
+    their bodies byte-identically.
+    """
+    if status < 400:
+        return envelope(payload, request_id=request_id, worker=worker)
+    message = payload.get("error") if isinstance(payload, dict) else None
+    if not isinstance(message, str):
+        message = str(payload)
+    code = classify_error(int(status), message)
+    return envelope(
+        error=error_object(code, message), request_id=request_id, worker=worker
+    )

@@ -20,6 +20,13 @@ Endpoints (all JSON):
 * ``GET /v1/traces``   — recent + slowest completed request traces.
 * ``GET /healthz``     — liveness plus the draining flag.
 
+**Wire contract (v1.1)**: every ``/v1/*`` JSON response is wrapped in
+the ``{"data", "error", "meta"}`` envelope with stable machine-readable
+error codes (see :mod:`repro.server.api` and ``docs/API.md``); the
+deprecated bare bodies remain reachable via ``?envelope=0`` or the
+legacy ``Accept`` header.  ``/healthz`` and the Prometheus expositions
+stay bare.
+
 **Tracing**: with ``tracing`` on (the default) every query/write gets a
 :class:`~repro.obs.trace.Trace` — honoring a caller-supplied
 ``x-repro-trace`` id and echoing it as a response header — that the
@@ -71,6 +78,7 @@ from ..service.gateway import Gateway
 from ..service.metrics import LatencyHistogram
 from ..service.registry import DatasetRegistry
 from ..service.warmup import Warmer
+from .api import new_request_id, wants_envelope, wrap_legacy
 from .config import ServerConfig, build_registry
 from .http import HttpError, HttpRequest, read_request, send_json, send_text
 
@@ -159,10 +167,14 @@ class FairHMSServer:
         trace_buffer: int = 256,
         slow_trace_s: float = 1.0,
         slo: SloObjectives | None = None,
+        worker_id: str | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.registry = registry
+        #: Process name surfaced in envelope meta (cluster workers get
+        #: theirs from the supervisor; a standalone server is "server").
+        self.worker_id = str(worker_id) if worker_id else "server"
         self.metrics = registry.metrics
         self.gateway = Gateway(
             registry, batch_window=batch_window, max_batch=max_batch
@@ -225,6 +237,7 @@ class FairHMSServer:
             trace_buffer=config.trace_buffer,
             slow_trace_s=config.slow_trace_s,
             slo=config.slo,
+            worker_id=config.worker_id,
         )
 
     # ------------------------------------------------------------------ #
@@ -390,7 +403,30 @@ class FairHMSServer:
                 await writer.wait_closed()
 
     async def _dispatch(self, request: HttpRequest):
-        """Route one request; returns ``(status, payload, extra_headers)``."""
+        """Route one request; returns ``(status, payload, extra_headers)``.
+
+        ``/v1/*`` JSON responses come back wrapped in the v1.1 envelope
+        unless the request selected the deprecated bare body
+        (``?envelope=0`` / legacy ``Accept`` — see ``repro.server.api``).
+        ``/healthz``, ``/metrics``, and the Prometheus rendering of
+        ``/v1/metrics`` always keep their historical bare shapes.
+        """
+        status, payload, extra = await self._dispatch_bare(request)
+        if (
+            request.path.startswith("/v1/")
+            and not isinstance(payload, _PlainText)
+            and wants_envelope(request)
+        ):
+            # The trace id (echoed as x-repro-trace) doubles as the
+            # request id, so an envelope and the trace store correlate.
+            request_id = (extra or {}).get("x-repro-trace") or new_request_id()
+            payload = wrap_legacy(
+                status, payload, request_id=request_id, worker=self.worker_id
+            )
+        return status, payload, extra
+
+    async def _dispatch_bare(self, request: HttpRequest):
+        """Route one request to its handler (legacy-shaped payloads)."""
         method, path = request.method, request.path
         key = f"{method} {path}"
         if (method, path) in _ENDPOINTS:
@@ -466,6 +502,7 @@ class FairHMSServer:
     def _health_payload(self) -> dict:
         return {
             "status": "draining" if self._draining else "ok",
+            "worker": self.worker_id,
             "inflight": self._inflight,
             "max_inflight": self.max_inflight,
             "datasets": len(self.registry),

@@ -50,6 +50,7 @@ from ..service.metrics import ServiceMetrics
 from ..service.registry import DatasetRegistry
 
 __all__ = [
+    "ClusterConfig",
     "DatasetSpec",
     "ServerConfig",
     "build_registry",
@@ -133,6 +134,48 @@ class DatasetSpec:
 
 
 @dataclass(frozen=True)
+class ClusterConfig:
+    """The top-level ``[cluster]`` section: router + worker-fleet knobs.
+
+    ``workers`` is the number of worker processes ``repro cluster``
+    spawns; ``replicas`` is how many workers each *frozen* dataset is
+    served from (reads fan across them; live datasets are always pinned
+    to their single owner so the write order stays a serial history);
+    ``vnodes`` is the virtual-node count per worker on the consistent-
+    hash ring (router and supervisor must agree — both read this value);
+    ``health_interval`` is the router's active health-check period in
+    seconds.
+    """
+
+    workers: int = 2
+    replicas: int = 2
+    vnodes: int = 64
+    health_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"cluster workers must be >= 1, got {self.workers}")
+        if self.replicas < 1:
+            raise ValueError(f"cluster replicas must be >= 1, got {self.replicas}")
+        if self.vnodes < 1:
+            raise ValueError(f"cluster vnodes must be >= 1, got {self.vnodes}")
+        if self.health_interval <= 0:
+            raise ValueError(
+                f"cluster health_interval must be > 0, got {self.health_interval}"
+            )
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ClusterConfig":
+        if not isinstance(raw, dict):
+            raise ValueError(f"[cluster] must be a mapping, got {raw!r}")
+        allowed = {f.name for f in fields(cls)}
+        unknown = set(raw) - allowed
+        if unknown:
+            raise ValueError(f"unknown [cluster] keys: {sorted(unknown)}")
+        return cls(**raw)
+
+
+@dataclass(frozen=True)
 class ServerConfig:
     """Everything ``repro server`` needs to come up.
 
@@ -160,6 +203,13 @@ class ServerConfig:
     default ``static`` mode is byte-for-byte today's dispatch, and
     ``mode = "adaptive"`` turns on observed-cost steering with the
     latency budget defaulting to the ``[slo]`` target.
+
+    ``wal_dir`` enables the live write-ahead log (fsync'd append before
+    every write ack, replayed over the snapshot on restart — see
+    ``docs/CLUSTER.md``).  ``worker_id`` names this process in v1.1
+    response envelopes (``meta.worker``); the cluster supervisor sets it
+    per worker.  ``cluster`` holds the top-level ``[cluster]`` section
+    consumed by ``repro cluster``.
     """
 
     host: str = "127.0.0.1"
@@ -176,8 +226,11 @@ class ServerConfig:
     tracing: bool = True
     trace_buffer: int = 256
     slow_trace_s: float = 1.0
+    wal_dir: str | None = None
+    worker_id: str | None = None
     slo: SloObjectives = SloObjectives()
     planner: PlannerConfig = PlannerConfig()
+    cluster: ClusterConfig = ClusterConfig()
     datasets: tuple[DatasetSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -210,17 +263,18 @@ def parse_config(raw: dict, *, base_dir=None) -> ServerConfig:
     """
     if not isinstance(raw, dict):
         raise ValueError(f"config root must be a mapping, got {type(raw).__name__}")
-    unknown = set(raw) - {"server", "datasets", "slo", "planner"}
+    unknown = set(raw) - {"server", "datasets", "slo", "planner", "cluster"}
     if unknown:
         raise ValueError(f"unknown top-level config keys: {sorted(unknown)}")
 
     server_raw = dict(raw.get("server", {}))
-    # `slo` and `planner` are their own top-level sections, never
-    # [server] keys.
+    # `slo`, `planner`, and `cluster` are their own top-level sections,
+    # never [server] keys.
     allowed = {f.name for f in fields(ServerConfig)} - {
         "datasets",
         "slo",
         "planner",
+        "cluster",
     }
     unknown = set(server_raw) - allowed
     if unknown:
@@ -229,6 +283,8 @@ def parse_config(raw: dict, *, base_dir=None) -> ServerConfig:
         server_raw["slo"] = SloObjectives.from_dict(raw["slo"])
     if "planner" in raw:
         server_raw["planner"] = PlannerConfig.from_dict(raw["planner"])
+    if "cluster" in raw:
+        server_raw["cluster"] = ClusterConfig.from_dict(raw["cluster"])
 
     specs = []
     datasets_raw = raw.get("datasets", [])
@@ -246,10 +302,12 @@ def parse_config(raw: dict, *, base_dir=None) -> ServerConfig:
         specs.append(DatasetSpec(**entry))
 
     config = ServerConfig(datasets=tuple(specs), **server_raw)
-    if config.spill_dir is not None and base_dir is not None:
-        spill = Path(config.spill_dir)
-        if not spill.is_absolute():
-            config = replace(config, spill_dir=str(Path(base_dir) / spill))
+    if base_dir is not None:
+        # Relative disk tiers anchor to the config file's directory.
+        for attr in ("spill_dir", "wal_dir"):
+            value = getattr(config, attr)
+            if value is not None and not Path(value).is_absolute():
+                config = replace(config, **{attr: str(Path(base_dir) / value)})
     return config
 
 
@@ -303,11 +361,19 @@ def build_registry(
         # The adaptive latency budget defaults to the SLO the server is
         # already held to — one target, stated once.
         pconf = replace(pconf, target_p99_s=config.slo.latency_target_s)
+    wal = None
+    if config.wal_dir is not None:
+        # Imported lazily: repro.cluster pulls in the router/supervisor,
+        # which import this module right back.
+        from ..cluster.wal import WriteAheadLog
+
+        wal = WriteAheadLog(config.wal_dir)
     registry = DatasetRegistry(
         max_bytes=max_bytes,
         metrics=metrics,
         spill_dir=config.spill_dir,
         planner=Planner(pconf),
+        wal=wal,
     )
     for spec in config.datasets:
         registry.register(

@@ -24,6 +24,7 @@ _MAX_HEADERS = 100
 
 _REASONS = {
     200: "OK",
+    307: "Temporary Redirect",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -31,6 +32,7 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
 }
 

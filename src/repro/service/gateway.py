@@ -444,6 +444,20 @@ class Gateway:
                         (key,) = op.args
                         index.delete(key)
                 version = getattr(index, "version", None)
+                wal = getattr(self.registry, "wal", None)
+                if wal is not None and version is not None:
+                    # Durability is part of the ack: the record reaches
+                    # disk (fsync'd) before the caller's future resolves,
+                    # so an acked write can always be replayed after a
+                    # crash.  A failed append fails the write — the
+                    # in-memory apply alone must not report success.
+                    with child_of_current("wal_append", kind=op.kind):
+                        if op.kind == "insert":
+                            key, point, group = op.args
+                            wal.log_insert(name, version, key, point, group)
+                        else:
+                            wal.log_delete(name, version, op.args[0])
+                    self.metrics.incr(name, "wal_appends")
         except Exception as exc:  # noqa: BLE001 - forwarded to the caller
             self.metrics.incr(name, "errors")
             if op.trace is not None:

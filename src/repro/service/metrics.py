@@ -49,6 +49,8 @@ _COUNTER_NAMES = (
     "cache_clears",
     "spills",
     "spill_loads",
+    "wal_appends",
+    "wal_replays",
     "fence_violations",
     "warmups",
 )

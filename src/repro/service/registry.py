@@ -114,6 +114,12 @@ class DatasetRegistry:
         planner: shared :class:`~repro.planner.Planner` installed on
             every index the registry produces (builds, spill reloads,
             rebuilds); one is created (static mode) if omitted.
+        wal: optional :class:`~repro.cluster.wal.WriteAheadLog` closing
+            the live-durability gap: the gateway fsyncs every applied
+            write into it before acking, :meth:`get` replays the tail
+            on top of a restored snapshot (or a fresh build), and a
+            successful live spill compacts the log — records at or
+            below the snapshot's version are redundant.
     """
 
     def __init__(
@@ -123,9 +129,11 @@ class DatasetRegistry:
         metrics: ServiceMetrics | None = None,
         spill_dir=None,
         planner=None,
+        wal=None,
     ) -> None:
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.wal = wal
         # One planner across every tenant: all indexes share its observed-
         # cost estimator and plan counters, and it survives eviction,
         # spill-reload, and rebuild (it is re-injected on every path that
@@ -200,6 +208,8 @@ class DatasetRegistry:
             self._specs.pop(name, None)
         if self.store is not None:
             self.store.remove(name)
+        if self.wal is not None:
+            self.wal.remove(name)
 
     # ------------------------------------------------------------------ #
     # access
@@ -241,9 +251,21 @@ class DatasetRegistry:
         return index
 
     def _restore_or_build(self, spec: _Spec) -> FairHMSIndex:
-        """Reload the spilled snapshot if one exists, else build cold."""
+        """Reload the spilled snapshot if one exists, else build cold.
+
+        With a WAL, a live index then replays every record newer than
+        the recovered state — acked writes survive a crash that outran
+        the spill tier (runs under the spec lock, so no gateway write
+        can interleave the replay).
+        """
         index = self._load_spilled(spec)
-        return index if index is not None else self._build(spec)
+        if index is None:
+            index = self._build(spec)
+        if spec.live and self.wal is not None:
+            applied = self.wal.replay_into(spec.name, index)
+            if applied:
+                self.metrics.incr(spec.name, "wal_replays", applied)
+        return index
 
     def _load_spilled(self, spec: _Spec) -> FairHMSIndex | None:
         """A reloaded snapshot index, or ``None`` to fall back to a build.
@@ -433,6 +455,10 @@ class DatasetRegistry:
                             name, index, registration=spec.registration()
                         )
                         spilled = True
+                        if self.wal is not None:
+                            # The snapshot now carries every write up to
+                            # this version; compact while still fencing.
+                            self.wal.truncate(name, index.version)
                         # Drop while still fencing the dataset: a write that
                         # arrives after this point re-enters through get()
                         # and lands on the reloaded snapshot.

@@ -65,7 +65,15 @@ class Client:
         headers = {"Content-Type": "application/json"} if body else {}
         self.conn.request(method, path, body=body, headers=headers)
         resp = self.conn.getresponse()
-        return resp.status, json.loads(resp.read())
+        body = json.loads(resp.read())
+        # /v1/* responses arrive in the v1.1 envelope (TestEnvelope
+        # pins its exact shape); successes unwrap to the payload so the
+        # protocol tests keep asserting on substance, and errors stay
+        # whole so they can check ``error.code``.
+        if isinstance(body, dict) and "data" in body and "meta" in body:
+            if body.get("error") is None:
+                body = body["data"]
+        return resp.status, body
 
     def get(self, path):
         return self.request("GET", path)
@@ -195,7 +203,8 @@ class TestErrorMapping:
     def test_unknown_dataset_404(self, client):
         status, payload = client.post("/v1/query", {"dataset": "nope", "k": 3})
         assert status == 404
-        assert "nope" in payload["error"]
+        assert payload["error"]["code"] == "dataset_not_found"
+        assert "nope" in payload["error"]["message"]
 
     def test_unknown_route_404(self, client):
         status, _ = client.get("/v2/query")
@@ -230,19 +239,20 @@ class TestErrorMapping:
         )
         resp = client.conn.getresponse()
         assert resp.status == 400
-        assert "invalid JSON" in json.loads(resp.read())["error"]
+        assert "invalid JSON" in json.loads(resp.read())["error"]["message"]
 
     def test_missing_k_and_constraint_400(self, client):
         status, payload = client.post("/v1/query", {"dataset": "alpha"})
         assert status == 400
-        assert payload["error_type"] == "ValueError"
+        assert payload["error"]["code"] == "invalid_argument"
+        assert payload["error"]["retryable"] is False
 
     def test_unknown_query_key_400(self, client):
         status, payload = client.post(
             "/v1/query", {"dataset": "alpha", "k": 3, "knob": 1}
         )
         assert status == 400
-        assert "knob" in payload["error"]
+        assert "knob" in payload["error"]["message"]
 
     def test_write_to_frozen_dataset_400(self, client):
         status, _ = client.post(
@@ -257,7 +267,7 @@ class TestErrorMapping:
             "/v1/write", {"dataset": "mut", "op": "upsert", "key": 1}
         )
         assert status == 400
-        assert "upsert" in payload["error"]
+        assert "upsert" in payload["error"]["message"]
 
     def test_infeasible_constraint_400(self, client):
         # Lower bounds beyond k are structurally infeasible.
@@ -269,6 +279,105 @@ class TestErrorMapping:
             },
         )
         assert status == 400
+        assert payload["error"]["code"] == "infeasible_constraint"
+
+
+class TestEnvelope:
+    """The v1.1 response envelope: shape, codes, and the legacy opt-out."""
+
+    def raw(self, server, method, path, payload=None, headers=None):
+        host, port, _ = server
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body, headers=headers or {})
+        resp = conn.getresponse()
+        parsed = json.loads(resp.read())
+        conn.close()
+        return resp.status, parsed
+
+    def test_success_envelope_shape(self, server):
+        status, body = self.raw(
+            server, "POST", "/v1/query", {"dataset": "alpha", "k": 4}
+        )
+        assert status == 200
+        assert set(body) == {"data", "error", "meta"}
+        assert body["error"] is None
+        assert body["data"]["ids"]
+        meta = body["meta"]
+        assert meta["api_version"] == "1.1"
+        assert meta["worker"] == "server"  # standalone default
+        assert isinstance(meta["request_id"], str) and meta["request_id"]
+
+    def test_error_envelope_shape(self, server):
+        status, body = self.raw(
+            server, "POST", "/v1/query", {"dataset": "ghost", "k": 4}
+        )
+        assert status == 404
+        assert body["data"] is None
+        assert set(body["error"]) == {"code", "message", "retryable"}
+        assert body["error"]["code"] == "dataset_not_found"
+        assert body["error"]["retryable"] is False
+        assert body["meta"]["api_version"] == "1.1"
+
+    def test_request_id_echoes_trace_id(self, server):
+        _, body = self.raw(
+            server, "POST", "/v1/query", {"dataset": "alpha", "k": 4},
+            headers={"x-repro-trace": "envelope-test-1"},
+        )
+        assert body["meta"]["request_id"] == "envelope-test-1"
+
+    def test_legacy_body_via_query_param(self, server):
+        # Deprecated pre-1.1 compatibility: ?envelope=0 strips the
+        # envelope and returns the bare payload (docs/API.md).
+        status, body = self.raw(
+            server, "POST", "/v1/query?envelope=0",
+            {"dataset": "alpha", "k": 4},
+        )
+        assert status == 200
+        assert "meta" not in body and "ids" in body
+        status, body = self.raw(
+            server, "POST", "/v1/query?envelope=0",
+            {"dataset": "ghost", "k": 4},
+        )
+        assert status == 404
+        assert isinstance(body["error"], str)  # legacy message-only shape
+
+    def test_legacy_body_via_accept_header(self, server):
+        from repro.server import LEGACY_ACCEPT
+
+        status, body = self.raw(
+            server, "POST", "/v1/query", {"dataset": "alpha", "k": 4},
+            headers={"Accept": LEGACY_ACCEPT},
+        )
+        assert status == 200
+        assert "meta" not in body and "ids" in body
+
+    def test_envelope_param_overrides_accept(self, server):
+        from repro.server import LEGACY_ACCEPT
+
+        status, body = self.raw(
+            server, "POST", "/v1/query?envelope=1",
+            {"dataset": "alpha", "k": 4},
+            headers={"Accept": LEGACY_ACCEPT},
+        )
+        assert status == 200
+        assert set(body) == {"data", "error", "meta"}
+
+    def test_healthz_stays_bare(self, server):
+        status, body = self.raw(server, "GET", "/healthz")
+        assert status == 200
+        assert "meta" not in body and body["status"] == "ok"
+
+    def test_worker_id_lands_in_meta(self):
+        registry = DatasetRegistry()
+        registry.register("alpha", frozen_data(), default_seed=7)
+        with ServerThread(registry, worker_id="w7") as (host, port):
+            status, body = self.raw(
+                (host, port, registry), "POST", "/v1/query",
+                {"dataset": "alpha", "k": 3},
+            )
+        assert status == 200
+        assert body["meta"]["worker"] == "w7"
 
 
 class GatedFactory:
@@ -327,7 +436,8 @@ class TestAdmissionControl:
                 "/v1/query", {"dataset": "slow", "k": 4}
             )
             assert status == 429
-            assert payload["shed"] is True
+            assert payload["error"]["code"] == "shed"
+            assert payload["error"]["retryable"] is True
 
             # Observability endpoints stay admitted under overload.
             status, metrics = shed_client.get("/v1/metrics")
@@ -494,7 +604,8 @@ class TestGracefulDrain:
             st.server._dispatch(request), st.loop
         ).result(timeout=30)
         assert status == 503
-        assert "drain" in payload["error"]
+        assert payload["error"]["code"] == "draining"
+        assert "drain" in payload["error"]["message"]
 
         # Release the gate: the in-flight request must resolve correctly.
         factory.gate.set()
